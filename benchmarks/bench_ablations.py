@@ -1,0 +1,44 @@
+"""Ablation studies on DeFT's design choices (DESIGN.md extensions).
+
+* rho sweep on equation (6)'s distance/balance weight;
+* traffic-aware offline optimization (Section IV-A's "further
+  improvements" remark, Fig. 3(c) behaviour);
+* online adaptive (run-time load-aware) VL selection under skewed load;
+* vertical-link serialization factor ([18]).
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+from conftest import assert_and_print
+
+
+@pytest.mark.benchmark(group="ablations", min_rounds=1, max_time=1.0)
+def test_rho_sweep(benchmark, record_result):
+    result = benchmark.pedantic(ablations.rho_sweep, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="ablations", min_rounds=1, max_time=1.0)
+def test_traffic_aware_tables(benchmark, record_result):
+    result = benchmark.pedantic(ablations.traffic_aware_tables, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="ablations", min_rounds=1, max_time=1.0)
+def test_adaptive_online_selection(benchmark, record_result):
+    result = benchmark.pedantic(ablations.adaptive_selection, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="ablations", min_rounds=1, max_time=1.0)
+def test_vl_serialization(benchmark, record_result):
+    result = benchmark.pedantic(ablations.serialization_sweep, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="ablations", min_rounds=1, max_time=1.0)
+def test_wear_balance(benchmark, record_result):
+    result = benchmark.pedantic(ablations.wear_balance, rounds=1, iterations=1)
+    assert_and_print(result, record_result)

@@ -1,0 +1,37 @@
+"""Fig. 4 — average latency vs injection rate for DeFT, MTR and RC.
+
+Regenerates all four sub-figures: Uniform/Localized/Hotspot on the
+4-chiplet baseline and Uniform on the 6-chiplet system. Prints the
+latency table and ASCII chart per sub-figure and asserts the paper's
+qualitative claims (DeFT lowest latency, baselines saturate first).
+"""
+
+import pytest
+
+from repro.experiments import fig4
+
+from conftest import assert_and_print
+
+
+@pytest.mark.benchmark(group="fig4", min_rounds=1, max_time=1.0)
+def test_fig4a_uniform_4_chiplets(benchmark, record_result):
+    result = benchmark.pedantic(fig4.fig4a, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="fig4", min_rounds=1, max_time=1.0)
+def test_fig4b_localized_4_chiplets(benchmark, record_result):
+    result = benchmark.pedantic(fig4.fig4b, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="fig4", min_rounds=1, max_time=1.0)
+def test_fig4c_hotspot_4_chiplets(benchmark, record_result):
+    result = benchmark.pedantic(fig4.fig4c, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="fig4", min_rounds=1, max_time=1.0)
+def test_fig4d_uniform_6_chiplets(benchmark, record_result):
+    result = benchmark.pedantic(fig4.fig4d, rounds=1, iterations=1)
+    assert_and_print(result, record_result)

@@ -1,0 +1,18 @@
+"""Fig. 5 — VC utilization in DeFT under synthetic traffic.
+
+Prints the VC1/VC2 share per region (interposer + each chiplet) for
+Uniform, Localized and Hotspot traffic and asserts the paper's balance
+claims (~50/50 for Uniform/Localized; bounded deviation for Hotspot).
+"""
+
+import pytest
+
+from repro.experiments import fig5
+
+from conftest import assert_and_print
+
+
+@pytest.mark.benchmark(group="fig5", min_rounds=1, max_time=1.0)
+def test_fig5_vc_utilization(benchmark, record_result):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    assert_and_print(result, record_result)

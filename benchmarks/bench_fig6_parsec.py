@@ -1,0 +1,23 @@
+"""Fig. 6 — latency improvement under PARSEC-like application traffic.
+
+(a) single application on 64 cores; (b) two co-running applications on
+32 cores each, pairs sorted by load. Prints DeFT's percentage improvement
+versus MTR and versus RC per application/pair and asserts that
+improvements grow from single- to multi-application scenarios (the
+paper's headline: 3% average single-app, 13.5% average multi-app, up to
+40% at high load).
+"""
+
+import pytest
+
+from repro.experiments import fig6
+
+from conftest import assert_and_print
+
+
+@pytest.mark.benchmark(group="fig6", min_rounds=1, max_time=1.0)
+def test_fig6_single_and_two_applications(benchmark, record_result):
+    results = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    assert len(results) == 2  # fig6a + fig6b
+    for result in results:
+        assert_and_print(result, record_result)

@@ -1,0 +1,21 @@
+"""Fig. 8 — latency under VL faults for DeFT's VL-selection strategies.
+
+DeFT (offline-optimized tables) vs DeFT-Dis (distance-based) vs DeFT-Ran
+(random) under 12.5% (4 faulty directed channels) and 25% (8 faulty)
+fault rates on the 4-chiplet system, including the paper's observation
+that random selection is relatively better at 25% than at 12.5%.
+"""
+
+import pytest
+
+from repro.experiments import fig8
+
+from conftest import assert_and_print
+
+
+@pytest.mark.benchmark(group="fig8", min_rounds=1, max_time=1.0)
+def test_fig8_selection_strategies_under_faults(benchmark, record_result):
+    results = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    assert len(results) == 2  # 12.5% and 25% fault rates
+    for result in results:
+        assert_and_print(result, record_result)

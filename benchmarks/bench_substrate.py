@@ -1,0 +1,67 @@
+"""Substrate microbenchmarks: simulator throughput, optimizer, CDG.
+
+These are classic pytest-benchmark measurements (multiple rounds) of the
+library's hot paths, complementing the one-shot figure regenerations.
+"""
+
+import pytest
+
+from repro.analysis.cdg import build_cdg
+from repro.config import SimulationConfig
+from repro.core.optimizer import CompositionOptimizer
+from repro.core.tables import build_selection_tables
+from repro.core.vl_selection import SelectionProblem
+from repro.network.simulator import Simulator
+from repro.routing.deft import DeftRouting
+from repro.topology.presets import baseline_4_chiplets
+from repro.traffic.synthetic import UniformTraffic
+
+
+@pytest.fixture(scope="module")
+def system():
+    return baseline_4_chiplets()
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_simulator_cycles_per_second(benchmark, system):
+    """1000 loaded cycles of the 128-router baseline under DeFT."""
+    config = SimulationConfig(
+        warmup_cycles=0, measure_cycles=1_000, drain_cycles=0, watchdog_cycles=0
+    )
+
+    def run_window():
+        simulator = Simulator(
+            system, DeftRouting(system), UniformTraffic(system, 0.006, seed=3), config
+        )
+        simulator.run_cycles(1_000)
+        return simulator
+
+    simulator = benchmark(run_window)
+    assert simulator.stats.flit_hops > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_offline_table_construction(benchmark, system):
+    """Algorithm 2 across all chiplets and all 15 fault scenarios."""
+    tables = benchmark(build_selection_tables, system)
+    assert tables[0].num_entries == 15
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_composition_optimizer_single_instance(benchmark):
+    """One 16-router / 4-VL selection instance (a single LUT entry)."""
+    problem = SelectionProblem.uniform(
+        [(x, y) for y in range(4) for x in range(4)],
+        [(1, 0), (2, 0), (1, 3), (2, 3)],
+    )
+    result = benchmark(CompositionOptimizer().optimize, problem)
+    assert result.cost >= 0
+
+
+@pytest.mark.benchmark(group="substrate", min_rounds=1, max_time=5.0)
+def test_cdg_construction(benchmark, system):
+    """Full channel-dependency-graph build over every PE pair."""
+    report = benchmark.pedantic(
+        lambda: build_cdg(system, DeftRouting(system)), rounds=1, iterations=1
+    )
+    assert report.is_acyclic

@@ -1,0 +1,27 @@
+"""Table I — router area and power at 45 nm / 1 GHz.
+
+Prints the four router estimates (absolute + normalized to MTR) next to
+the paper's published values and asserts the <2% area / <1% power DeFT
+overhead and the >10% RC boundary-router overhead.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.power.model import RouterParams, table1 as estimate_table1
+
+from conftest import assert_and_print
+
+
+@pytest.mark.benchmark(group="table1", min_rounds=1, max_time=1.0)
+def test_table1_area_power(benchmark, record_result):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    assert_and_print(result, record_result)
+
+
+@pytest.mark.benchmark(group="table1-micro")
+def test_model_evaluation_speed(benchmark):
+    """The analytical model itself (used inside design-space loops)."""
+    params = RouterParams()
+    estimates = benchmark(estimate_table1, params)
+    assert estimates["DeFT"].area_um2 > 0

@@ -1,0 +1,77 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one artifact of the paper (figure or
+table), printing the same rows/series the paper reports and asserting the
+qualitative shape checks of DESIGN.md §2. Numeric results are also dumped
+to ``benchmarks/results/*.json`` so EXPERIMENTS.md can reference the last
+measured values.
+
+``REPRO_EXPERIMENT_SCALE`` (float, default 1.0) scales every simulated
+window for quicker runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture()
+def record_result():
+    """Persist an experiment's data dict as JSON for EXPERIMENTS.md."""
+
+    def _record(result):
+        path = RESULTS_DIR / f"{result.experiment_id}.json"
+        payload = {
+            "experiment": result.experiment_id,
+            "title": result.title,
+            "data": result.data,
+            "checks": [
+                {"description": description, "passed": passed}
+                for description, passed in result.checks
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, default=str))
+        return path
+
+    return _record
+
+
+#: Reports collected during the session, replayed uncaptured at the end.
+_SESSION_REPORTS: list[str] = []
+
+
+def assert_and_print(result, record_result):
+    """Shared epilogue: print the paper-style report, persist, assert."""
+    from repro.experiments.common import format_report
+
+    text = format_report(result)
+    print()
+    print(text)
+    _SESSION_REPORTS.append(text)
+    record_result(result)
+    assert result.all_checks_pass, f"shape checks failed: {result.failed_checks()}"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay the paper-style reports after the benchmark table.
+
+    Ordinary ``print`` output is captured by pytest; the terminal summary
+    is not, so the regenerated rows/series land in the console (and in
+    ``bench_output.txt`` when tee'd) even without ``-s``.
+    """
+    if not _SESSION_REPORTS:
+        return
+    terminalreporter.section("regenerated paper artifacts")
+    for text in _SESSION_REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Deadlock demonstration: the Fig. 1 motivation, made executable.
+
+Two complementary views of why 2.5D chiplet networks deadlock without
+protection, and why DeFT does not:
+
+1. **Static** — build the channel dependency graph (CDG) of an
+   unprotected nearest-VL routing (each chiplet internally deadlock-free
+   XY) and exhibit a concrete cyclic dependency spanning chiplets and
+   interposer. DeFT's CDG over (channel, virtual-network) pairs is
+   acyclic — the executable version of the paper's Rules 1-3 proof.
+2. **Dynamic** — run both configurations under heavy uniform traffic;
+   the simulator's no-progress watchdog catches the unprotected network
+   wedged, while DeFT keeps delivering.
+
+Run:  python examples/deadlock_demo.py
+"""
+
+from repro import DeftRouting, SimulationConfig, Simulator, UniformTraffic, baseline_4_chiplets
+from repro.analysis.cdg import build_cdg
+from repro.routing.naive import NaiveRouting
+
+
+def describe_channel(system, channel) -> str:
+    (link, vn) = channel
+    if isinstance(link[0], str):
+        return f"[{link[0]} @router {link[1]}]"
+    a, b = system.routers[link[0]], system.routers[link[1]]
+
+    def where(r):
+        return "interposer" if r.is_interposer else f"chiplet {r.layer}"
+
+    kind = "vertical" if a.layer != b.layer else "mesh"
+    return f"{kind} {where(a)}({a.x},{a.y})->{where(b)}({b.x},{b.y}) VN{vn}"
+
+
+def main() -> None:
+    system = baseline_4_chiplets()
+
+    print("=== Static analysis: channel dependency graphs ===")
+    naive_report = build_cdg(system, NaiveRouting(system))
+    print(f"unprotected routing: acyclic={naive_report.is_acyclic}")
+    cycle = naive_report.cycle()
+    print(f"  found a {len(cycle)}-channel dependency cycle; first hops:")
+    for channel in cycle[:6]:
+        print(f"    {describe_channel(system, channel)}")
+    print("    ... (the cycle crosses chiplets through the interposer,")
+    print("         exactly the buffer-wait loop sketched in Fig. 1)")
+
+    deft_report = build_cdg(system, DeftRouting(system))
+    print(f"\nDeFT: acyclic={deft_report.is_acyclic} over "
+          f"{deft_report.graph.number_of_nodes()} (channel, VN) nodes - "
+          "Rules 1-3 leave no cycle.")
+
+    print("\n=== Dynamic confirmation: heavy load until wedged ===")
+    config = SimulationConfig(
+        warmup_cycles=0, measure_cycles=4_000, drain_cycles=0,
+        num_vcs=1, watchdog_cycles=1_500,
+    )
+    traffic = UniformTraffic(system, rate=0.03, seed=1)
+    report = Simulator(system, NaiveRouting(system), traffic, config).run()
+    print(f"unprotected, 1 VC, rate 0.03: deadlocked={report.deadlocked} "
+          f"after delivering {report.stats.packets_delivered} packets")
+
+    config = config.replace(num_vcs=2)
+    traffic = UniformTraffic(system, rate=0.03, seed=1)
+    report = Simulator(system, DeftRouting(system), traffic, config).run()
+    print(f"DeFT, 2 VCs, same load:       deadlocked={report.deadlocked}, "
+          f"delivered {report.stats.packets_delivered} packets")
+
+
+if __name__ == "__main__":
+    main()

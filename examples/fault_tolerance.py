@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Fault tolerance: how DeFT, MTR and RC react to dying vertical links.
+
+Progressively kills VL channels on the baseline system and, for each
+algorithm, reports (a) the exact network reachability and (b) a short
+simulation showing delivered ratio and latency. Also prints DeFT's
+re-optimized VL-selection map (the Fig. 3 behaviour) before and after a
+fault.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import (
+    DirectedVL,
+    FaultState,
+    SimulationConfig,
+    Simulator,
+    UniformTraffic,
+    VLDirection,
+    baseline_4_chiplets,
+    make_algorithm,
+)
+from repro.analysis.reachability import reachability_of_state
+from repro.core.tables import build_selection_tables
+
+
+def selection_map(system, chiplet: int, faulty_locals: frozenset) -> str:
+    """Render the optimized selection of one chiplet as a Fig. 3-style map."""
+    tables = build_selection_tables(system)
+    selection = tables[chiplet].lookup(faulty_locals)
+    spec = system.spec.chiplets[chiplet]
+    links = system.vls_of_chiplet(chiplet)
+    lines = []
+    for y in range(spec.height):
+        row = []
+        for x in range(spec.width):
+            index = y * spec.width + x
+            vl_here = any(l.cx == x and l.cy == y for l in links)
+            row.append(f"{selection[index]}{'*' if vl_here else ' '}")
+        lines.append("    " + " ".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    system = baseline_4_chiplets()
+    config = SimulationConfig(warmup_cycles=300, measure_cycles=1_500)
+
+    print("DeFT's offline-optimized VL selection for chiplet 0 (fault-free):")
+    print(selection_map(system, 0, frozenset()))
+    print("\n...and after losing VL 0 (note the rebalanced 5/5/6 split,")
+    print("   not the naive closest-VL 8/4/4 of Fig. 3(b)):")
+    print(selection_map(system, 0, frozenset({0})))
+
+    # Grow a fault pattern: one, then four, then eight directed channels.
+    patterns = {
+        "1 faulty VL (3.1%)": [DirectedVL(0, VLDirection.DOWN)],
+        "4 faulty VLs (12.5%)": [
+            DirectedVL(vl, VLDirection.DOWN) for vl in (0, 5, 10, 15)
+        ],
+        "8 faulty VLs (25%)": [
+            DirectedVL(vl, VLDirection.DOWN) for vl in (0, 5, 10, 15)
+        ] + [DirectedVL(vl, VLDirection.UP) for vl in (2, 7, 8, 13)],
+    }
+
+    for label, faults in patterns.items():
+        state = FaultState(system, faults)
+        print(f"\n=== {label} ===")
+        print(f"{'algorithm':>8s} {'reachability':>13s} {'delivered':>10s} {'latency':>9s}")
+        for name in ("deft", "mtr", "rc"):
+            algorithm = make_algorithm(name, system)
+            reach = reachability_of_state(system, algorithm, state)
+            algorithm.set_fault_state(state)
+            traffic = UniformTraffic(system, rate=0.005, seed=4)
+            report = Simulator(system, algorithm, traffic, config).run()
+            print(
+                f"{name:>8s} {reach * 100:12.2f}% "
+                f"{report.delivered_ratio * 100:9.1f}% "
+                f"{report.average_latency:8.1f}c"
+            )
+    print("\nDeFT keeps 100% reachability under every pattern; the")
+    print("baselines drop packets whose statically bound VLs died.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Multi-application CMP workloads (the Fig. 6(b) scenario).
+
+Co-runs two PARSEC-like applications on 32 cores each (chiplets 0-1 vs
+chiplets 2-3) with shared L2 banks and coherence directories on the
+interposer, and compares DeFT against MTR and RC as the combined load
+grows — the scenario where the paper reports DeFT's largest gains.
+
+Run:  python examples/multi_app_workloads.py
+"""
+
+from repro import SimulationConfig, Simulator, baseline_4_chiplets, make_algorithm
+from repro.traffic.parsec import APP_PROFILES, app_pair_load, two_app_workload
+
+
+def main() -> None:
+    system = baseline_4_chiplets()
+    config = SimulationConfig(warmup_cycles=400, measure_cycles=2_000)
+
+    pairs = [("FA", "FL"), ("BO", "CA"), ("ST", "FL")]  # light / mid / heavy
+    print(f"{'pair':>8s} {'load':>7s} {'DeFT':>8s} {'MTR':>8s} {'RC':>8s} "
+          f"{'vs MTR':>8s} {'vs RC':>8s}")
+    for app_a, app_b in pairs:
+        latencies = {}
+        for name in ("deft", "mtr", "rc"):
+            algorithm = make_algorithm(name, system)
+            traffic = two_app_workload(system, app_a, app_b, seed=3, load_scale=0.85)
+            report = Simulator(system, algorithm, traffic, config).run()
+            latencies[name] = report.average_latency
+        vs_mtr = (latencies["mtr"] - latencies["deft"]) / latencies["mtr"] * 100
+        vs_rc = (latencies["rc"] - latencies["deft"]) / latencies["rc"] * 100
+        print(
+            f"{app_a + '+' + app_b:>8s} {app_pair_load(app_a, app_b):7.3f} "
+            f"{latencies['deft']:7.1f}c {latencies['mtr']:7.1f}c "
+            f"{latencies['rc']:7.1f}c {vs_mtr:7.1f}% {vs_rc:7.1f}%"
+        )
+
+    print("\nApplication profiles (total network load, locality, L2 share):")
+    for code, profile in sorted(APP_PROFILES.items()):
+        print(
+            f"  {code} {profile.name:<14s} load={profile.total_load:.3f} "
+            f"local={profile.local_fraction:.0%} l2={profile.l2_fraction:.0%} "
+            f"burst={profile.burstiness:.1f}"
+        )
+    print("\nDeFT's advantage grows with load: balanced VNs + balanced VL")
+    print("selection postpone saturation under shared-L2 contention.")
+
+
+if __name__ == "__main__":
+    main()

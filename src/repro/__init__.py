@@ -1,0 +1,117 @@
+"""DeFT: deadlock-free and fault-tolerant routing for 2.5D chiplet networks.
+
+A from-scratch Python reproduction of Taheri, Pasricha and Nikdast,
+"DeFT: A Deadlock-Free and Fault-Tolerant Routing Algorithm for 2.5D
+Chiplet Networks" (DATE 2022), including the cycle-accurate 2.5D NoC
+substrate, the DeFT algorithm, the MTR and RC baselines, the traffic and
+fault models, and harnesses regenerating every figure and table of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        SimulationConfig, Simulator, baseline_4_chiplets,
+        DeftRouting, UniformTraffic,
+    )
+
+    system = baseline_4_chiplets()
+    algo = DeftRouting(system)
+    traffic = UniformTraffic(system, rate=0.004, seed=1)
+    report = Simulator(system, algo, traffic, SimulationConfig()).run()
+    print(report.summary())
+"""
+
+from .config import SimulationConfig, SweepConfig
+from .errors import (
+    ConfigurationError,
+    DeadlockError,
+    FaultModelError,
+    OptimizationError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+    UnroutablePacketError,
+)
+from .topology import (
+    System,
+    SystemSpec,
+    ChipletSpec,
+    baseline_4_chiplets,
+    baseline_6_chiplets,
+    build_system,
+    chiplet_grid,
+    single_chiplet,
+)
+from .fault import (
+    DirectedVL,
+    FaultState,
+    VLDirection,
+    chiplet_fault_pattern,
+    fault_free,
+    random_fault_state,
+)
+from .network import Simulator, SimulationReport
+from .routing import (
+    DeftRouting,
+    MtrRouting,
+    Port,
+    RcRouting,
+    RoutingAlgorithm,
+    VlSelectionStrategy,
+    available_algorithms,
+    make_algorithm,
+)
+from .traffic import (
+    HotspotTraffic,
+    LocalizedTraffic,
+    MultiApplicationTraffic,
+    ParsecLikeTraffic,
+    TrafficGenerator,
+    UniformTraffic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "SweepConfig",
+    "ReproError",
+    "TopologyError",
+    "ConfigurationError",
+    "RoutingError",
+    "UnroutablePacketError",
+    "DeadlockError",
+    "OptimizationError",
+    "FaultModelError",
+    "System",
+    "SystemSpec",
+    "ChipletSpec",
+    "baseline_4_chiplets",
+    "baseline_6_chiplets",
+    "build_system",
+    "chiplet_grid",
+    "single_chiplet",
+    "DirectedVL",
+    "FaultState",
+    "VLDirection",
+    "chiplet_fault_pattern",
+    "fault_free",
+    "random_fault_state",
+    "Simulator",
+    "SimulationReport",
+    "DeftRouting",
+    "MtrRouting",
+    "RcRouting",
+    "Port",
+    "RoutingAlgorithm",
+    "VlSelectionStrategy",
+    "available_algorithms",
+    "make_algorithm",
+    "TrafficGenerator",
+    "UniformTraffic",
+    "LocalizedTraffic",
+    "HotspotTraffic",
+    "ParsecLikeTraffic",
+    "MultiApplicationTraffic",
+    "__version__",
+]

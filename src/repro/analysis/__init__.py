@@ -1,0 +1,39 @@
+"""Static analyses: deadlock (channel-dependency graphs) and reachability.
+
+* :mod:`repro.analysis.cdg` — builds the (channel, VC)-level dependency
+  graph induced by a routing algorithm over every source/destination pair
+  and checks it for cycles. DeFT/MTR/RC are verified acyclic; the naive
+  unprotected configuration reproduces the cyclic dependency of Fig. 1.
+* :mod:`repro.analysis.reachability` — exact average/worst-case network
+  reachability under k faulty directed VL channels (Fig. 7) via
+  per-chiplet decomposition + dynamic programming, with brute-force and
+  Monte-Carlo validators.
+"""
+
+from .cdg import CdgReport, build_cdg, find_dependency_cycle
+from .wear import VlWearReport, vl_wear_report, wear_summary_row
+from .reachability import (
+    ReachabilityCurve,
+    average_reachability,
+    brute_force_reachability,
+    monte_carlo_reachability,
+    reachability_curve,
+    reachability_of_state,
+    worst_reachability,
+)
+
+__all__ = [
+    "CdgReport",
+    "build_cdg",
+    "find_dependency_cycle",
+    "VlWearReport",
+    "vl_wear_report",
+    "wear_summary_row",
+    "ReachabilityCurve",
+    "average_reachability",
+    "brute_force_reachability",
+    "monte_carlo_reachability",
+    "reachability_curve",
+    "reachability_of_state",
+    "worst_reachability",
+]

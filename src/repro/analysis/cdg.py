@@ -1,0 +1,185 @@
+"""Channel-dependency-graph deadlock analysis.
+
+Following Dally & Seitz, a routing function is deadlock-free on a network
+iff its channel dependency graph (CDG) is acyclic. Nodes here are
+*(directed physical link, virtual network)* pairs; an edge ``c1 -> c2``
+means some packet can hold ``c1`` while requesting ``c2``.
+
+The graph is built by symbolically walking every (source, destination)
+pair through the actual routing implementation, branching over every
+virtual network the algorithm permits at each hop — so the analysis
+verifies the *code*, not a paper model of it. The RC baseline's
+whole-packet buffer is modelled as a dependency break: chains end when a
+packet is absorbed at the boundary router and restart from the RC buffer
+(the RC paper's argument; the buffer is granted before injection, so
+nothing ever waits on it while holding channels).
+
+Outputs:
+
+* :func:`build_cdg` — the networkx digraph plus bookkeeping.
+* :func:`find_dependency_cycle` — a concrete cyclic dependency (list of
+  channels) or ``None``; DeFT/MTR/RC must return ``None``; the naive
+  configuration of Fig. 1 must not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import networkx as nx
+
+from ..network.flit import Packet
+from ..routing.base import Port, RoutingAlgorithm, opposite_port
+from ..errors import UnroutablePacketError
+from ..topology.builder import System
+
+#: Maximum hops walked per pair before declaring the route non-minimal.
+_MAX_HOPS = 256
+
+Channel = tuple[Hashable, int]  # ((from_router, to_router), vn)
+
+
+@dataclass
+class CdgReport:
+    """Result of a CDG construction."""
+
+    graph: nx.DiGraph
+    pairs_walked: int
+    unroutable_pairs: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def cycle(self) -> list[Channel] | None:
+        """A concrete dependency cycle, or None when acyclic."""
+        try:
+            edges = nx.find_cycle(self.graph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [edge[0] for edge in edges]
+
+
+def _link_of(system: System, router_id: int, out_port: Port) -> tuple[int, int]:
+    """The directed physical link leaving ``router_id`` through ``out_port``."""
+    router = system.routers[router_id]
+    if out_port == Port.VERTICAL:
+        assert router.vertical_neighbor is not None
+        return (router_id, router.vertical_neighbor)
+    neighbor = router.neighbors[out_port]  # Port EAST..SOUTH == Direction
+    return (router_id, neighbor)
+
+
+def _walk_pair(
+    system: System,
+    algorithm: RoutingAlgorithm,
+    graph: nx.DiGraph,
+    src: int,
+    dst: int,
+    rc_breaks: bool,
+) -> None:
+    """Add every dependency of the (src, dst) routes to the graph.
+
+    Walks a symbolic packet with a frontier of (router, in_port, vn,
+    holding-channel) states, branching over each VN the algorithm allows.
+    """
+    probe = Packet(0, src, dst, size=8, created_cycle=0)
+    # Algorithm 1 round-robins the injection VN for several source kinds;
+    # prepare twice to collect every start VN the source may use.
+    start_vns: set[int] = set()
+    for _ in range(2):
+        algorithm.prepare_packet(probe)
+        start_vns.add(probe.vn)
+    # State: (router, in_port, vn, held channel or None)
+    frontier: list[tuple[int, Port, int, Channel | None]] = [
+        (src, Port.LOCAL, vn, None) for vn in sorted(start_vns)
+    ]
+    seen: set[tuple[int, Port, int, Channel | None]] = set()
+    hops = 0
+    while frontier:
+        hops += 1
+        if hops > _MAX_HOPS * 4:
+            raise RuntimeError(f"CDG walk did not terminate for pair {src}->{dst}")
+        state = frontier.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        router_id, in_port, vn, held = state
+        probe.vn = vn
+        decision = algorithm.route(probe, router_id, in_port)
+        if decision.out_port == Port.LOCAL:
+            continue  # ejection consumes; no further dependency
+        link = _link_of(system, router_id, decision.out_port)
+        breaks_here = (
+            rc_breaks
+            and probe.needs_rc
+            and decision.out_port == Port.VERTICAL
+            and not system.routers[router_id].is_interposer
+        )
+        next_router = link[1]
+        next_in = _arrival_port(system, router_id, next_router, decision.out_port)
+        for out_vn in decision.allowed_vns:
+            out_channel: Channel = (link, out_vn)
+            graph.add_node(out_channel)
+            if held is not None and not breaks_here:
+                graph.add_edge(held, out_channel)
+            if breaks_here:
+                # Chain restarts from the RC buffer: model the buffer as a
+                # source node feeding the down link (no inbound edges).
+                graph.add_edge((("rcbuf", router_id), 0), out_channel)
+            frontier.append((next_router, next_in, out_vn, out_channel))
+
+
+def _arrival_port(system: System, from_router: int, to_router: int, out_port: Port) -> Port:
+    """Input port at ``to_router`` for a flit leaving via ``out_port``."""
+    if out_port == Port.VERTICAL:
+        return Port.VERTICAL
+    return opposite_port(out_port)
+
+
+def build_cdg(
+    system: System,
+    algorithm: RoutingAlgorithm,
+    sources: tuple[int, ...] | None = None,
+    destinations: tuple[int, ...] | None = None,
+) -> CdgReport:
+    """Construct the CDG of an algorithm over all PE pairs.
+
+    Args:
+        system: the 2.5D system.
+        algorithm: the routing algorithm (its *current* fault state is
+            honoured, so the analysis can also verify faulted networks).
+        sources / destinations: override the default of every PE
+            (cores + DRAMs).
+    """
+    graph = nx.DiGraph()
+    rc_breaks = any(algorithm.uses_rc_buffer(r.id) for r in system.routers)
+    sources = sources if sources is not None else system.pes
+    destinations = destinations if destinations is not None else system.pes
+    algorithm.reset_runtime_state()
+    walked = 0
+    unroutable = 0
+    for src in sources:
+        for dst in destinations:
+            if src == dst:
+                continue
+            if not algorithm.is_routable(src, dst):
+                unroutable += 1
+                continue
+            try:
+                _walk_pair(system, algorithm, graph, src, dst, rc_breaks)
+            except UnroutablePacketError:
+                unroutable += 1
+                continue
+            walked += 1
+    algorithm.reset_runtime_state()
+    return CdgReport(graph=graph, pairs_walked=walked, unroutable_pairs=unroutable)
+
+
+def find_dependency_cycle(
+    system: System, algorithm: RoutingAlgorithm
+) -> list[Channel] | None:
+    """Convenience: build the CDG and return a cycle (or None if acyclic)."""
+    return build_cdg(system, algorithm).cycle()

@@ -1,0 +1,290 @@
+"""Exact reachability analysis under VL faults (Fig. 7).
+
+The paper defines reachability as "the ratio of packets that can be
+successfully routed, to the total number of injected packets" and reports
+the average and worst case over *all combinations* of k faulty directed
+VL channels, excluding patterns that disconnect a chiplet. Enumerating
+C(32, 8) = 10.5M patterns per point is wasteful; this module computes the
+same quantities *exactly* by decomposition:
+
+1. For each of the three algorithms, routability of a core pair (s, d)
+   with s on chiplet A and d on chiplet B factorizes as
+   ``send_ok(s | down-faults of A) AND deliver_ok(d | up-faults of B)``
+   (verified by the test-suite against the algorithms' own
+   ``is_routable``). Intra-chiplet pairs are always routable.
+2. Per chiplet, enumerate every local fault pattern (2^V - 1 admissible
+   down patterns x 2^V - 1 up patterns) and record ``S(p)`` = number of
+   senders alive and ``D(q)`` = number of deliverable destinations.
+3. The number of reachable cross pairs for a global pattern is
+   ``(sum_A S_A)(sum_B D_B) - sum_A S_A * D_A``. Averages over all
+   k-fault patterns follow from a chiplet-by-chiplet convolution that
+   tracks the moment sums (count, sum S, sum D, sum S*sum D, sum S*D);
+   the worst case follows from a DP over (faults, sum S, sum D) keeping
+   the minimal sum of per-chiplet S*D products.
+
+Both are exact; :func:`brute_force_reachability` and
+:func:`monte_carlo_reachability` exist to validate them on small k.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from ..errors import FaultModelError
+from ..fault.model import DirectedVL, FaultState, VLDirection, all_fault_patterns
+from ..routing.base import RoutingAlgorithm
+from ..topology.builder import System
+from ..topology.geometry import INTERPOSER_LAYER
+
+
+@dataclass(frozen=True)
+class _ChipletState:
+    """One admissible per-chiplet local fault assignment."""
+
+    faults: int      # |down pattern| + |up pattern|
+    senders: int     # S(p): routers that can still send inter-chiplet
+    receivers: int   # D(q): routers that can still be delivered to
+    count: int = 1   # how many (p, q) pattern pairs share this signature
+
+
+class _ChipletProfile:
+    """Per-chiplet enumeration of fault patterns -> (S, D) signatures."""
+
+    def __init__(self, system: System, algorithm: RoutingAlgorithm, chiplet: int,
+                 witness_src: int, witness_dst: int):
+        self.chiplet = chiplet
+        links = system.vls_of_chiplet(chiplet)
+        routers = [r.id for r in system.chiplet_routers(chiplet)]
+        self.num_routers = len(routers)
+        num_vls = len(links)
+        # S(p) for every admissible down pattern p (p != full set).
+        self.senders: dict[frozenset[int], int] = {}
+        # D(q) for every admissible up pattern q.
+        self.receivers: dict[frozenset[int], int] = {}
+        original = algorithm.fault_state
+        try:
+            for size in range(num_vls):
+                for combo in itertools.combinations(range(num_vls), size):
+                    pattern = frozenset(combo)
+                    down_faults = [
+                        DirectedVL(links[i].index, VLDirection.DOWN) for i in combo
+                    ]
+                    algorithm.set_fault_state(FaultState(system, down_faults))
+                    self.senders[pattern] = sum(
+                        1 for r in routers if algorithm.is_routable(r, witness_dst)
+                    )
+                    up_faults = [
+                        DirectedVL(links[i].index, VLDirection.UP) for i in combo
+                    ]
+                    algorithm.set_fault_state(FaultState(system, up_faults))
+                    self.receivers[pattern] = sum(
+                        1 for r in routers if algorithm.is_routable(witness_src, r)
+                    )
+        finally:
+            algorithm.set_fault_state(original)
+
+    def states(self) -> list[_ChipletState]:
+        """All (down, up) pattern combinations, collapsed by signature."""
+        collapsed: dict[tuple[int, int, int], int] = {}
+        for p, s in self.senders.items():
+            for q, d in self.receivers.items():
+                key = (len(p) + len(q), s, d)
+                collapsed[key] = collapsed.get(key, 0) + 1
+        return [
+            _ChipletState(faults=f, senders=s, receivers=d, count=c)
+            for (f, s, d), c in sorted(collapsed.items())
+        ]
+
+
+def _profiles(system: System, algorithm: RoutingAlgorithm) -> list[_ChipletProfile]:
+    """Build per-chiplet profiles, using witnesses on a different chiplet."""
+    num_chiplets = system.spec.num_chiplets
+    if num_chiplets < 2:
+        raise FaultModelError("reachability analysis needs at least two chiplets")
+    profiles = []
+    for chiplet in range(num_chiplets):
+        other = (chiplet + 1) % num_chiplets
+        witness = system.chiplet_routers(other)[0].id
+        profiles.append(_ChipletProfile(system, algorithm, chiplet, witness, witness))
+    return profiles
+
+
+def _pair_totals(system: System) -> tuple[int, int]:
+    """(intra-chiplet ordered pairs, total ordered core pairs)."""
+    sizes = [len(system.chiplet_routers(c)) for c in range(system.spec.num_chiplets)]
+    total_cores = sum(sizes)
+    intra = sum(n * (n - 1) for n in sizes)
+    total = total_cores * (total_cores - 1)
+    return intra, total
+
+
+# ---------------------------------------------------------------------------
+# exact average
+# ---------------------------------------------------------------------------
+
+def average_reachability(
+    system: System, algorithm: RoutingAlgorithm, num_faults: int
+) -> float:
+    """Exact mean reachability over all admissible ``num_faults`` patterns.
+
+    Convolves per-chiplet states while tracking, for every running fault
+    count: the pattern count W, the sums of ``sum S`` (P), ``sum D`` (Q),
+    ``(sum S)(sum D)`` (X) and ``sum S*D`` (Y). The expected number of
+    reachable cross pairs is ``(X - Y) / W`` at ``num_faults``.
+    """
+    profiles = _profiles(system, algorithm)
+    max_f = num_faults
+    # moments[f] = [W, P, Q, X, Y]
+    moments: list[list[float]] = [[0.0] * 5 for _ in range(max_f + 1)]
+    moments[0][0] = 1.0
+    for profile in profiles:
+        nxt: list[list[float]] = [[0.0] * 5 for _ in range(max_f + 1)]
+        for f in range(max_f + 1):
+            W, P, Q, X, Y = moments[f]
+            if W == 0 and P == 0 and Q == 0 and X == 0 and Y == 0:
+                continue
+            for state in profile.states():
+                nf = f + state.faults
+                if nf > max_f:
+                    continue
+                c, s, d = state.count, state.senders, state.receivers
+                row = nxt[nf]
+                row[0] += c * W
+                row[1] += c * (P + s * W)
+                row[2] += c * (Q + d * W)
+                row[3] += c * (X + s * Q + d * P + s * d * W)
+                row[4] += c * (Y + s * d * W)
+        moments = nxt
+    W, _, _, X, Y = moments[num_faults]
+    if W == 0:
+        raise FaultModelError(
+            f"no admissible fault pattern with {num_faults} faults"
+        )
+    intra, total = _pair_totals(system)
+    expected_cross = (X - Y) / W
+    return (intra + expected_cross) / total
+
+
+# ---------------------------------------------------------------------------
+# exact worst case
+# ---------------------------------------------------------------------------
+
+def worst_reachability(
+    system: System, algorithm: RoutingAlgorithm, num_faults: int
+) -> float:
+    """Exact minimum reachability over all admissible patterns.
+
+    DP over chiplets with state (faults used, sum S, sum D) keeping the
+    minimal achievable ``sum_A S_A * D_A``; the final objective
+    ``(sum S)(sum D) - min sum S*D`` is minimized over end states with
+    exactly ``num_faults`` faults.
+    """
+    profiles = _profiles(system, algorithm)
+    # dp: {(f, sumS, sumD): min sum of S*D}
+    dp: dict[tuple[int, int, int], int] = {(0, 0, 0): 0}
+    for profile in profiles:
+        states = profile.states()
+        nxt: dict[tuple[int, int, int], int] = {}
+        for (f, ss, sd), y in dp.items():
+            for state in states:
+                nf = f + state.faults
+                if nf > num_faults:
+                    continue
+                key = (nf, ss + state.senders, sd + state.receivers)
+                value = y + state.senders * state.receivers
+                if key not in nxt or value < nxt[key]:
+                    nxt[key] = value
+        dp = nxt
+    candidates = [
+        ss * sd - y for (f, ss, sd), y in dp.items() if f == num_faults
+    ]
+    if not candidates:
+        raise FaultModelError(
+            f"no admissible fault pattern with {num_faults} faults"
+        )
+    intra, total = _pair_totals(system)
+    return (intra + min(candidates)) / total
+
+
+# ---------------------------------------------------------------------------
+# validators
+# ---------------------------------------------------------------------------
+
+def reachability_of_state(
+    system: System, algorithm: RoutingAlgorithm, state: FaultState
+) -> float:
+    """Reachable fraction of ordered core pairs for one concrete pattern."""
+    original = algorithm.fault_state
+    algorithm.set_fault_state(state)
+    try:
+        cores = system.cores
+        reachable = sum(
+            1
+            for s in cores
+            for d in cores
+            if s != d and algorithm.is_routable(s, d)
+        )
+    finally:
+        algorithm.set_fault_state(original)
+    total = len(cores) * (len(cores) - 1)
+    return reachable / total
+
+
+def brute_force_reachability(
+    system: System, algorithm: RoutingAlgorithm, num_faults: int
+) -> tuple[float, float]:
+    """(average, worst) by full enumeration — exponential, for validation."""
+    values = [
+        reachability_of_state(system, algorithm, state)
+        for state in all_fault_patterns(system, num_faults)
+    ]
+    if not values:
+        raise FaultModelError(f"no admissible pattern with {num_faults} faults")
+    return sum(values) / len(values), min(values)
+
+
+def monte_carlo_reachability(
+    system: System,
+    algorithm: RoutingAlgorithm,
+    num_faults: int,
+    samples: int = 200,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """(mean, min) over sampled patterns — for statistical validation."""
+    rng = random.Random(seed)
+    from ..fault.model import random_fault_state
+
+    values = []
+    for _ in range(samples):
+        state = random_fault_state(system, num_faults, rng)
+        values.append(reachability_of_state(system, algorithm, state))
+    return sum(values) / len(values), min(values)
+
+
+# ---------------------------------------------------------------------------
+# figure-level API
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReachabilityCurve:
+    """Average and worst-case reachability per fault count (one Fig. 7 line pair)."""
+
+    algorithm: str
+    fault_counts: tuple[int, ...]
+    average: list[float] = field(default_factory=list)
+    worst: list[float] = field(default_factory=list)
+
+
+def reachability_curve(
+    system: System,
+    algorithm: RoutingAlgorithm,
+    fault_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+) -> ReachabilityCurve:
+    """Compute the Fig. 7 curve (average + worst) for one algorithm."""
+    curve = ReachabilityCurve(algorithm=algorithm.name, fault_counts=fault_counts)
+    for k in fault_counts:
+        curve.average.append(average_reachability(system, algorithm, k))
+        curve.worst.append(worst_reachability(system, algorithm, k))
+    return curve

@@ -1,0 +1,349 @@
+"""``deft`` command-line interface.
+
+Subcommands:
+
+* ``deft info`` — describe the preset systems.
+* ``deft simulate`` — one simulation run (system x algorithm x traffic).
+* ``deft sweep`` — latency vs injection-rate sweep.
+* ``deft reachability`` — exact Fig. 7-style reachability numbers.
+* ``deft optimize`` — run the offline VL-selection optimization and print
+  the per-router selection map (the Fig. 3 visualization).
+* ``deft area`` — the Table I area/power model.
+* ``deft experiment <id|all>`` — regenerate a paper artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analysis.reachability import average_reachability, worst_reachability
+from .config import SimulationConfig
+from .core.tables import build_selection_tables
+from .experiments import ablations, fig4, fig5, fig6, fig7, fig8, table1
+from .experiments.common import ExperimentResult, format_report
+from .fault.model import DirectedVL, FaultState, VLDirection
+from .network.simulator import Simulator
+from .routing.registry import available_algorithms, make_algorithm
+from .topology.builder import System
+from .topology.presets import baseline_4_chiplets, baseline_6_chiplets, chiplet_grid
+from .traffic.synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    LocalizedTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+)
+
+_TRAFFIC = {
+    "uniform": UniformTraffic,
+    "localized": LocalizedTraffic,
+    "hotspot": HotspotTraffic,
+    "transpose": TransposeTraffic,
+    "bit-complement": BitComplementTraffic,
+}
+
+_EXPERIMENTS = {
+    "fig4a": lambda scale: [fig4.fig4a(scale)],
+    "fig4b": lambda scale: [fig4.fig4b(scale)],
+    "fig4c": lambda scale: [fig4.fig4c(scale)],
+    "fig4d": lambda scale: [fig4.fig4d(scale)],
+    "fig4": fig4.run,
+    "fig5": lambda scale: [fig5.run(scale)],
+    "fig6a": lambda scale: [fig6.fig6a(scale)],
+    "fig6b": lambda scale: [fig6.fig6b(scale)],
+    "fig6": fig6.run,
+    "fig7a": lambda scale: [fig7.fig7a()],
+    "fig7b": lambda scale: [fig7.fig7b()],
+    "fig7": fig7.run,
+    "fig8a": lambda scale: [fig8.fig8a(scale)],
+    "fig8b": lambda scale: [fig8.fig8b(scale)],
+    "fig8": fig8.run,
+    "table1": lambda scale: [table1.run(scale)],
+    "ablations": ablations.run,
+}
+
+
+def _system_from_args(args: argparse.Namespace) -> System:
+    if args.system == "4":
+        return baseline_4_chiplets()
+    if args.system == "6":
+        return baseline_6_chiplets()
+    cols, rows = (int(p) for p in args.system.split("x"))
+    return chiplet_grid(cols, rows)
+
+
+def _add_system_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system",
+        default="4",
+        help="'4' (baseline), '6' (scaled), or COLSxROWS of 4x4 chiplets",
+    )
+
+
+def _fault_state_from_args(system: System, args: argparse.Namespace) -> FaultState:
+    faults = []
+    for spec in args.fault or []:
+        vl_text, _, direction_text = spec.partition(":")
+        direction = VLDirection.DOWN if direction_text.lower() != "up" else VLDirection.UP
+        faults.append(DirectedVL(int(vl_text), direction))
+    return FaultState(system, faults)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    for system in (baseline_4_chiplets(), baseline_6_chiplets()):
+        print(system.spec.describe())
+        for chiplet in range(system.spec.num_chiplets):
+            links = system.vls_of_chiplet(chiplet)
+            positions = ", ".join(f"({link.cx},{link.cy})" for link in links)
+            print(f"  chiplet {chiplet}: VLs at {positions}")
+    print(f"algorithms: {', '.join(available_algorithms())}")
+    print(f"traffic patterns: {', '.join(sorted(_TRAFFIC))}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = _system_from_args(args)
+    algorithm = make_algorithm(args.algo, system)
+    algorithm.set_fault_state(_fault_state_from_args(system, args))
+    traffic = _TRAFFIC[args.traffic](system, args.rate, args.seed)
+    config = SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        drain_cycles=args.drain,
+        seed=args.seed,
+    )
+    report = Simulator(system, algorithm, traffic, config).run()
+    print(report.summary())
+    if args.json:
+        payload = {
+            "algorithm": report.algorithm,
+            "traffic": report.traffic,
+            "rate": args.rate,
+            "average_latency": report.stats.average_latency,
+            "delivered_ratio": report.stats.delivered_ratio,
+            "vc_utilization": report.stats.vc_utilization_report(),
+        }
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.common import run_sweep, series_rows
+
+    system = _system_from_args(args)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    config = SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        drain_cycles=args.drain,
+    )
+    traffic_cls = _TRAFFIC[args.traffic]
+    series = run_sweep(
+        system,
+        tuple(args.algo),
+        lambda s, rate, seed: traffic_cls(s, rate, seed),
+        rates,
+        config,
+        seeds=tuple(range(1, args.repeats + 1)),
+    )
+    for row in series_rows(series):
+        print(row)
+    return 0
+
+
+def _cmd_reachability(args: argparse.Namespace) -> int:
+    system = _system_from_args(args)
+    algorithm = make_algorithm(args.algo, system)
+    print(f"{args.algo} on {system.spec.name}:")
+    for k in range(1, args.max_faults + 1):
+        avg = average_reachability(system, algorithm, k)
+        wrst = worst_reachability(system, algorithm, k)
+        print(f"  {k} faulty VLs: average {avg * 100:6.2f}%  worst {wrst * 100:6.2f}%")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    system = _system_from_args(args)
+    tables = build_selection_tables(system, rho=args.rho)
+    chiplet = args.chiplet
+    table = tables[chiplet]
+    spec = system.spec.chiplets[chiplet]
+    scenario = frozenset(args.faulty or [])
+    selection = table.lookup(scenario)
+    links = system.vls_of_chiplet(chiplet)
+    print(
+        f"chiplet {chiplet}, faulty down VLs {sorted(scenario) or 'none'} "
+        f"(cost {table.costs[scenario]:.4f}):"
+    )
+    # Fig. 3-style map: each tile shows the local index of its selected VL.
+    for y in range(spec.height):
+        row = []
+        for x in range(spec.width):
+            index = y * spec.width + x
+            marker = "*" if any(l.cx == x and l.cy == y for l in links) else " "
+            row.append(f"{selection[index]}{marker}")
+        print("   " + "  ".join(row))
+    print("(* marks a VL tile; digits are the selected VL's local index)")
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    result = table1.run()
+    print(format_report(result))
+    return 0
+
+
+def _cmd_deadlock(args: argparse.Namespace) -> int:
+    """Channel-dependency-graph deadlock check for an algorithm."""
+    from .analysis.cdg import build_cdg
+    from .routing.naive import NaiveRouting
+
+    system = _system_from_args(args)
+    if args.algo == "naive":
+        algorithm = NaiveRouting(system)
+    else:
+        algorithm = make_algorithm(args.algo, system)
+    algorithm.set_fault_state(_fault_state_from_args(system, args))
+    report = build_cdg(system, algorithm)
+    print(
+        f"{algorithm.name} on {system.spec.name}: "
+        f"{report.graph.number_of_nodes()} channels, "
+        f"{report.graph.number_of_edges()} dependencies, "
+        f"{report.pairs_walked} pairs walked"
+        + (f", {report.unroutable_pairs} unroutable" if report.unroutable_pairs else "")
+    )
+    if report.is_acyclic:
+        print("RESULT: acyclic — deadlock-free by Dally & Seitz")
+        return 0
+    cycle = report.cycle()
+    print(f"RESULT: CYCLIC — {len(cycle)}-channel dependency cycle found:")
+    for channel in cycle[:10]:
+        print(f"  {channel}")
+    if len(cycle) > 10:
+        print(f"  ... and {len(cycle) - 10} more")
+    return 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments.report import load_recorded, render_summary
+
+    artifacts = load_recorded(pathlib.Path(args.results))
+    print(render_summary(artifacts))
+    return 0 if all(a.ok for a in artifacts) else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(_EXPERIMENTS) if args.name == "all" else [args.name]
+    failed: list[str] = []
+    for name in names:
+        runner = _EXPERIMENTS[name]
+        results: list[ExperimentResult] = runner(args.scale)
+        for result in results:
+            print(format_report(result))
+            print()
+            failed.extend(result.failed_checks())
+    if failed:
+        print(f"{len(failed)} shape check(s) failed:", file=sys.stderr)
+        for description in failed:
+            print(f"  - {description}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `deft` argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="deft",
+        description="DeFT 2.5D chiplet-network reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="describe preset systems and registries")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("simulate", help="run one simulation")
+    _add_system_arg(p)
+    p.add_argument("--algo", default="deft", choices=available_algorithms())
+    p.add_argument("--traffic", default="uniform", choices=sorted(_TRAFFIC))
+    p.add_argument("--rate", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--warmup", type=int, default=600)
+    p.add_argument("--cycles", type=int, default=3000)
+    p.add_argument("--drain", type=int, default=20000)
+    p.add_argument(
+        "--fault",
+        action="append",
+        metavar="VL[:down|up]",
+        help="inject a directed VL fault (repeatable), e.g. --fault 3:down",
+    )
+    p.add_argument("--json", action="store_true", help="also print JSON payload")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="latency vs injection-rate sweep")
+    _add_system_arg(p)
+    p.add_argument("--algo", nargs="+", default=["deft", "mtr", "rc"])
+    p.add_argument("--traffic", default="uniform", choices=sorted(_TRAFFIC))
+    p.add_argument("--rates", default="0.002,0.004,0.006,0.008,0.010")
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument("--warmup", type=int, default=600)
+    p.add_argument("--cycles", type=int, default=3000)
+    p.add_argument("--drain", type=int, default=20000)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("reachability", help="exact reachability under faults")
+    _add_system_arg(p)
+    p.add_argument("--algo", default="deft", choices=available_algorithms())
+    p.add_argument("--max-faults", type=int, default=8)
+    p.set_defaults(func=_cmd_reachability)
+
+    p = sub.add_parser("optimize", help="offline VL-selection optimization map")
+    _add_system_arg(p)
+    p.add_argument("--chiplet", type=int, default=0)
+    p.add_argument("--faulty", type=int, nargs="*", help="faulty local VL indices")
+    p.add_argument("--rho", type=float, default=0.01)
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("area", help="Table I area/power model")
+    p.set_defaults(func=_cmd_area)
+
+    p = sub.add_parser("deadlock", help="CDG deadlock-freedom check")
+    _add_system_arg(p)
+    p.add_argument(
+        "--algo",
+        default="deft",
+        choices=tuple(available_algorithms()) + ("naive",),
+        help="'naive' is the unprotected Fig. 1 configuration",
+    )
+    p.add_argument("--fault", action="append", metavar="VL[:down|up]")
+    p.set_defaults(func=_cmd_deadlock)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("name", choices=sorted(_EXPERIMENTS) + ["all"])
+    p.add_argument("--scale", type=float, default=None,
+                   help="cycle-scale multiplier (default 1.0 or $REPRO_EXPERIMENT_SCALE)")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("report", help="summarize recorded benchmark results")
+    p.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of recorded artifact JSONs",
+    )
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""DeFT's core mechanisms (the paper's primary contribution).
+
+* :mod:`repro.core.vn` — the virtual-network separation rules (Rules 1-3,
+  Fig. 2) and the VN-assignment policy (Algorithm 1).
+* :mod:`repro.core.vl_selection` — the VL-selection cost model
+  (equations 1-6) and selection-set utilities.
+* :mod:`repro.core.optimizer` — optimization searches implementing
+  equation 7 / Algorithm 2 (exhaustive, exact composition+assignment,
+  local search).
+* :mod:`repro.core.fault_scenarios` — per-chiplet fault-scenario
+  enumeration (the "14 combinations" of Section III-B).
+* :mod:`repro.core.tables` — the per-router lookup tables built offline
+  and consulted at run time.
+"""
+
+from .vn import (
+    VN0,
+    VN1,
+    Location,
+    PortClass,
+    allowed_output_vns,
+    assign_injection_vn,
+    classify_turn,
+)
+from .vl_selection import (
+    SelectionProblem,
+    SelectionResult,
+    distance_based_selection,
+    distance_cost,
+    load_cost,
+    selection_cost,
+    vl_loads,
+)
+from .optimizer import (
+    CompositionOptimizer,
+    ExhaustiveOptimizer,
+    LocalSearchOptimizer,
+    default_optimizer,
+)
+from .fault_scenarios import enumerate_chiplet_scenarios, scenario_count
+from .tables import SelectionTable, build_selection_tables, distance_tables
+
+__all__ = [
+    "VN0",
+    "VN1",
+    "Location",
+    "PortClass",
+    "allowed_output_vns",
+    "assign_injection_vn",
+    "classify_turn",
+    "SelectionProblem",
+    "SelectionResult",
+    "distance_based_selection",
+    "distance_cost",
+    "load_cost",
+    "selection_cost",
+    "vl_loads",
+    "CompositionOptimizer",
+    "ExhaustiveOptimizer",
+    "LocalSearchOptimizer",
+    "default_optimizer",
+    "enumerate_chiplet_scenarios",
+    "scenario_count",
+    "SelectionTable",
+    "build_selection_tables",
+    "distance_tables",
+]

@@ -1,0 +1,46 @@
+"""Per-chiplet fault-scenario enumeration (Section III-B).
+
+DeFT's offline step analyzes the optimal VL selection for every fault
+scenario of a chiplet's VLs. For the baseline 4-VL chiplet this is the
+paper's "14 combinations of faults (C(4,1) + C(4,2) + C(4,3))" — every
+non-empty faulty subset that still leaves at least one VL alive — plus the
+fault-free scenario, giving 15 table entries per router side.
+
+A *scenario* is represented by the frozen set of faulty local VL indices,
+matching :meth:`repro.fault.model.FaultState.chiplet_down_pattern`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator
+
+
+def enumerate_chiplet_scenarios(
+    num_vls: int,
+    include_fault_free: bool = True,
+) -> Iterator[frozenset[int]]:
+    """Yield every admissible per-chiplet fault scenario.
+
+    Scenarios are ordered by fault count then lexicographically, with the
+    fault-free scenario (empty set) first when included. The all-faulty
+    scenario is never yielded: it disconnects the chiplet, which the paper
+    excludes (and for which no selection exists).
+    """
+    if num_vls < 1:
+        raise ValueError("a chiplet needs at least one VL")
+    start = 0 if include_fault_free else 1
+    for size in range(start, num_vls):
+        for combo in itertools.combinations(range(num_vls), size):
+            yield frozenset(combo)
+
+
+def scenario_count(num_vls: int, include_fault_free: bool = False) -> int:
+    """Number of faulty scenarios for a chiplet with ``num_vls`` VLs.
+
+    ``scenario_count(4)`` is the paper's 14. With ``include_fault_free``
+    it counts the table entries actually stored (15 for 4 VLs).
+    """
+    total = sum(math.comb(num_vls, k) for k in range(1, num_vls))
+    return total + (1 if include_fault_free else 0)

@@ -1,0 +1,224 @@
+"""Optimization searches for equation (7) / Algorithm 2.
+
+Three interchangeable optimizers produce the selection set ``s*``:
+
+* :class:`ExhaustiveOptimizer` — the literal Algorithm 2 loop over *all*
+  ``V^R`` selection sets. Feasible only for small instances (the paper's
+  "the search space is small" holds per-scenario only after exploiting
+  structure); retained as the ground truth for tests.
+* :class:`CompositionOptimizer` — exact for uniform traffic: because the
+  balance term (eq. 3) depends only on how many routers pick each VL, it
+  enumerates load *compositions* ``(n_1..n_V)`` and solves the remaining
+  distance term optimally as a min-cost assignment. Cost:
+  ``C(R+V-1, V-1)`` compositions x one Hungarian solve — milliseconds for
+  the paper's 16-router/4-VL chiplets instead of ``4^16`` evaluations.
+* :class:`LocalSearchOptimizer` — multi-restart first-improvement local
+  search over single-router moves and pair swaps; handles arbitrary
+  (non-uniform) traffic profiles, e.g. the traffic-aware selection of
+  Fig. 3(c).
+
+:func:`default_optimizer` picks the exact method whenever it applies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ..errors import OptimizationError
+from .vl_selection import (
+    SelectionProblem,
+    SelectionResult,
+    distance_based_selection,
+    selection_cost,
+)
+
+
+class ExhaustiveOptimizer:
+    """Algorithm 2 verbatim: evaluate every selection set.
+
+    Guarded by ``max_sets`` so it cannot be launched on instances where the
+    enumeration would be astronomically large.
+    """
+
+    def __init__(self, max_sets: int = 2_000_000):
+        self.max_sets = max_sets
+
+    def optimize(self, problem: SelectionProblem) -> SelectionResult:
+        total = problem.num_vls ** problem.num_routers
+        if total > self.max_sets:
+            raise OptimizationError(
+                f"exhaustive search over {total} selection sets exceeds the "
+                f"{self.max_sets} limit; use CompositionOptimizer or LocalSearchOptimizer"
+            )
+        best_selection: tuple[int, ...] | None = None
+        best_cost = float("inf")
+        evaluations = 0
+        for selection in itertools.product(range(problem.num_vls), repeat=problem.num_routers):
+            cost = selection_cost(problem, selection)
+            evaluations += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_selection = selection
+        assert best_selection is not None  # num_vls >= 1 guarantees a candidate
+        return SelectionResult(best_selection, best_cost, evaluations, method="exhaustive")
+
+
+class CompositionOptimizer:
+    """Exact optimizer for uniform per-router traffic.
+
+    With uniform traffic ``T_r = T`` the VL load is ``l_v = T * n_v`` where
+    ``n_v`` is the number of routers selecting VL ``v``, so the balance
+    cost depends only on the composition ``(n_1..n_V)`` of R into V parts.
+    For each composition the distance term is minimized independently by a
+    min-cost bipartite assignment of routers to VL "slots" (VL ``v``
+    duplicated ``n_v`` times). The global optimum is the best composition.
+
+    For *non-uniform* traffic this is a heuristic (the balance term no
+    longer depends on counts alone); :func:`default_optimizer` only selects
+    it when the traffic vector is uniform.
+    """
+
+    def optimize(self, problem: SelectionProblem) -> SelectionResult:
+        R, V = problem.num_routers, problem.num_vls
+        distance = np.array(
+            [[problem.distance(r, v) for v in range(V)] for r in range(R)],
+            dtype=float,
+        )
+        traffic = problem.traffic[0] if problem.traffic else 1.0
+        best_cost = float("inf")
+        best_selection: tuple[int, ...] | None = None
+        evaluations = 0
+        for composition in _compositions(R, V):
+            balance = _uniform_balance_cost(composition, traffic, V)
+            if balance >= best_cost:
+                continue  # distance cost is non-negative; prune.
+            slots: list[int] = []
+            for vl, count in enumerate(composition):
+                slots.extend([vl] * count)
+            cost_matrix = distance[:, slots]
+            rows, cols = linear_sum_assignment(cost_matrix)
+            dist = cost_matrix[rows, cols].sum()
+            total = problem.rho * float(dist) + balance
+            evaluations += 1
+            if total < best_cost:
+                best_cost = total
+                selection = [0] * R
+                for r, slot in zip(rows, cols):
+                    selection[r] = slots[slot]
+                best_selection = tuple(selection)
+        if best_selection is None:
+            raise OptimizationError("no feasible composition found")
+        return SelectionResult(best_selection, best_cost, evaluations, method="composition")
+
+
+class LocalSearchOptimizer:
+    """Multi-restart local search for arbitrary traffic profiles.
+
+    Starts from the distance-based selection plus ``restarts - 1`` random
+    selections; repeatedly applies the best single-router move or
+    router-pair swap until no improvement remains.
+    """
+
+    def __init__(self, restarts: int = 8, seed: int = 0, max_rounds: int = 200):
+        if restarts < 1:
+            raise OptimizationError("restarts must be >= 1")
+        self.restarts = restarts
+        self.seed = seed
+        self.max_rounds = max_rounds
+
+    def optimize(self, problem: SelectionProblem) -> SelectionResult:
+        rng = random.Random(self.seed)
+        R, V = problem.num_routers, problem.num_vls
+        starts: list[list[int]] = [list(distance_based_selection(problem))]
+        for _ in range(self.restarts - 1):
+            starts.append([rng.randrange(V) for _ in range(R)])
+        best_selection: tuple[int, ...] | None = None
+        best_cost = float("inf")
+        evaluations = 0
+        for start in starts:
+            selection, cost, evals = self._descend(problem, start)
+            evaluations += evals
+            if cost < best_cost:
+                best_cost = cost
+                best_selection = tuple(selection)
+        assert best_selection is not None
+        return SelectionResult(best_selection, best_cost, evaluations, method="local-search")
+
+    def _descend(
+        self, problem: SelectionProblem, selection: list[int]
+    ) -> tuple[list[int], float, int]:
+        cost = selection_cost(problem, selection)
+        evaluations = 1
+        for _ in range(self.max_rounds):
+            improved = False
+            # Single-router moves.
+            for router in range(problem.num_routers):
+                original = selection[router]
+                for vl in range(problem.num_vls):
+                    if vl == original:
+                        continue
+                    selection[router] = vl
+                    candidate = selection_cost(problem, selection)
+                    evaluations += 1
+                    if candidate < cost - 1e-12:
+                        cost = candidate
+                        original = vl
+                        improved = True
+                    else:
+                        selection[router] = original
+            # Pair swaps (escape count-preserving local minima).
+            for a in range(problem.num_routers):
+                for b in range(a + 1, problem.num_routers):
+                    if selection[a] == selection[b]:
+                        continue
+                    selection[a], selection[b] = selection[b], selection[a]
+                    candidate = selection_cost(problem, selection)
+                    evaluations += 1
+                    if candidate < cost - 1e-12:
+                        cost = candidate
+                        improved = True
+                    else:
+                        selection[a], selection[b] = selection[b], selection[a]
+            if not improved:
+                break
+        return selection, cost, evaluations
+
+
+def default_optimizer(problem: SelectionProblem) -> SelectionResult:
+    """Dispatch to the strongest applicable optimizer.
+
+    * uniform traffic -> :class:`CompositionOptimizer` (exact);
+    * tiny instances -> :class:`ExhaustiveOptimizer` (exact);
+    * otherwise -> :class:`LocalSearchOptimizer`.
+    """
+    traffic = problem.traffic
+    is_uniform = len(set(traffic)) <= 1
+    if is_uniform:
+        return CompositionOptimizer().optimize(problem)
+    if problem.num_vls ** problem.num_routers <= 200_000:
+        return ExhaustiveOptimizer().optimize(problem)
+    return LocalSearchOptimizer().optimize(problem)
+
+
+def _compositions(total: int, parts: int) -> Iterable[tuple[int, ...]]:
+    """All tuples of ``parts`` non-negative ints summing to ``total``."""
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for tail in _compositions(total - head, parts - 1):
+            yield (head,) + tail
+
+
+def _uniform_balance_cost(composition: Sequence[int], traffic: float, num_vls: int) -> float:
+    """Balance cost (eq. 3 summed) for a composition under uniform traffic."""
+    total = sum(composition) * traffic
+    average = total / num_vls
+    if average == 0:
+        return 0.0
+    return sum(abs(count * traffic - average) / average for count in composition)

@@ -1,0 +1,146 @@
+"""Pre-optimized VL-selection lookup tables (the router LUTs).
+
+At design time DeFT runs Algorithm 2 for every per-chiplet fault scenario
+and stores the resulting selection sets; at run time a router simply looks
+up the entry for the currently observed fault pattern ("14 VL addresses
+are saved in each router" for the 4-VL baseline).
+
+A :class:`SelectionTable` holds the table for one chiplet *side* (the same
+structure serves the source-chiplet down-selection and the interposer-side
+up-selection, per Section III-B: the two selections are symmetric). Keys
+are frozen sets of faulty local VL indices; values map each chiplet router
+(row-major local index) to the *local VL index* it selects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..errors import OptimizationError
+from ..topology.builder import System
+from .fault_scenarios import enumerate_chiplet_scenarios
+from .optimizer import default_optimizer
+from .vl_selection import SelectionProblem, SelectionResult
+
+
+@dataclass(frozen=True)
+class SelectionTable:
+    """Offline-optimized selections for one chiplet, all fault scenarios.
+
+    Attributes:
+        chiplet: chiplet index within the system.
+        entries: scenario (frozen set of faulty local VL indices) ->
+            per-router selected local VL index (tuple over the chiplet's
+            routers in row-major order).
+        costs: the optimized cost ``C*_s`` per scenario, for reporting.
+    """
+
+    chiplet: int
+    entries: Mapping[frozenset[int], tuple[int, ...]]
+    costs: Mapping[frozenset[int], float]
+
+    def lookup(self, faulty: frozenset[int]) -> tuple[int, ...]:
+        """The selection for a fault pattern.
+
+        Raises:
+            KeyError: for the all-faulty pattern (chiplet disconnected),
+                which has no stored entry by construction.
+        """
+        return self.entries[faulty]
+
+    def vl_for_router(self, local_router_index: int, faulty: frozenset[int]) -> int:
+        """Local VL index selected by one router under a fault pattern."""
+        return self.entries[faulty][local_router_index]
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def table_bits(self, num_vls: int) -> int:
+        """Storage footprint per router in bits (for the area model).
+
+        Each router stores one VL address per *faulty* scenario (the
+        fault-free selection is also held, as the active default). A VL
+        address needs ``ceil(log2(num_vls))`` bits.
+        """
+        address_bits = max(1, (num_vls - 1).bit_length())
+        return self.num_entries * address_bits
+
+
+def build_selection_tables(
+    system: System,
+    traffic_of_router: Callable[[int], float] | None = None,
+    rho: float = 0.01,
+    optimizer: Callable[[SelectionProblem], SelectionResult] = default_optimizer,
+) -> dict[int, SelectionTable]:
+    """Run the offline analysis for every chiplet of a system.
+
+    Args:
+        system: the built 2.5D system.
+        traffic_of_router: inter-chiplet traffic rate ``T_r`` for a router
+            id; ``None`` uses the paper's pessimistic uniform assumption.
+        rho: the distance/balance weight of equation (6).
+        optimizer: optimization search to use (equation 7's ``O``).
+
+    Returns:
+        chiplet index -> :class:`SelectionTable`.
+    """
+    tables: dict[int, SelectionTable] = {}
+    for chiplet in range(system.spec.num_chiplets):
+        routers = system.chiplet_routers(chiplet)
+        links = system.vls_of_chiplet(chiplet)
+        router_positions = tuple((r.x, r.y) for r in routers)
+        if traffic_of_router is None:
+            traffic = tuple(1.0 for _ in routers)
+        else:
+            traffic = tuple(float(traffic_of_router(r.id)) for r in routers)
+        entries: dict[frozenset[int], tuple[int, ...]] = {}
+        costs: dict[frozenset[int], float] = {}
+        for scenario in enumerate_chiplet_scenarios(len(links)):
+            alive = [link for link in links if link.local_index not in scenario]
+            if not alive:  # pragma: no cover - excluded by enumeration
+                continue
+            problem = SelectionProblem(
+                router_positions=router_positions,
+                vl_positions=tuple((link.cx, link.cy) for link in alive),
+                traffic=traffic,
+                rho=rho,
+            )
+            result = optimizer(problem)
+            # Map indices over the alive subset back to local VL indices.
+            alive_locals = [link.local_index for link in alive]
+            entries[scenario] = tuple(alive_locals[i] for i in result.selection)
+            costs[scenario] = result.cost
+        tables[chiplet] = SelectionTable(chiplet=chiplet, entries=entries, costs=costs)
+    return tables
+
+
+def distance_tables(system: System) -> dict[int, SelectionTable]:
+    """Closest-VL tables for every scenario (the ``DeFT-Dis`` strategy).
+
+    Same lookup interface as the optimized tables so the routing engine is
+    agnostic to the selection strategy.
+    """
+    tables: dict[int, SelectionTable] = {}
+    for chiplet in range(system.spec.num_chiplets):
+        routers = system.chiplet_routers(chiplet)
+        links = system.vls_of_chiplet(chiplet)
+        entries: dict[frozenset[int], tuple[int, ...]] = {}
+        costs: dict[frozenset[int], float] = {}
+        for scenario in enumerate_chiplet_scenarios(len(links)):
+            alive = [link for link in links if link.local_index not in scenario]
+            selection = []
+            for router in routers:
+                best = min(
+                    alive,
+                    key=lambda link: (
+                        abs(router.x - link.cx) + abs(router.y - link.cy),
+                        link.local_index,
+                    ),
+                )
+                selection.append(best.local_index)
+            entries[scenario] = tuple(selection)
+            costs[scenario] = float("nan")
+        tables[chiplet] = SelectionTable(chiplet=chiplet, entries=entries, costs=costs)
+    return tables

@@ -1,0 +1,175 @@
+"""VL-selection cost model: equations (1)-(6) of the paper.
+
+A *selection set* ``s`` maps every router of a chiplet to one of the
+chiplet's alive vertical links. Its cost combines two objectives
+(equation 6)::
+
+    C_s = sum_v (rho * D_v) + L_v
+
+* ``L_v`` (equation 3) — load-balance cost: normalized deviation of the
+  VL's load from the average load, where a VL's load (equation 1) is the
+  summed inter-chiplet traffic rate of the routers that select it.
+* ``D_v`` (equation 5) — distance cost: summed Manhattan distance
+  (equation 4) between each router and its selected VL.
+* ``rho`` — relative weight; the paper found ``rho = 0.01`` efficient.
+
+The same machinery covers both of DeFT's selections: on the source chiplet
+(``traffic[r]`` = inter-chiplet *injection* rate of router ``r``; distance
+= router -> VL) and on the interposer (``traffic[r]`` = inter-chiplet
+traffic *destined* to router ``r``; distance = VL -> router — symmetric,
+so one formulation serves both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import OptimizationError
+
+#: The paper's experimentally chosen balance/distance weight.
+DEFAULT_RHO = 0.01
+
+
+@dataclass(frozen=True)
+class SelectionProblem:
+    """One per-chiplet VL-selection instance.
+
+    Attributes:
+        router_positions: chiplet-local ``(x, y)`` of each router taking
+            part in the selection, indexed 0..R-1.
+        vl_positions: chiplet-local ``(x, y)`` of each *alive* VL,
+            indexed 0..V-1 (the optimizer only ever sees alive VLs; fault
+            scenarios are expressed by building a problem without the
+            faulty ones).
+        traffic: inter-chiplet traffic rate ``T_r`` per router (paper's
+            ``T``); uniform-by-default offline optimization passes all-ones.
+        rho: the distance weight of equation (6).
+    """
+
+    router_positions: tuple[tuple[int, int], ...]
+    vl_positions: tuple[tuple[int, int], ...]
+    traffic: tuple[float, ...]
+    rho: float = DEFAULT_RHO
+
+    def __post_init__(self) -> None:
+        if not self.vl_positions:
+            raise OptimizationError("selection problem needs at least one alive VL")
+        if len(self.traffic) != len(self.router_positions):
+            raise OptimizationError(
+                f"{len(self.router_positions)} routers but {len(self.traffic)} traffic rates"
+            )
+        if any(t < 0 for t in self.traffic):
+            raise OptimizationError("traffic rates must be non-negative")
+        if self.rho < 0:
+            raise OptimizationError("rho must be non-negative")
+
+    @property
+    def num_routers(self) -> int:
+        return len(self.router_positions)
+
+    @property
+    def num_vls(self) -> int:
+        return len(self.vl_positions)
+
+    @property
+    def total_traffic(self) -> float:
+        return sum(self.traffic)
+
+    def distance(self, router: int, vl: int) -> int:
+        """Hop count between a router and a VL (equation 4)."""
+        rx, ry = self.router_positions[router]
+        vx, vy = self.vl_positions[vl]
+        return abs(rx - vx) + abs(ry - vy)
+
+    @classmethod
+    def uniform(
+        cls,
+        router_positions: Sequence[tuple[int, int]],
+        vl_positions: Sequence[tuple[int, int]],
+        rho: float = DEFAULT_RHO,
+    ) -> "SelectionProblem":
+        """A problem under the paper's offline assumption of uniform traffic."""
+        return cls(
+            router_positions=tuple(router_positions),
+            vl_positions=tuple(vl_positions),
+            traffic=tuple(1.0 for _ in router_positions),
+            rho=rho,
+        )
+
+
+def vl_loads(problem: SelectionProblem, selection: Sequence[int]) -> list[float]:
+    """Per-VL load ``l_v`` (equation 1) under a selection.
+
+    ``selection[r]`` is the VL index chosen for router ``r``.
+    """
+    loads = [0.0] * problem.num_vls
+    for router, vl in enumerate(selection):
+        loads[vl] += problem.traffic[router]
+    return loads
+
+
+def load_cost(problem: SelectionProblem, selection: Sequence[int]) -> float:
+    """Total load-balance cost ``sum_v L_v`` (equations 2 and 3).
+
+    When total traffic is zero every assignment balances trivially and the
+    cost is zero.
+    """
+    loads = vl_loads(problem, selection)
+    average = sum(loads) / problem.num_vls
+    if average == 0:
+        return 0.0
+    return sum(abs(load - average) / average for load in loads)
+
+
+def distance_cost(problem: SelectionProblem, selection: Sequence[int]) -> float:
+    """Total distance cost ``sum_v D_v`` (equations 4 and 5)."""
+    return float(
+        sum(problem.distance(router, vl) for router, vl in enumerate(selection))
+    )
+
+
+def selection_cost(problem: SelectionProblem, selection: Sequence[int]) -> float:
+    """Overall cost ``C_s`` of a selection set (equation 6)."""
+    _validate_selection(problem, selection)
+    return problem.rho * distance_cost(problem, selection) + load_cost(problem, selection)
+
+
+def distance_based_selection(problem: SelectionProblem) -> tuple[int, ...]:
+    """The closest-VL selection (ties broken by lower VL index).
+
+    This is the conventional strategy of 3D NoCs that the paper evaluates
+    as ``DeFT-Dis`` (Fig. 8) and illustrates in Fig. 3(a)/(b).
+    """
+    selection = []
+    for router in range(problem.num_routers):
+        best = min(
+            range(problem.num_vls),
+            key=lambda vl: (problem.distance(router, vl), vl),
+        )
+        selection.append(best)
+    return tuple(selection)
+
+
+def _validate_selection(problem: SelectionProblem, selection: Sequence[int]) -> None:
+    if len(selection) != problem.num_routers:
+        raise OptimizationError(
+            f"selection covers {len(selection)} routers, expected {problem.num_routers}"
+        )
+    for router, vl in enumerate(selection):
+        if not (0 <= vl < problem.num_vls):
+            raise OptimizationError(f"router {router} selects unknown VL {vl}")
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of an optimization run (equation 7's ``s*`` and ``C*_s``)."""
+
+    selection: tuple[int, ...]
+    cost: float
+    evaluations: int = 0
+    method: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def loads(self, problem: SelectionProblem) -> list[float]:
+        return vl_loads(problem, self.selection)

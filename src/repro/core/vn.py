@@ -1,0 +1,196 @@
+"""Virtual-network separation: Rules 1-3 and Algorithm 1 of the paper.
+
+DeFT guarantees deadlock freedom with two virtual networks (VN.0 and VN.1),
+one virtual channel each in the baseline configuration:
+
+* **Rule 1** — switching from VN.1 back to VN.0 is forbidden (VN.0 -> VN.1
+  is allowed).
+* **Rule 2** — packets *in VN.0* may not route from an Up port to a
+  Horizontal port (i.e. after ascending into a chiplet, a VN.0 packet may
+  only eject).
+* **Rule 3** — packets *in VN.1* may not route from a Horizontal port to a
+  Down port (i.e. a VN.1 packet that has moved horizontally on a chiplet
+  can never descend).
+
+"In VN.x" refers to the virtual network of the buffer the packet currently
+occupies (its input VC at the router making the decision). The VN of the
+*output* VC is what this module computes: :func:`allowed_output_vns`
+returns every legal output VN for a hop, and the caller (the DeFT routing
+algorithm) picks one — round-robin when both are legal, which is what
+produces the paper's balanced VC utilization (Fig. 5).
+
+Port classes here are relative to the router making the decision:
+
+* input ``UP``   — the packet arrived through a vertical channel going up
+  (only possible at a chiplet boundary router);
+* input ``DOWN`` — the packet arrived through a vertical channel going down
+  (only possible at an interposer router);
+* output ``UP``  — the hop ascends (interposer router -> chiplet);
+* output ``DOWN``— the hop descends (chiplet boundary router -> interposer).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import RoutingError
+
+#: Virtual network identifiers. With ``num_vcs == 2`` the VN index is the
+#: VC index; with more VCs, VCs are partitioned between the two VNs.
+VN0 = 0
+VN1 = 1
+
+
+class Location(enum.IntEnum):
+    """Which layer the deciding router is on."""
+
+    CHIPLET = 0
+    INTERPOSER = 1
+
+
+class PortClass(enum.IntEnum):
+    """Port classification used by the rules (see module docstring)."""
+
+    LOCAL = 0
+    HORIZONTAL = 1
+    UP = 2
+    DOWN = 3
+
+
+def classify_turn(in_port: PortClass, out_port: PortClass) -> str:
+    """Human-readable label of a turn, e.g. ``"HORIZONTAL->DOWN"``.
+
+    Used in error messages and by the CDG analysis reports.
+    """
+    return f"{in_port.name}->{out_port.name}"
+
+
+def _rule2_forbids(in_port: PortClass, out_port: PortClass, vn_out: int) -> bool:
+    """Rule 2: an Up -> Horizontal turn may not *land* in VN.0.
+
+    Theorem III.4's proof makes the binding side explicit: a packet in
+    VN.0 "can be switched to VN.1 to go from Up to Horizontal ports" — so
+    the rule constrains the output VC class of the turn (the VN.0 channel
+    dependency graph must contain no Up -> Horizontal edges), not the
+    packet's current network.
+    """
+    return (
+        vn_out == VN0
+        and in_port is PortClass.UP
+        and out_port is PortClass.HORIZONTAL
+    )
+
+
+def _rule3_forbids(in_port: PortClass, out_port: PortClass, vn_in: int) -> bool:
+    """Rule 3: a packet *sitting in* VN.1 may not turn Horizontal -> Down.
+
+    Here the constraint binds on the input side: a VN.1 horizontal buffer
+    must have no dependency on any Down channel (and Rule 1 already
+    prevents the packet from escaping to VN.0).
+    """
+    return (
+        vn_in == VN1
+        and in_port is PortClass.HORIZONTAL
+        and out_port is PortClass.DOWN
+    )
+
+
+def allowed_output_vns(
+    in_port: PortClass,
+    out_port: PortClass,
+    vn_in: int,
+) -> tuple[int, ...]:
+    """Every VN the *output* VC may belong to for this hop.
+
+    The returned tuple is ordered VN.0-first. It is empty only for the one
+    hop Rules 1-3 make illegal outright: a VN.1 packet attempting
+    Horizontal -> Down (the DeFT routing algorithm never generates it;
+    attempting it is a caller bug).
+
+    Semantics: a packet occupying an input VC of network ``vn_in`` wants
+    to move to ``out_port``. Rule 1 limits candidates to ``>= vn_in``;
+    Rule 2 strikes VN.0 from Up -> Horizontal turns (the switch-while-
+    turning of Theorem III.4); Rule 3 voids the whole set for VN.1
+    packets turning Horizontal -> Down.
+    """
+    if _rule3_forbids(in_port, out_port, vn_in):
+        return ()
+    candidates = (VN0, VN1) if vn_in == VN0 else (VN1,)  # Rule 1
+    return tuple(
+        vn for vn in candidates if not _rule2_forbids(in_port, out_port, vn)
+    )
+
+
+def assign_injection_vn(
+    source_is_interposer: bool,
+    source_is_boundary: bool,
+    destination_on_same_chiplet: bool,
+    round_robin_state: int,
+) -> tuple[int, int]:
+    """Algorithm 1's source-router VN assignment.
+
+    Args:
+        source_is_interposer: packet injected by an interposer PE (DRAM).
+        source_is_boundary: packet injected by a chiplet boundary router.
+        destination_on_same_chiplet: intra-chiplet packet (or interposer ->
+            interposer packet).
+        round_robin_state: the source router's running round-robin counter.
+
+    Returns:
+        ``(vn, next_round_robin_state)``. Per Algorithm 1, sources on the
+        interposer, on the destination chiplet (intra-chiplet packets), and
+        boundary routers round-robin between VN.0 and VN.1; all other
+        inter-chiplet packets start in VN.0 (they will need a
+        Horizontal -> Down turn at the boundary router, which Rule 3
+        forbids in VN.1).
+    """
+    may_round_robin = (
+        source_is_interposer or destination_on_same_chiplet or source_is_boundary
+    )
+    if may_round_robin:
+        vn = VN0 if round_robin_state % 2 == 0 else VN1
+        return vn, round_robin_state + 1
+    return VN0, round_robin_state
+
+
+def boundary_down_vns(vn_in: int) -> tuple[int, ...]:
+    """Legal output VNs for the down-traversal at a boundary router.
+
+    Algorithm 1: "if going to the interposer then do round-robin
+    reassignment between VN.0 and VN.1". A packet arriving in VN.0 may
+    descend in either network (Theorem III.3); a packet already in VN.1
+    must stay there (Rule 1). The caller round-robins over the returned
+    tuple.
+    """
+    if vn_in == VN0:
+        return (VN0, VN1)
+    return (VN1,)
+
+
+def interposer_up_vn() -> int:
+    """Output VN for the up-traversal at an interposer router.
+
+    Algorithm 1: packets "coming from the interposer go to (remain in)
+    VN.1". Forcing the up-channel VC into VN.1 guarantees the packet can
+    perform Up -> Horizontal turns on the destination chiplet without ever
+    testing Rule 2 (Theorem III.4).
+    """
+    return VN1
+
+
+def check_hop_legal(in_port: PortClass, out_port: PortClass, vn_in: int, vn_out: int) -> None:
+    """Validate a concrete hop against all three rules; raise on violation.
+
+    Used by the simulator's self-checking mode and the test-suite to prove
+    that the DeFT implementation never performs an illegal hop.
+    """
+    if vn_out < vn_in:
+        raise RoutingError(
+            f"Rule 1 violation: VN.{vn_in} -> VN.{vn_out} on {classify_turn(in_port, out_port)}"
+        )
+    if _rule2_forbids(in_port, out_port, vn_out):
+        raise RoutingError(
+            f"Rule 2 violation: {classify_turn(in_port, out_port)} landing in VN.{vn_out}"
+        )
+    if _rule3_forbids(in_port, out_port, vn_in):
+        raise RoutingError(f"Rule 3 violation: {classify_turn(in_port, out_port)} in VN.{vn_in}")

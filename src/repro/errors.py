@@ -1,0 +1,65 @@
+"""Exception hierarchy for the DeFT reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Exceptions carry enough context to diagnose a bad
+configuration without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology specification is inconsistent.
+
+    Examples: overlapping chiplets, a vertical link placed outside its
+    chiplet, an interposer too small for the chiplet grid.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulation or experiment configuration is invalid."""
+
+
+class RoutingError(ReproError):
+    """Raised when a routing algorithm cannot produce a legal decision.
+
+    A well-formed algorithm only raises this for genuinely unroutable
+    requests (e.g. a destination chiplet whose vertical links are all
+    faulty under an algorithm without fault tolerance).
+    """
+
+
+class UnroutablePacketError(RoutingError):
+    """Raised when a packet has no legal path under the current fault state.
+
+    The simulator converts this into a *dropped-at-source* statistic, which
+    is what the paper's reachability metric counts.
+    """
+
+
+class DeadlockError(ReproError):
+    """Raised by the watchdog when the network makes no progress.
+
+    Carries the cycle at which progress stopped and a snapshot of blocked
+    packets to aid debugging.
+    """
+
+    def __init__(self, cycle: int, blocked: int, detail: str = ""):
+        self.cycle = cycle
+        self.blocked = blocked
+        message = f"no network progress since cycle {cycle} with {blocked} flits in flight"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class OptimizationError(ReproError):
+    """Raised when a VL-selection optimizer cannot find a feasible selection."""
+
+
+class FaultModelError(ReproError):
+    """Raised for invalid fault specifications (unknown VL, duplicate fault)."""

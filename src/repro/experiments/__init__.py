@@ -1,0 +1,35 @@
+"""Experiment harnesses regenerating every figure and table of the paper.
+
+Each module exposes ``run(scale=1.0, ...) -> ExperimentResult`` and a
+``format_report(result) -> str`` renderer. ``scale`` multiplies the
+simulated measurement window so benchmarks can trade accuracy for time
+(``REPRO_EXPERIMENT_SCALE`` overrides the default from the environment).
+
+| module    | artifact                                          |
+|-----------|---------------------------------------------------|
+| fig4      | latency vs injection rate, 3 algorithms           |
+| fig5      | VC utilization per region (DeFT)                  |
+| fig6      | PARSEC-like latency improvements                  |
+| fig7      | reachability under VL faults                      |
+| fig8      | latency under faults, VL-selection strategies     |
+| table1    | router area/power                                 |
+| ablations | extensions: rho sweep, traffic-aware tables,      |
+|           | adaptive online selection, VL serialization, wear |
+"""
+
+from .common import ExperimentResult, SweepSeries, default_config, run_sweep
+from . import ablations, fig4, fig5, fig6, fig7, fig8, table1
+
+__all__ = [
+    "ExperimentResult",
+    "SweepSeries",
+    "default_config",
+    "run_sweep",
+    "ablations",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table1",
+]

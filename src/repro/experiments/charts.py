@@ -1,0 +1,69 @@
+"""Minimal ASCII chart rendering for terminal-friendly figure output.
+
+No plotting dependencies are available offline, so experiment reports
+render their series as ASCII scatter charts — good enough to eyeball the
+crossovers and saturation knees the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter chart."""
+    points = [(x, y) for line in series.values() for x, y in line]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, line) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in line:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = (height - 1) - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_max:8.1f} |"
+    bottom_label = f"{y_min:8.1f} |"
+    for row_index, row in enumerate(grid):
+        prefix = top_label if row_index == 0 else (
+            bottom_label if row_index == height - 1 else " " * 9 + "|"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:<10.4g}{x_label:^{max(0, width - 20)}}{x_max:>10.4g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def bar_rows(values: Mapping[str, float], width: int = 40, unit: str = "") -> list[str]:
+    """Horizontal bar rendering for improvement-style figures (Fig. 6)."""
+    if not values:
+        return []
+    peak = max(abs(v) for v in values.values()) or 1.0
+    rows = []
+    for label, value in values.items():
+        bar = "#" * max(0, int(abs(value) / peak * width))
+        sign = "-" if value < 0 else ""
+        rows.append(f"{label:>10s} | {sign}{bar} {value:.1f}{unit}")
+    return rows

@@ -1,0 +1,138 @@
+"""Shared experiment infrastructure: sweeps, results, scaling."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..config import SimulationConfig
+from ..network.simulator import Simulator
+from ..routing.registry import make_algorithm
+from ..topology.builder import System
+from ..traffic.base import TrafficGenerator
+
+#: Environment variable multiplying every experiment's simulated cycles.
+SCALE_ENV = "REPRO_EXPERIMENT_SCALE"
+
+
+def effective_scale(scale: float | None) -> float:
+    """Resolve the cycle-scale: explicit argument beats the environment."""
+    if scale is not None:
+        return scale
+    raw = os.environ.get(SCALE_ENV)
+    if raw:
+        try:
+            return max(0.05, float(raw))
+        except ValueError:
+            pass
+    return 1.0
+
+
+def default_config(scale: float | None = None, seed: int = 1) -> SimulationConfig:
+    """The experiments' base simulation configuration.
+
+    ``scale`` stretches/shrinks the warmup + measurement windows; drain is
+    kept generous so saturated runs still deliver most tagged packets.
+    """
+    s = effective_scale(scale)
+    return SimulationConfig(
+        warmup_cycles=max(100, int(600 * s)),
+        measure_cycles=max(300, int(3_000 * s)),
+        drain_cycles=max(2_000, int(20_000 * s)),
+        seed=seed,
+    )
+
+
+@dataclass
+class SweepSeries:
+    """One latency-vs-rate line of a figure."""
+
+    label: str
+    rates: list[float] = field(default_factory=list)
+    latency: list[float] = field(default_factory=list)
+    delivered_ratio: list[float] = field(default_factory=list)
+
+    def latency_at(self, rate: float) -> float:
+        return self.latency[self.rates.index(rate)]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: printable rows + machine-readable data.
+
+    ``checks`` are the qualitative "shape" assertions of DESIGN.md section
+    2 — each a (description, passed) pair. Benchmarks assert all pass.
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+    checks: list[tuple[str, bool]] = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(ok for _, ok in self.checks)
+
+    def check(self, description: str, passed: bool) -> None:
+        self.checks.append((description, passed))
+
+    def failed_checks(self) -> list[str]:
+        return [desc for desc, ok in self.checks if not ok]
+
+
+def format_report(result: ExperimentResult) -> str:
+    """Default textual rendering of an experiment result."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.extend(result.rows)
+    lines.append("-- shape checks --")
+    for description, passed in result.checks:
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {description}")
+    return "\n".join(lines)
+
+
+def run_sweep(
+    system: System,
+    algorithm_names: tuple[str, ...],
+    traffic_factory: Callable[[System, float, int], TrafficGenerator],
+    rates: tuple[float, ...],
+    config: SimulationConfig,
+    seeds: tuple[int, ...] = (1,),
+) -> dict[str, SweepSeries]:
+    """Latency sweep: every algorithm at every rate, averaged over seeds."""
+    series: dict[str, SweepSeries] = {}
+    for name in algorithm_names:
+        line = SweepSeries(label=name)
+        for rate in rates:
+            latencies: list[float] = []
+            delivered: list[float] = []
+            for seed in seeds:
+                algorithm = make_algorithm(name, system)
+                traffic = traffic_factory(system, rate, seed)
+                report = Simulator(
+                    system, algorithm, traffic, config.replace(seed=seed)
+                ).run()
+                latencies.append(report.stats.average_latency)
+                delivered.append(report.stats.delivered_ratio)
+            line.rates.append(rate)
+            line.latency.append(sum(latencies) / len(latencies))
+            line.delivered_ratio.append(sum(delivered) / len(delivered))
+        series[name] = line
+    return series
+
+
+def series_rows(series: dict[str, SweepSeries], unit: str = "cycles") -> list[str]:
+    """Tabulate sweep series the way the paper's figures list them."""
+    if not series:
+        return []
+    rates = next(iter(series.values())).rates
+    header = "rate      " + "  ".join(f"{label:>10s}" for label in series)
+    rows = [header]
+    for index, rate in enumerate(rates):
+        cells = []
+        for line in series.values():
+            cells.append(f"{line.latency[index]:10.2f}")
+        rows.append(f"{rate:<8.4f}  " + "  ".join(cells))
+    rows.append(f"(average packet latency, {unit})")
+    return rows

@@ -1,0 +1,124 @@
+"""Consolidated reporting over recorded benchmark results.
+
+The benchmark suite dumps every regenerated artifact to
+``benchmarks/results/*.json``; this module renders a one-page summary
+(per-artifact pass/fail + headline numbers) for the CLI's
+``deft report`` command and for EXPERIMENTS.md maintenance.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+#: Artifact ordering for the summary (paper order, then extensions).
+_ORDER = (
+    "fig4a", "fig4b", "fig4c", "fig4d",
+    "fig5",
+    "fig6a", "fig6b",
+    "fig7a", "fig7b",
+    "fig8a", "fig8b",
+    "table1",
+    "ablation-rho", "ablation-traffic-aware", "ablation-adaptive",
+    "ablation-serialization", "ablation-wear",
+)
+
+
+@dataclass(frozen=True)
+class RecordedArtifact:
+    """One artifact's recorded outcome."""
+
+    experiment_id: str
+    title: str
+    checks_passed: int
+    checks_total: int
+    headline: str
+
+    @property
+    def ok(self) -> bool:
+        return self.checks_passed == self.checks_total
+
+
+def _headline(experiment_id: str, data: dict) -> str:
+    """A one-line takeaway per artifact kind."""
+    try:
+        if experiment_id.startswith("fig4"):
+            deft = data["deft"]["latency"]
+            mtr = data["mtr"]["latency"]
+            return (
+                f"DeFT {deft[-1]:.0f}c vs MTR {mtr[-1]:.0f}c at top rate"
+            )
+        if experiment_id == "fig5":
+            worst = max(
+                abs(values[0] - 0.5)
+                for util in data.values()
+                for values in [list(util.values())[0]]
+            )
+            del worst  # structure varies; fall through to generic
+        if experiment_id.startswith("fig6"):
+            avg = data["avg"]
+            return f"avg improvement {avg[0]:.1f}% vs MTR, {avg[1]:.1f}% vs RC"
+        if experiment_id.startswith("fig7"):
+            mtr = data["mtr"]["average"]
+            return f"DeFT 100%, MTR-avg {mtr[-1] * 100:.1f}% at 8 faults"
+        if experiment_id.startswith("fig8"):
+            return (
+                f"DeFT {data['deft']['latency'][-1]:.1f}c vs "
+                f"Ran {data['deft-ran']['latency'][-1]:.1f}c at top rate"
+            )
+        if experiment_id == "table1":
+            deft = data["DeFT"]["area_um2"]
+            mtr = data["MTR"]["area_um2"]
+            return f"DeFT +{(deft / mtr - 1) * 100:.1f}% area vs MTR"
+        if experiment_id == "ablation-adaptive":
+            return (
+                f"adaptive {data['online adaptive']:.1f}c vs "
+                f"tables {data['offline tables']:.1f}c"
+            )
+        if experiment_id == "ablation-wear":
+            return (
+                f"wear imbalance {data['optimized']['imbalance']:.2f}x vs "
+                f"{data['distance-based']['imbalance']:.2f}x"
+            )
+    except (KeyError, IndexError, TypeError):
+        pass
+    return ""
+
+
+def load_recorded(results_dir: pathlib.Path) -> list[RecordedArtifact]:
+    """Read every recorded artifact, ordered like the paper."""
+    artifacts: dict[str, RecordedArtifact] = {}
+    for path in results_dir.glob("*.json"):
+        payload = json.loads(path.read_text())
+        checks = payload.get("checks", [])
+        artifacts[payload["experiment"]] = RecordedArtifact(
+            experiment_id=payload["experiment"],
+            title=payload.get("title", payload["experiment"]),
+            checks_passed=sum(1 for c in checks if c.get("passed")),
+            checks_total=len(checks),
+            headline=_headline(payload["experiment"], payload.get("data", {})),
+        )
+    ordered = [artifacts[k] for k in _ORDER if k in artifacts]
+    extras = [a for k, a in sorted(artifacts.items()) if k not in _ORDER]
+    return ordered + extras
+
+
+def render_summary(artifacts: list[RecordedArtifact]) -> str:
+    """One-page pass/fail + headline table."""
+    if not artifacts:
+        return (
+            "no recorded results found - run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    lines = [f"{'artifact':>24s}  {'checks':>7s}  headline"]
+    for artifact in artifacts:
+        status = f"{artifact.checks_passed}/{artifact.checks_total}"
+        flag = "" if artifact.ok else "  <-- FAILING"
+        lines.append(
+            f"{artifact.experiment_id:>24s}  {status:>7s}  {artifact.headline}{flag}"
+        )
+    total = sum(a.checks_total for a in artifacts)
+    passed = sum(a.checks_passed for a in artifacts)
+    lines.append(f"{'TOTAL':>24s}  {passed}/{total} shape checks pass")
+    return "\n".join(lines)

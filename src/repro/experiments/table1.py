@@ -1,0 +1,68 @@
+"""Table I — area and power analysis of DeFT, MTR and RC routers.
+
+Rendered exactly in the paper's format: absolute router area (um^2) and
+power (mW) plus values normalized to the MTR router, for the four router
+configurations (MTR, RC non-boundary, RC boundary, DeFT) at 45 nm / 1 GHz.
+
+Checks encode the paper's headline: DeFT costs less than 2% area and less
+than 1% power over MTR, while RC's boundary router pays >10% for its
+packet buffer and permission logic.
+"""
+
+from __future__ import annotations
+
+from ..power.model import RouterParams, TECHNOLOGY_45NM, table1 as estimate_table1
+from .common import ExperimentResult
+
+#: The paper's published Table I values, for side-by-side reporting.
+PAPER_VALUES = {
+    "MTR": (45878, 11.644),
+    "RC non-boundary": (46663, 11.760),
+    "RC boundary": (51984, 12.841),
+    "DeFT": (46651, 11.693),
+}
+
+
+def run(scale: float | None = None, params: RouterParams | None = None) -> ExperimentResult:
+    del scale  # analytical: nothing to scale
+    params = params or RouterParams()
+    estimates = estimate_table1(params, TECHNOLOGY_45NM)
+    baseline = estimates["MTR"]
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Table I area and power analysis of DeFT, MTR, and RC",
+    )
+    result.rows.append(
+        f"{'router':>16s} {'area um2':>10s} {'norm':>6s} {'power mW':>9s} {'norm':>6s}"
+        f"   {'paper area':>10s} {'paper mW':>9s}"
+    )
+    for name, estimate in estimates.items():
+        norm_area, norm_power = estimate.normalized_to(baseline)
+        paper_area, paper_power = PAPER_VALUES[name]
+        result.rows.append(
+            f"{name:>16s} {estimate.area_um2:10.0f} {norm_area:6.3f} "
+            f"{estimate.power_mw:9.3f} {norm_power:6.3f}   "
+            f"{paper_area:10d} {paper_power:9.3f}"
+        )
+    result.data = {
+        name: {
+            "area_um2": estimate.area_um2,
+            "power_mw": estimate.power_mw,
+            "area_breakdown": estimate.area_breakdown,
+            "power_breakdown": estimate.power_breakdown,
+        }
+        for name, estimate in estimates.items()
+    }
+    deft_area, deft_power = estimates["DeFT"].normalized_to(baseline)
+    rcb_area, rcb_power = estimates["RC boundary"].normalized_to(baseline)
+    result.check("DeFT area overhead below 2% (paper: <2%)", deft_area < 1.02)
+    result.check("DeFT power overhead below 1% (paper: <1%)", deft_power < 1.01)
+    result.check("RC boundary router pays >10% area", rcb_area > 1.10)
+    for name, estimate in estimates.items():
+        paper_area, paper_power = PAPER_VALUES[name]
+        result.check(
+            f"{name}: within 1% of the paper's absolute values",
+            abs(estimate.area_um2 - paper_area) / paper_area < 0.01
+            and abs(estimate.power_mw - paper_power) / paper_power < 0.01,
+        )
+    return result

@@ -1,0 +1,27 @@
+"""Vertical-link fault model.
+
+Faults live on *directed* VL channels: the down channel (chiplet ->
+interposer) and the up channel (interposer -> chiplet) of each bidirectional
+vertical link fail independently, matching the paper's fault accounting
+(32 VLs for the 4-chiplet system = 16 bidirectional links x 2 directions).
+"""
+
+from .model import (
+    VLDirection,
+    DirectedVL,
+    FaultState,
+    all_fault_patterns,
+    chiplet_fault_pattern,
+    fault_free,
+    random_fault_state,
+)
+
+__all__ = [
+    "VLDirection",
+    "DirectedVL",
+    "FaultState",
+    "all_fault_patterns",
+    "chiplet_fault_pattern",
+    "fault_free",
+    "random_fault_state",
+]

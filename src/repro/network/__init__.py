@@ -1,0 +1,33 @@
+"""Cycle-accurate 2.5D NoC substrate.
+
+A from-scratch, flit-level, wormhole-switched, credit-flow-controlled
+network simulator playing the role of the paper's enhanced Noxim. The
+microarchitecture is the classic input-buffered VC router:
+
+* per-input-port, per-VC FIFO buffers (default 4 flits);
+* route computation per packet head at each hop (delegated to a
+  :class:`~repro.routing.base.RoutingAlgorithm`);
+* output-VC allocation with per-packet ownership (wormhole: a packet holds
+  its output VC from head to tail);
+* switch allocation with round-robin arbitration, one flit per output port
+  and one flit per input port per cycle;
+* credit-based backpressure per (output port, VC);
+* one-cycle link traversal.
+
+The RC baseline additionally registers whole-packet "RC buffers" on
+boundary routers (see :mod:`repro.routing.rc`), which the simulator models
+as a store-and-forward side buffer feeding the vertical output port.
+"""
+
+from .flit import Flit, FlitKind, Packet
+from .simulator import Simulator, SimulationReport
+from .stats import StatsCollector
+
+__all__ = [
+    "Flit",
+    "FlitKind",
+    "Packet",
+    "Simulator",
+    "SimulationReport",
+    "StatsCollector",
+]

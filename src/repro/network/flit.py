@@ -1,0 +1,128 @@
+"""Packets and flits.
+
+A packet is serialized into ``size`` flits: one HEAD, ``size - 2`` BODY,
+one TAIL (or a single HEAD_TAIL when ``size == 1``). Routing state
+travels with the packet object, which every flit references — the software
+equivalent of the header fields DeFT writes at the source (the selected
+VL address) and of the VC-allocation state.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FlitKind(enum.IntEnum):
+    """Position of a flit within its packet."""
+
+    HEAD = 0
+    BODY = 1
+    TAIL = 2
+    HEAD_TAIL = 3
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+
+
+class Packet:
+    """One network packet and its routing state.
+
+    Attributes:
+        id: unique packet identifier.
+        src / dst: router ids of the source and destination PEs.
+        size: flit count.
+        created_cycle: cycle the traffic generator produced the packet
+            (start of source queueing — latency is measured from here, so
+            saturation shows up as unbounded latency, as in the paper's
+            latency/injection-rate curves).
+        injected_cycle: cycle the head flit entered the source router.
+        delivered_cycle: cycle the tail flit was ejected at ``dst``.
+        measured: whether the packet belongs to the measurement window.
+        vn: the virtual network of the buffer currently holding the head
+            flit (updated on every VC allocation; used for rule checking
+            and VC-utilization statistics).
+        down_vl / up_vl: bound vertical-link indices (intermediate
+            destinations); ``up_vl`` is bound lazily when the packet
+            enters the interposer.
+        needs_rc: RC baseline - packet must traverse an RC buffer.
+        rc_boundary: RC baseline - router id of the RC buffer in use.
+    """
+
+    __slots__ = (
+        "id",
+        "src",
+        "dst",
+        "size",
+        "created_cycle",
+        "injected_cycle",
+        "delivered_cycle",
+        "measured",
+        "vn",
+        "down_vl",
+        "up_vl",
+        "needs_rc",
+        "rc_boundary",
+        "hops",
+        "flits_ejected",
+    )
+
+    def __init__(self, packet_id: int, src: int, dst: int, size: int, created_cycle: int):
+        self.id = packet_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.created_cycle = created_cycle
+        self.injected_cycle: int | None = None
+        self.delivered_cycle: int | None = None
+        self.measured = False
+        self.vn = 0
+        self.down_vl: int | None = None
+        self.up_vl: int | None = None
+        self.needs_rc = False
+        self.rc_boundary: int | None = None
+        self.hops = 0
+        self.flits_ejected = 0
+
+    @property
+    def latency(self) -> int | None:
+        """End-to-end latency (creation to tail ejection), if delivered."""
+        if self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.created_cycle
+
+    def flits(self) -> list["Flit"]:
+        """Serialize the packet into its flit sequence."""
+        if self.size == 1:
+            return [Flit(self, FlitKind.HEAD_TAIL, 0)]
+        kinds = [FlitKind.HEAD] + [FlitKind.BODY] * (self.size - 2) + [FlitKind.TAIL]
+        return [Flit(self, kind, seq) for seq, kind in enumerate(kinds)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Packet({self.id}, {self.src}->{self.dst}, size={self.size})"
+
+
+class Flit:
+    """One flow-control unit of a packet."""
+
+    __slots__ = ("packet", "kind", "seq")
+
+    def __init__(self, packet: Packet, kind: FlitKind, seq: int):
+        self.packet = packet
+        self.kind = kind
+        self.seq = seq
+
+    @property
+    def is_head(self) -> bool:
+        return self.kind.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.kind.is_tail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Flit(p{self.packet.id}.{self.seq} {self.kind.name})"

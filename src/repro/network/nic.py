@@ -1,0 +1,68 @@
+"""Network interface controllers (NICs).
+
+One NIC per PE-attached router. The NIC owns the source queue (unbounded,
+open-loop injection), serializes packets into flits, and feeds them into
+the router's LOCAL input port one flit per cycle, subject to buffer space.
+It also performs packet reassembly on ejection.
+
+Latency is measured from packet *creation* (entry into the source queue),
+so congestion at the source counts — this is what makes the latency curves
+blow up past saturation, as in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from .flit import Flit, Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..routing.base import RoutingAlgorithm
+
+
+class Nic:
+    """Injection queue + serializer for one router's local port."""
+
+    __slots__ = ("router_id", "queue", "current_flits", "current_index", "inject_vc")
+
+    def __init__(self, router_id: int):
+        self.router_id = router_id
+        self.queue: deque[Packet] = deque()
+        self.current_flits: list[Flit] | None = None
+        self.current_index = 0
+        self.inject_vc = 0
+
+    def enqueue(self, packet: Packet) -> None:
+        self.queue.append(packet)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a packet is currently being serialized into the router."""
+        return self.current_flits is not None
+
+    @property
+    def backlog(self) -> int:
+        """Packets waiting in the source queue (excluding the one in flight)."""
+        return len(self.queue)
+
+    def start_packet(self, packet: Packet, vc: int, cycle: int) -> None:
+        """Begin serializing ``packet`` into input VC ``vc``."""
+        packet.injected_cycle = cycle
+        self.current_flits = packet.flits()
+        self.current_index = 0
+        self.inject_vc = vc
+
+    def next_flit(self) -> Flit | None:
+        """The flit waiting to enter the router, if any."""
+        if self.current_flits is None:
+            return None
+        return self.current_flits[self.current_index]
+
+    def advance(self) -> None:
+        """Mark the pending flit as injected."""
+        assert self.current_flits is not None
+        self.current_index += 1
+        if self.current_index >= len(self.current_flits):
+            self.current_flits = None
+            self.current_index = 0

@@ -1,0 +1,167 @@
+"""Statistics collection for simulation runs.
+
+Collects exactly what the paper's evaluation reports:
+
+* average packet latency over measured packets (Figs. 4, 6, 8);
+* VC utilization per region — interposer and each chiplet (Fig. 5);
+* delivered/dropped packet counts — in-simulation reachability (Fig. 7
+  is computed analytically, but the simulator cross-checks it);
+* per-VL load distribution (diagnostics for the selection optimizer).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..topology.builder import System
+from ..topology.geometry import INTERPOSER_LAYER
+
+
+@dataclass
+class LatencySummary:
+    """Aggregate latency over the measured packet population.
+
+    Keeps the raw samples so tail percentiles are available — mean latency
+    alone hides the congestion tail that saturation studies care about.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    maximum: int = 0
+    minimum: int = 0
+    samples: list[int] = field(default_factory=list)
+
+    def record(self, latency: int) -> None:
+        if self.count == 0:
+            self.minimum = latency
+            self.maximum = latency
+        else:
+            self.minimum = min(self.minimum, latency)
+            self.maximum = max(self.maximum, latency)
+        self.count += 1
+        self.total += latency
+        self.samples.append(latency)
+
+    @property
+    def average(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile ``p`` in [0, 100] (nearest-rank method)."""
+        if not self.samples:
+            return float("nan")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return float(ordered[rank - 1])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+class StatsCollector:
+    """Mutable statistics accumulated by one simulation run."""
+
+    def __init__(self, system: System, num_vcs: int):
+        self.system = system
+        self.num_vcs = num_vcs
+        self.latency = LatencySummary()
+        self.hops = LatencySummary()
+        self.packets_created = 0
+        self.packets_measured = 0
+        self.packets_delivered = 0
+        self.packets_delivered_measured = 0
+        self.packets_dropped_unroutable = 0
+        self.packets_dropped_measured = 0
+        self.flit_hops = 0
+        # region (-1 interposer, else chiplet id) x vc -> flit traversals
+        self.vc_flits: dict[int, list[int]] = defaultdict(lambda: [0] * num_vcs)
+        # directed VL channel loads: (vl_index, direction 0=down,1=up) -> flits
+        self.vl_flits: dict[tuple[int, int], int] = defaultdict(int)
+        self.cycles_run = 0
+
+    # -- recording hooks ----------------------------------------------------
+
+    def on_packet_created(self, measured: bool) -> None:
+        self.packets_created += 1
+        if measured:
+            self.packets_measured += 1
+
+    def on_packet_dropped(self, measured: bool) -> None:
+        self.packets_dropped_unroutable += 1
+        if measured:
+            self.packets_dropped_measured += 1
+
+    def on_packet_delivered(self, latency: int, hops: int, measured: bool) -> None:
+        self.packets_delivered += 1
+        if measured:
+            self.packets_delivered_measured += 1
+            self.latency.record(latency)
+            self.hops.record(hops)
+
+    def on_flit_transfer(self, dest_layer: int, vc: int) -> None:
+        """A flit moved across a link into a router of ``dest_layer``."""
+        self.flit_hops += 1
+        self.vc_flits[dest_layer][vc] += 1
+
+    def on_vl_traversal(self, vl_index: int, direction: int) -> None:
+        self.vl_flits[(vl_index, direction)] += 1
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def average_latency(self) -> float:
+        return self.latency.average
+
+    @property
+    def delivered_ratio(self) -> float:
+        """Delivered / (delivered + dropped) over measured packets.
+
+        This is the simulator-side analogue of the paper's reachability
+        metric ("ratio of packets that can be successfully routed, to the
+        total number of injected packets").
+        """
+        attempted = self.packets_delivered_measured + self.packets_dropped_measured
+        if attempted == 0:
+            return float("nan")
+        return self.packets_delivered_measured / attempted
+
+    def vc_utilization(self, region: int) -> list[float]:
+        """Per-VC share of flit traversals in a region (sums to 1.0).
+
+        ``region`` is ``INTERPOSER_LAYER`` or a chiplet index. Regions with
+        no traffic return an even split (no information).
+        """
+        counts = self.vc_flits.get(region)
+        if not counts or sum(counts) == 0:
+            return [1.0 / self.num_vcs] * self.num_vcs
+        total = sum(counts)
+        return [c / total for c in counts]
+
+    def vc_utilization_report(self) -> dict[str, list[float]]:
+        """VC utilization for the interposer and every chiplet (Fig. 5)."""
+        report = {"interposer": self.vc_utilization(INTERPOSER_LAYER)}
+        for chiplet in range(self.system.spec.num_chiplets):
+            report[f"chiplet-{chiplet}"] = self.vc_utilization(chiplet)
+        return report
+
+    def vl_load_report(self) -> dict[int, tuple[int, int]]:
+        """Per-VL (down_flits, up_flits) totals."""
+        report: dict[int, tuple[int, int]] = {}
+        for link in self.system.vls:
+            down = self.vl_flits.get((link.index, 0), 0)
+            up = self.vl_flits.get((link.index, 1), 0)
+            report[link.index] = (down, up)
+        return report

@@ -1,0 +1,34 @@
+"""ORION-style analytical router area/power estimation (Table I).
+
+The paper used Cadence Genus + ORION 3.0 at 45 nm / 1 GHz. This package
+provides a component-level analytical model (buffers, crossbar,
+allocators, routing logic, plus the algorithm-specific structures: DeFT's
+selection LUTs and VN logic, RC's packet buffer and permission logic)
+with per-bit technology constants calibrated against the paper's
+published MTR anchor values. Relative overheads — the quantity Table I
+compares — emerge from the modelled structure sizes.
+"""
+
+from .model import (
+    RouterParams,
+    RouterEstimate,
+    TECHNOLOGY_45NM,
+    Technology,
+    estimate_deft_router,
+    estimate_mtr_router,
+    estimate_rc_boundary_router,
+    estimate_rc_nonboundary_router,
+    table1,
+)
+
+__all__ = [
+    "RouterParams",
+    "RouterEstimate",
+    "Technology",
+    "TECHNOLOGY_45NM",
+    "estimate_mtr_router",
+    "estimate_rc_nonboundary_router",
+    "estimate_rc_boundary_router",
+    "estimate_deft_router",
+    "table1",
+]

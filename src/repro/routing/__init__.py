@@ -1,0 +1,31 @@
+"""Routing algorithms for 2.5D chiplet systems.
+
+* :class:`~repro.routing.base.RoutingAlgorithm` — the interface the
+  simulator drives (route computation, packet preparation, fault
+  rebinding, injection-permission hooks).
+* :class:`~repro.routing.deft.DeftRouting` — the paper's contribution,
+  with pluggable VL-selection strategies (optimized / distance / random).
+* :class:`~repro.routing.mtr.MtrRouting` — modular turn-restriction
+  baseline (Yin et al., ISCA 2018).
+* :class:`~repro.routing.rc.RcRouting` — remote-control baseline
+  (Majumder et al., IEEE TC 2020).
+"""
+
+from .base import Port, RouteDecision, RoutingAlgorithm, PhasedRoutingMixin
+from .deft import DeftRouting, VlSelectionStrategy
+from .mtr import MtrRouting
+from .rc import RcRouting
+from .registry import available_algorithms, make_algorithm
+
+__all__ = [
+    "Port",
+    "RouteDecision",
+    "RoutingAlgorithm",
+    "PhasedRoutingMixin",
+    "DeftRouting",
+    "VlSelectionStrategy",
+    "MtrRouting",
+    "RcRouting",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,162 @@
+"""MTR baseline: modular turn-restriction routing (Yin et al., ISCA 2018).
+
+The DeFT paper characterizes MTR by three properties, all reproduced here:
+
+1. **Turn restrictions at boundary routers** break inter-chiplet cyclic
+   dependencies, at the price of coupling interposer and chiplet designs
+   ("each interposer router needs to know whether a packet can reach its
+   destination through a VL while considering the restricted turns").
+2. **Limited VL selection** — the restrictions make only a subset of a
+   chiplet's VLs usable by each router. We model the effective
+   compatibility relation as a *column partition*: a router may only use
+   the VLs on its own half of the chiplet (west-half routers use the
+   west-column VLs, east-half routers the east-column VLs). With the
+   baseline border placement this leaves every router exactly two legal
+   VLs — which is precisely the fault profile the paper measures for MTR:
+   full reachability under any single VL fault, degradation from two
+   faults on (Fig. 7), and a much worse worst case than DeFT.
+3. **No selection optimization** — within its legal set a router binds to
+   the nearest VL, re-binding (still within the legal set) when a fault
+   occurs. An empty legal set makes the pair unreachable.
+
+Deadlock freedom: the published MTR derives bespoke restrictions; rather
+than reproduce that derivation, the simulation uses the conservative
+*layered* VC discipline (VC0 before the up-traversal, VC1 after) — a fixed
+assignment that satisfies DeFT's Rules 1-3 and is therefore provably
+deadlock-free, while exhibiting the unbalanced VC utilization that the
+paper attributes to the baselines (intra-chiplet and pre-interposer
+traffic all rides VC0). See DESIGN.md, "MTR modelling notes".
+"""
+
+from __future__ import annotations
+
+from ..core.vn import VN0, VN1
+from ..errors import RoutingError, UnroutablePacketError
+from ..network.flit import Packet
+from ..topology.builder import System, VerticalLink
+from ..topology.geometry import INTERPOSER_LAYER
+from .base import PhasedRoutingMixin, Port, RouteDecision, RoutingAlgorithm
+
+
+def _layered_vns(router, in_port: Port, out_port: Port, vn_in: int) -> tuple[int, ...]:
+    """Fixed pre-up/post-up VC assignment shared by the MTR and RC models.
+
+    * up-traversals switch to (and stay in) VN.1;
+    * every other hop keeps the current VN.
+
+    This is Algorithm 1 with the round-robin choices pinned to VN.0, so it
+    inherits DeFT's deadlock-freedom argument while using the VCs in the
+    unbalanced way typical of layered escape schemes.
+    """
+    if out_port == Port.VERTICAL and router.is_interposer:
+        return (VN1,)
+    return (vn_in,)
+
+
+class MtrRouting(PhasedRoutingMixin, RoutingAlgorithm):
+    """Modular turn-restriction baseline."""
+
+    name = "MTR"
+
+    def __init__(self, system: System):
+        super().__init__(system)
+        # chiplet -> router id -> ordered legal VLs (nearest first).
+        self._legal_down: dict[int, tuple[VerticalLink, ...]] = {}
+        self._legal_up: dict[int, tuple[VerticalLink, ...]] = {}
+        for chiplet in range(system.spec.num_chiplets):
+            for router in system.chiplet_routers(chiplet):
+                legal = self._legal_vls(router)
+                self._legal_down[router.id] = legal
+                self._legal_up[router.id] = legal
+
+    def _legal_vls(self, router) -> tuple[VerticalLink, ...]:
+        """VLs compatible with the (modelled) turn restrictions for a router.
+
+        Column partition: the chiplet's VL columns are split at the median;
+        a router is restricted to VLs of its own side. Chiplets whose VLs
+        all share one column keep every VL legal (nothing to restrict).
+        Within the legal set, VLs are ordered nearest-first (stable tie
+        break on local index).
+        """
+        links = self.system.vls_of_chiplet(router.layer)
+        columns = sorted({link.cx for link in links})
+        if len(columns) >= 2:
+            split = columns[len(columns) // 2]  # first east-side column
+            west = [link for link in links if link.cx < split]
+            east = [link for link in links if link.cx >= split]
+            legal = west if router.x < split else east
+            if not legal:  # degenerate placements: fall back to all VLs
+                legal = list(links)
+        else:
+            legal = list(links)
+        legal.sort(
+            key=lambda link: (
+                abs(router.x - link.cx) + abs(router.y - link.cy),
+                link.local_index,
+            )
+        )
+        return tuple(legal)
+
+    # ------------------------------------------------------------------
+    # bindings under the current fault state
+    # ------------------------------------------------------------------
+
+    def _bound_down(self, src_router: int) -> VerticalLink | None:
+        """Nearest legal VL with a live down channel, if any."""
+        for link in self._legal_down[src_router]:
+            if self.fault_state.down_ok(link.index):
+                return link
+        return None
+
+    def _bound_up(self, dst_router: int) -> VerticalLink | None:
+        """Nearest legal VL with a live up channel towards a destination."""
+        for link in self._legal_up[dst_router]:
+            if self.fault_state.up_ok(link.index):
+                return link
+        return None
+
+    # ------------------------------------------------------------------
+    # RoutingAlgorithm contract
+    # ------------------------------------------------------------------
+
+    def is_routable(self, src: int, dst: int) -> bool:
+        routers = self.system.routers
+        src_layer, dst_layer = routers[src].layer, routers[dst].layer
+        if src_layer == dst_layer:
+            return True
+        if src_layer != INTERPOSER_LAYER and self._bound_down(src) is None:
+            return False
+        if dst_layer != INTERPOSER_LAYER and self._bound_up(dst) is None:
+            return False
+        return True
+
+    def prepare_packet(self, packet: Packet) -> None:
+        src = self.system.routers[packet.src]
+        dst = self.system.routers[packet.dst]
+        packet.vn = VN0
+        packet.down_vl = None
+        packet.up_vl = None
+        if src.layer != dst.layer and not src.is_interposer:
+            link = self._bound_down(packet.src)
+            if link is None:
+                raise UnroutablePacketError(
+                    f"MTR: router {packet.src} has no legal live down VL"
+                )
+            packet.down_vl = link.index
+        if dst.layer != src.layer and not dst.is_interposer:
+            if self._bound_up(packet.dst) is None:
+                raise UnroutablePacketError(
+                    f"MTR: destination {packet.dst} has no legal live up VL"
+                )
+
+    def _bind_up_vl(self, packet: Packet) -> None:
+        link = self._bound_up(packet.dst)
+        if link is None:
+            raise RoutingError(f"MTR: destination {packet.dst} lost its up VLs in flight")
+        packet.up_vl = link.index
+
+    def route(self, packet: Packet, router_id: int, in_port: Port) -> RouteDecision:
+        router = self.system.routers[router_id]
+        out_port = self._phased_out_port(packet, router)
+        vns = _layered_vns(router, in_port, out_port, packet.vn)
+        return RouteDecision(out_port, vns)

@@ -1,0 +1,78 @@
+"""Naive chiplet routing — the deadlock-prone strawman of Fig. 1.
+
+Three-phase minimal routing with nearest-VL selection and *no* protection:
+no VN discipline (every hop stays in VN.0, i.e. a single VC class), no turn
+restrictions, no RC buffer. Locally each segment is deadlock-free XY, but
+inter-chiplet dependency cycles exist — exactly the motivation example of
+the paper's Fig. 1.
+
+Used by the CDG analysis (its dependency graph is cyclic) and by the
+integration tests (the simulator's watchdog catches it livelocked/
+deadlocked under adversarial load, while DeFT never trips).
+"""
+
+from __future__ import annotations
+
+from ..core.vn import VN0
+from ..errors import RoutingError, UnroutablePacketError
+from ..network.flit import Packet
+from ..topology.builder import System, VerticalLink
+from ..topology.geometry import INTERPOSER_LAYER
+from .base import PhasedRoutingMixin, Port, RouteDecision, RoutingAlgorithm
+
+
+class NaiveRouting(PhasedRoutingMixin, RoutingAlgorithm):
+    """Unprotected nearest-VL routing (deadlock-prone by design)."""
+
+    name = "Naive"
+
+    def __init__(self, system: System):
+        super().__init__(system)
+        self._nearest: dict[int, VerticalLink] = {}
+        for chiplet in range(system.spec.num_chiplets):
+            links = system.vls_of_chiplet(chiplet)
+            for router in system.chiplet_routers(chiplet):
+                self._nearest[router.id] = min(
+                    links,
+                    key=lambda link: (
+                        abs(router.x - link.cx) + abs(router.y - link.cy),
+                        link.local_index,
+                    ),
+                )
+
+    def is_routable(self, src: int, dst: int) -> bool:
+        routers = self.system.routers
+        src_layer, dst_layer = routers[src].layer, routers[dst].layer
+        if src_layer == dst_layer:
+            return True
+        if src_layer != INTERPOSER_LAYER:
+            if not self.fault_state.down_ok(self._nearest[src].index):
+                return False
+        if dst_layer != INTERPOSER_LAYER:
+            if not self.fault_state.up_ok(self._nearest[dst].index):
+                return False
+        return True
+
+    def prepare_packet(self, packet: Packet) -> None:
+        src = self.system.routers[packet.src]
+        dst = self.system.routers[packet.dst]
+        packet.vn = VN0
+        packet.down_vl = None
+        packet.up_vl = None
+        if src.layer != dst.layer and not src.is_interposer:
+            link = self._nearest[packet.src]
+            if not self.fault_state.down_ok(link.index):
+                raise UnroutablePacketError("naive routing cannot avoid the faulty VL")
+            packet.down_vl = link.index
+
+    def _bind_up_vl(self, packet: Packet) -> None:
+        link = self._nearest[packet.dst]
+        if not self.fault_state.up_ok(link.index):
+            raise RoutingError("naive routing cannot avoid the faulty up VL")
+        packet.up_vl = link.index
+
+    def route(self, packet: Packet, router_id: int, in_port: Port) -> RouteDecision:
+        router = self.system.routers[router_id]
+        out_port = self._phased_out_port(packet, router)
+        # Single VC class, no switching: the unprotected configuration.
+        return RouteDecision(out_port, (VN0,))

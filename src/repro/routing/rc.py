@@ -1,0 +1,191 @@
+"""RC baseline: remote-control deadlock avoidance (Majumder et al., TC 2020).
+
+RC breaks inter-chiplet dependency cycles with hardware rather than turn
+or VC rules:
+
+* every boundary router owns an **RC buffer** able to hold one whole
+  packet; a descending packet is absorbed completely (store-and-forward)
+  before it re-enters the network towards the interposer, so chiplet
+  buffers are never held by packets waiting on interposer resources;
+* a **permission network** serializes access: a source router must be
+  granted the RC buffer of its (statically bound) boundary router before
+  it may inject an inter-chiplet packet. The grant round trip costs
+  ``2 x hops + 2`` cycles and the token is held until the RC buffer has
+  fully drained down the vertical link.
+
+Consequences reproduced from the paper:
+
+* extra serialization latency that grows with load (Figs. 4 and 6);
+* a fixed router -> VL binding ("the RC-buffer is shared among the chiplet
+  routers that utilize the boundary router"), hence **zero VL-fault
+  tolerance** (Fig. 7: "RC cannot tolerate any faults");
+* extra area/power for the RC buffer and permission logic on boundary
+  routers (Table I).
+
+Like the MTR model, the simulation runs RC on the layered VC discipline
+(VC0 before the up-traversal, VC1 after), which is deadlock-free by
+DeFT's own rules and matches the unbalanced VC usage of the baselines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.vn import VN0
+from ..errors import RoutingError, UnroutablePacketError
+from ..network.flit import Packet
+from ..topology.builder import System, VerticalLink
+from ..topology.geometry import INTERPOSER_LAYER
+from .base import PhasedRoutingMixin, Port, RouteDecision, RoutingAlgorithm
+from .mtr import _layered_vns
+
+
+class _Token:
+    """Permission token of one boundary router's RC buffer."""
+
+    __slots__ = ("holder", "grant_cycle", "waiters")
+
+    def __init__(self) -> None:
+        self.holder: int | None = None      # packet id
+        self.grant_cycle = 0                # cycle the grant reaches the source
+        self.waiters: deque[tuple[int, int]] = deque()  # (packet id, src router)
+
+
+class RcRouting(PhasedRoutingMixin, RoutingAlgorithm):
+    """Remote-control baseline."""
+
+    name = "RC"
+
+    def __init__(self, system: System, grant_overhead: int = 2):
+        super().__init__(system)
+        self.grant_overhead = grant_overhead
+        # Fixed nearest-VL bindings (never re-bound: the permission network
+        # hard-wires each router to one boundary router).
+        self._down_binding: dict[int, VerticalLink] = {}
+        self._up_binding: dict[int, VerticalLink] = {}
+        for chiplet in range(system.spec.num_chiplets):
+            links = system.vls_of_chiplet(chiplet)
+            for router in system.chiplet_routers(chiplet):
+                nearest = min(
+                    links,
+                    key=lambda link: (
+                        abs(router.x - link.cx) + abs(router.y - link.cy),
+                        link.local_index,
+                    ),
+                )
+                self._down_binding[router.id] = nearest
+                self._up_binding[router.id] = nearest
+        self._boundary_routers = {
+            link.chiplet_router for link in system.vls
+        }
+        self._tokens: dict[int, _Token] = {
+            b: _Token() for b in self._boundary_routers
+        }
+
+    # ------------------------------------------------------------------
+    # RoutingAlgorithm contract
+    # ------------------------------------------------------------------
+
+    def is_routable(self, src: int, dst: int) -> bool:
+        routers = self.system.routers
+        src_layer, dst_layer = routers[src].layer, routers[dst].layer
+        if src_layer == dst_layer:
+            return True
+        if src_layer != INTERPOSER_LAYER:
+            if not self.fault_state.down_ok(self._down_binding[src].index):
+                return False
+        if dst_layer != INTERPOSER_LAYER:
+            if not self.fault_state.up_ok(self._up_binding[dst].index):
+                return False
+        return True
+
+    def prepare_packet(self, packet: Packet) -> None:
+        src = self.system.routers[packet.src]
+        dst = self.system.routers[packet.dst]
+        packet.vn = VN0
+        packet.down_vl = None
+        packet.up_vl = None
+        packet.needs_rc = False
+        if src.layer != dst.layer and not src.is_interposer:
+            link = self._down_binding[packet.src]
+            if not self.fault_state.down_ok(link.index):
+                raise UnroutablePacketError(
+                    f"RC: bound down VL {link.index} of router {packet.src} is faulty"
+                )
+            packet.down_vl = link.index
+            packet.needs_rc = True
+            packet.rc_boundary = link.chiplet_router
+        if dst.layer != src.layer and not dst.is_interposer:
+            link = self._up_binding[packet.dst]
+            if not self.fault_state.up_ok(link.index):
+                raise UnroutablePacketError(
+                    f"RC: bound up VL {link.index} of router {packet.dst} is faulty"
+                )
+
+    def _bind_up_vl(self, packet: Packet) -> None:
+        link = self._up_binding[packet.dst]
+        if not self.fault_state.up_ok(link.index):
+            raise RoutingError(f"RC: up VL {link.index} failed in flight")
+        packet.up_vl = link.index
+
+    def route(self, packet: Packet, router_id: int, in_port: Port) -> RouteDecision:
+        router = self.system.routers[router_id]
+        out_port = self._phased_out_port(packet, router)
+        vns = _layered_vns(router, in_port, out_port, packet.vn)
+        return RouteDecision(out_port, vns)
+
+    # ------------------------------------------------------------------
+    # permission network + RC buffers
+    # ------------------------------------------------------------------
+
+    def uses_rc_buffer(self, router_id: int) -> bool:
+        return router_id in self._boundary_routers
+
+    def packet_needs_rc(self, packet: Packet) -> bool:
+        return packet.needs_rc
+
+    def may_inject(self, packet: Packet, cycle: int) -> bool:
+        src = self.system.routers[packet.src]
+        dst = self.system.routers[packet.dst]
+        if src.layer == dst.layer or src.is_interposer:
+            return True  # no down-traversal, no RC buffer involved
+        boundary = self._down_binding[packet.src].chiplet_router
+        token = self._tokens[boundary]
+        if token.holder == packet.id:
+            return cycle >= token.grant_cycle
+        if token.holder is None and not token.waiters:
+            self._grant(token, packet.id, packet.src, boundary, cycle)
+            return cycle >= token.grant_cycle
+        if all(packet.id != waiting for waiting, _ in token.waiters):
+            token.waiters.append((packet.id, packet.src))
+        if token.holder is None:
+            waiting, src_router = token.waiters.popleft()
+            self._grant(token, waiting, src_router, boundary, cycle)
+            return token.holder == packet.id and cycle >= token.grant_cycle
+        return False
+
+    def _grant(self, token: _Token, packet_id: int, src_router: int,
+               boundary: int, cycle: int) -> None:
+        distance = self.system.distance_on_layer(src_router, boundary)
+        token.holder = packet_id
+        token.grant_cycle = cycle + 2 * distance + self.grant_overhead
+
+    def on_rc_buffer_drained(self, router_id: int, packet: Packet, cycle: int) -> None:
+        token = self._tokens.get(router_id)
+        if token is None or token.holder != packet.id:
+            return
+        token.holder = None
+        if token.waiters:
+            waiting, src_router = token.waiters.popleft()
+            self._grant(token, waiting, src_router, router_id, cycle)
+
+    def reset_runtime_state(self) -> None:
+        self._tokens = {b: _Token() for b in self._boundary_routers}
+
+    # -- introspection (used by tests and the area model) -------------------
+
+    def down_binding(self, router_id: int) -> VerticalLink:
+        return self._down_binding[router_id]
+
+    def up_binding(self, router_id: int) -> VerticalLink:
+        return self._up_binding[router_id]

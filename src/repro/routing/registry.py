@@ -1,0 +1,45 @@
+"""Routing-algorithm registry (string names -> constructors).
+
+Used by the CLI and the experiment harness so that every figure's bench
+can be parameterized with plain algorithm names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..topology.builder import System
+from .base import RoutingAlgorithm
+from .deft import DeftRouting, VlSelectionStrategy
+from .mtr import MtrRouting
+from .rc import RcRouting
+
+_FACTORIES: dict[str, Callable[[System], RoutingAlgorithm]] = {
+    "deft": lambda system: DeftRouting(system),
+    "deft-dis": lambda system: DeftRouting(system, VlSelectionStrategy.DISTANCE),
+    "deft-ran": lambda system: DeftRouting(system, VlSelectionStrategy.RANDOM),
+    "deft-ada": lambda system: DeftRouting(system, VlSelectionStrategy.ADAPTIVE),
+    "mtr": MtrRouting,
+    "rc": RcRouting,
+}
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Registered algorithm names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_algorithm(name: str, system: System) -> RoutingAlgorithm:
+    """Instantiate an algorithm by name for a system.
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown routing algorithm '{name}'; available: {available_algorithms()}"
+        ) from None
+    return factory(system)

@@ -1,0 +1,53 @@
+"""2.5D chiplet topology model.
+
+The topology package describes the physical structure of a 2.5D system:
+chiplets (2D meshes of routers, each with a core PE), an active interposer
+(a 2D mesh covering the full footprint, optionally with DRAM/L2/directory
+PEs on selected routers), and the vertical links (VLs) connecting chiplet
+boundary routers to the interposer routers directly beneath them.
+
+Public entry points:
+
+* :func:`build_system` — construct a :class:`System` from a
+  :class:`SystemSpec`.
+* :func:`repro.topology.presets.baseline_4_chiplets` /
+  :func:`repro.topology.presets.baseline_6_chiplets` — the paper's two
+  evaluation systems.
+"""
+
+from .geometry import (
+    Direction,
+    PortKind,
+    INTERPOSER_LAYER,
+    direction_between,
+    manhattan,
+    opposite,
+)
+from .spec import ChipletSpec, SystemSpec
+from .builder import PEKind, Router, System, VerticalLink, build_system
+from .presets import (
+    baseline_4_chiplets,
+    baseline_6_chiplets,
+    chiplet_grid,
+    single_chiplet,
+)
+
+__all__ = [
+    "Direction",
+    "PortKind",
+    "INTERPOSER_LAYER",
+    "direction_between",
+    "manhattan",
+    "opposite",
+    "ChipletSpec",
+    "SystemSpec",
+    "PEKind",
+    "Router",
+    "System",
+    "VerticalLink",
+    "build_system",
+    "baseline_4_chiplets",
+    "baseline_6_chiplets",
+    "chiplet_grid",
+    "single_chiplet",
+]

@@ -1,0 +1,281 @@
+"""System builder: turns a :class:`SystemSpec` into a router graph.
+
+The built :class:`System` is the single source of truth about connectivity
+used by the simulator, the routing algorithms, and all analyses. Router
+identifiers are dense integers: interposer routers first (row-major), then
+each chiplet's routers (row-major, in chiplet order), so arrays indexed by
+router id are compact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+from .geometry import Direction, INTERPOSER_LAYER, manhattan
+from .spec import ChipletSpec, SystemSpec
+
+
+class PEKind(enum.IntEnum):
+    """Processing element attached to a router (if any)."""
+
+    NONE = 0
+    CORE = 1
+    DRAM = 2
+
+
+@dataclass
+class Router:
+    """One router of the 2.5D system.
+
+    Attributes:
+        id: dense integer identifier.
+        layer: ``INTERPOSER_LAYER`` (-1) or the chiplet index.
+        x / y: layer-local mesh coordinates.
+        gx / gy: footprint (interposer-grid) coordinates; for interposer
+            routers these equal ``x``/``y``, for chiplet routers they are
+            offset by the chiplet origin. Two routers with equal ``gx, gy``
+            on different layers are vertically aligned.
+        pe: attached processing element kind.
+        neighbors: mesh neighbours by direction (same layer only).
+        vertical_neighbor: id of the router at the other end of this
+            router's vertical link, or ``None``.
+        vl_index: index into :attr:`System.vls` when this router terminates
+            a vertical link (on either side), else ``None``.
+    """
+
+    id: int
+    layer: int
+    x: int
+    y: int
+    gx: int
+    gy: int
+    pe: PEKind = PEKind.NONE
+    neighbors: dict[Direction, int] = field(default_factory=dict)
+    vertical_neighbor: int | None = None
+    vl_index: int | None = None
+
+    @property
+    def is_interposer(self) -> bool:
+        return self.layer == INTERPOSER_LAYER
+
+    @property
+    def is_boundary(self) -> bool:
+        """True for chiplet routers that own a vertical link (paper's term)."""
+        return not self.is_interposer and self.vertical_neighbor is not None
+
+    @property
+    def has_vertical(self) -> bool:
+        return self.vertical_neighbor is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = "ip" if self.is_interposer else f"c{self.layer}"
+        return f"Router({self.id}, {where}({self.x},{self.y}), pe={self.pe.name})"
+
+
+@dataclass(frozen=True)
+class VerticalLink:
+    """A bidirectional vertical link (microbump stack) between layers.
+
+    The fault model treats the two directions independently: the *down*
+    channel carries chiplet -> interposer traffic, the *up* channel carries
+    interposer -> chiplet traffic.
+
+    Attributes:
+        index: global VL index (dense, grouped by chiplet).
+        chiplet: owning chiplet index.
+        local_index: index of this VL among the chiplet's VLs (0-based).
+        chiplet_router: id of the boundary router on the chiplet side.
+        interposer_router: id of the interposer router underneath.
+        cx / cy: chiplet-local coordinates of the boundary router,
+            used by the distance cost (paper eq. 4).
+    """
+
+    index: int
+    chiplet: int
+    local_index: int
+    chiplet_router: int
+    interposer_router: int
+    cx: int
+    cy: int
+
+
+class System:
+    """A built 2.5D system: routers, links and lookup tables.
+
+    Construct via :func:`build_system`; instances are immutable in practice
+    (nothing in the library mutates a built system).
+    """
+
+    def __init__(self, spec: SystemSpec):
+        self.spec = spec
+        self.routers: list[Router] = []
+        self.vls: list[VerticalLink] = []
+        self._by_coord: dict[tuple[int, int, int], int] = {}
+        self._vls_of_chiplet: dict[int, list[VerticalLink]] = {}
+        self._build_interposer()
+        self._build_chiplets()
+        self._build_vertical_links()
+        self._index_pes()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _add_router(self, layer: int, x: int, y: int, gx: int, gy: int, pe: PEKind) -> Router:
+        router = Router(id=len(self.routers), layer=layer, x=x, y=y, gx=gx, gy=gy, pe=pe)
+        self.routers.append(router)
+        self._by_coord[(layer, x, y)] = router.id
+        return router
+
+    def _build_interposer(self) -> None:
+        spec = self.spec
+        drams = set(spec.dram_positions)
+        for y in range(spec.interposer_height):
+            for x in range(spec.interposer_width):
+                pe = PEKind.DRAM if (x, y) in drams else PEKind.NONE
+                self._add_router(INTERPOSER_LAYER, x, y, x, y, pe)
+        self._connect_mesh(INTERPOSER_LAYER, spec.interposer_width, spec.interposer_height)
+
+    def _build_chiplets(self) -> None:
+        for index, chiplet in enumerate(self.spec.chiplets):
+            ox, oy = chiplet.origin
+            for y in range(chiplet.height):
+                for x in range(chiplet.width):
+                    self._add_router(index, x, y, ox + x, oy + y, PEKind.CORE)
+            self._connect_mesh(index, chiplet.width, chiplet.height)
+
+    def _connect_mesh(self, layer: int, width: int, height: int) -> None:
+        for y in range(height):
+            for x in range(width):
+                router = self.routers[self._by_coord[(layer, x, y)]]
+                for direction in Direction:
+                    nx, ny = x + direction.dx, y + direction.dy
+                    neighbor = self._by_coord.get((layer, nx, ny))
+                    if neighbor is not None:
+                        router.neighbors[direction] = neighbor
+
+    def _build_vertical_links(self) -> None:
+        for index, chiplet in enumerate(self.spec.chiplets):
+            ox, oy = chiplet.origin
+            links: list[VerticalLink] = []
+            for local_index, (cx, cy) in enumerate(chiplet.vl_positions):
+                top_id = self._by_coord[(index, cx, cy)]
+                bottom_id = self._by_coord.get((INTERPOSER_LAYER, ox + cx, oy + cy))
+                if bottom_id is None:
+                    raise TopologyError(
+                        f"no interposer router beneath chiplet {index} VL ({cx},{cy})"
+                    )
+                top, bottom = self.routers[top_id], self.routers[bottom_id]
+                if bottom.vertical_neighbor is not None:
+                    raise TopologyError(
+                        f"interposer router ({bottom.x},{bottom.y}) already has a VL"
+                    )
+                link = VerticalLink(
+                    index=len(self.vls),
+                    chiplet=index,
+                    local_index=local_index,
+                    chiplet_router=top_id,
+                    interposer_router=bottom_id,
+                    cx=cx,
+                    cy=cy,
+                )
+                self.vls.append(link)
+                links.append(link)
+                top.vertical_neighbor = bottom_id
+                top.vl_index = link.index
+                bottom.vertical_neighbor = top_id
+                bottom.vl_index = link.index
+            self._vls_of_chiplet[index] = links
+
+    def _index_pes(self) -> None:
+        self.cores: tuple[int, ...] = tuple(
+            r.id for r in self.routers if r.pe is PEKind.CORE
+        )
+        self.drams: tuple[int, ...] = tuple(
+            r.id for r in self.routers if r.pe is PEKind.DRAM
+        )
+        self.pes: tuple[int, ...] = self.cores + self.drams
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        return len(self.routers)
+
+    @property
+    def num_interposer_routers(self) -> int:
+        return self.spec.interposer_width * self.spec.interposer_height
+
+    def router_id(self, layer: int, x: int, y: int) -> int:
+        """Router id at layer-local coordinates; raises for unknown coords."""
+        try:
+            return self._by_coord[(layer, x, y)]
+        except KeyError:
+            raise TopologyError(f"no router at layer {layer} ({x},{y})") from None
+
+    def router(self, router_id: int) -> Router:
+        return self.routers[router_id]
+
+    def layer_of(self, router_id: int) -> int:
+        return self.routers[router_id].layer
+
+    def chiplet_routers(self, chiplet: int) -> list[Router]:
+        """All routers of one chiplet, row-major order."""
+        spec = self.spec.chiplets[chiplet]
+        return [
+            self.routers[self._by_coord[(chiplet, x, y)]]
+            for y in range(spec.height)
+            for x in range(spec.width)
+        ]
+
+    def interposer_routers(self) -> list[Router]:
+        return self.routers[: self.num_interposer_routers]
+
+    def vls_of_chiplet(self, chiplet: int) -> list[VerticalLink]:
+        """The chiplet's vertical links in local-index order."""
+        return list(self._vls_of_chiplet[chiplet])
+
+    def vl(self, index: int) -> VerticalLink:
+        return self.vls[index]
+
+    def distance_on_layer(self, a: int, b: int) -> int:
+        """Hop count between two routers of the same layer (paper eq. 4)."""
+        ra, rb = self.routers[a], self.routers[b]
+        if ra.layer != rb.layer:
+            raise TopologyError(f"routers {a} and {b} are on different layers")
+        return manhattan(ra.x, ra.y, rb.x, rb.y)
+
+    def same_chiplet(self, a: int, b: int) -> bool:
+        ra, rb = self.routers[a], self.routers[b]
+        return ra.layer == rb.layer and not ra.is_interposer
+
+    def signature(self) -> str:
+        """A stable string identifying the topology (used for caching)."""
+        spec = self.spec
+        parts = [f"ip{spec.interposer_width}x{spec.interposer_height}"]
+        for chiplet in spec.chiplets:
+            vl_text = ",".join(f"{x}.{y}" for x, y in chiplet.vl_positions)
+            parts.append(
+                f"c@{chiplet.origin[0]}.{chiplet.origin[1]}"
+                f"+{chiplet.width}x{chiplet.height}[{vl_text}]"
+            )
+        if spec.dram_positions:
+            parts.append("d" + ",".join(f"{x}.{y}" for x, y in spec.dram_positions))
+        return "|".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"System({self.spec.describe()})"
+
+
+def build_system(spec: SystemSpec) -> System:
+    """Build the router graph for ``spec``.
+
+    Raises:
+        TopologyError: if a vertical link has no interposer router beneath
+            it or two VLs collide on the same interposer router.
+    """
+    return System(spec)

@@ -1,0 +1,147 @@
+"""Geometric primitives: directions, port kinds, coordinates.
+
+Coordinate convention: ``x`` grows eastward, ``y`` grows southward (screen
+coordinates, matching the figures in the paper). ``NORTH`` is ``-y``.
+
+Port naming follows the paper (Section III-A):
+
+* "Horizontal" ports are EAST/WEST/NORTH/SOUTH — intra-chiplet and
+  intra-interposer mesh links.
+* The "Down" port carries a packet from a chiplet boundary router to the
+  interposer router beneath it; the "Up" port carries a packet from an
+  interposer router to the chiplet boundary router above it. In this
+  implementation each vertically-connected router has a single *vertical*
+  port whose traversal direction (up/down) is implied by which layer the
+  router is on.
+* The "Local" port connects a router to its processing element.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Layer index used for interposer routers; chiplets use indices 0..N-1.
+INTERPOSER_LAYER = -1
+
+
+class Direction(enum.IntEnum):
+    """A mesh link direction (also used as an output-port identifier)."""
+
+    EAST = 0
+    WEST = 1
+    NORTH = 2
+    SOUTH = 3
+
+    @property
+    def dx(self) -> int:
+        return {Direction.EAST: 1, Direction.WEST: -1}.get(self, 0)
+
+    @property
+    def dy(self) -> int:
+        return {Direction.SOUTH: 1, Direction.NORTH: -1}.get(self, 0)
+
+
+class PortKind(enum.IntEnum):
+    """Classification of a router port as used by the VN rules.
+
+    ``VERTICAL`` is the single up/down port of a vertically connected
+    router; whether its traversal is "Up" or "Down" in the paper's sense
+    depends on the router's layer (chiplet side sends down, interposer side
+    sends up).
+    """
+
+    LOCAL = 0
+    HORIZONTAL = 1
+    VERTICAL = 2
+
+
+_OPPOSITE = {
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+}
+
+
+def opposite(direction: Direction) -> Direction:
+    """Return the opposing mesh direction (EAST <-> WEST, NORTH <-> SOUTH)."""
+    return _OPPOSITE[direction]
+
+
+def manhattan(ax: int, ay: int, bx: int, by: int) -> int:
+    """Hop count between two routers of the same mesh (paper eq. 4)."""
+    return abs(ax - bx) + abs(ay - by)
+
+
+def direction_between(ax: int, ay: int, bx: int, by: int) -> Direction:
+    """Direction of the single-hop move from ``(ax, ay)`` to ``(bx, by)``.
+
+    Raises:
+        ValueError: if the two coordinates are not mesh neighbours.
+    """
+    dx, dy = bx - ax, by - ay
+    if (dx, dy) == (1, 0):
+        return Direction.EAST
+    if (dx, dy) == (-1, 0):
+        return Direction.WEST
+    if (dx, dy) == (0, -1):
+        return Direction.NORTH
+    if (dx, dy) == (0, 1):
+        return Direction.SOUTH
+    raise ValueError(f"({ax},{ay}) and ({bx},{by}) are not mesh neighbours")
+
+
+def xy_first_step(ax: int, ay: int, bx: int, by: int) -> Direction:
+    """First hop of the XY-minimal route from ``a`` to ``b`` (X, then Y).
+
+    Raises:
+        ValueError: if ``a == b`` (no step needed).
+    """
+    if ax < bx:
+        return Direction.EAST
+    if ax > bx:
+        return Direction.WEST
+    if ay > by:
+        return Direction.NORTH
+    if ay < by:
+        return Direction.SOUTH
+    raise ValueError("source and destination coincide; no XY step exists")
+
+
+def xy_path(ax: int, ay: int, bx: int, by: int) -> list[tuple[int, int]]:
+    """All coordinates of the XY-minimal route from ``a`` to ``b``, inclusive."""
+    path = [(ax, ay)]
+    x, y = ax, ay
+    while x != bx:
+        x += 1 if bx > x else -1
+        path.append((x, y))
+    while y != by:
+        y += 1 if by > y else -1
+        path.append((x, y))
+    return path
+
+
+def xy_arrival_direction(ax: int, ay: int, bx: int, by: int) -> Direction:
+    """Direction of the *last* hop of the XY route from ``a`` to ``b``.
+
+    This is the direction a packet is travelling when it arrives at ``b``;
+    the packet enters ``b`` through the port opposite to it. Used by the
+    MTR turn-restriction model to decide whether a route may turn into a
+    vertical link at ``b``.
+
+    Raises:
+        ValueError: if ``a == b``.
+    """
+    if ay != by:
+        return Direction.SOUTH if by > ay else Direction.NORTH
+    if ax != bx:
+        return Direction.EAST if bx > ax else Direction.WEST
+    raise ValueError("source and destination coincide; no arrival direction")
+
+
+def xy_departure_direction(ax: int, ay: int, bx: int, by: int) -> Direction:
+    """Direction of the *first* hop of the XY route from ``a`` to ``b``.
+
+    Alias of :func:`xy_first_step`, named for the MTR up-turn model.
+    """
+    return xy_first_step(ax, ay, bx, by)

@@ -1,0 +1,88 @@
+"""Preset systems used throughout the paper's evaluation.
+
+* :func:`baseline_4_chiplets` — Fig. 1: four 4x4 CPU chiplets in a 2x2
+  arrangement on an 8x8 active interposer, 4 border VLs per chiplet
+  (32 directed VL channels), four DRAMs on the interposer edges.
+* :func:`baseline_6_chiplets` — the scaling study: six 4x4 chiplets in a
+  3x2 arrangement on a 12x8 interposer (48 directed VL channels).
+* :func:`chiplet_grid` — the general constructor both presets use.
+* :func:`single_chiplet` — a one-chiplet system for unit tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .builder import System, build_system
+from .spec import ChipletSpec, SystemSpec, rectangular_vl_border_positions
+
+
+def chiplet_grid(
+    chiplet_cols: int,
+    chiplet_rows: int,
+    chiplet_width: int = 4,
+    chiplet_height: int = 4,
+    vl_positions: tuple[tuple[int, int], ...] | None = None,
+    dram_positions: tuple[tuple[int, int], ...] | None = None,
+    name: str | None = None,
+) -> System:
+    """Build a regular grid of identical chiplets over a tight interposer.
+
+    Args:
+        chiplet_cols / chiplet_rows: chiplet grid arrangement.
+        chiplet_width / chiplet_height: per-chiplet mesh size.
+        vl_positions: chiplet-local VL coordinates; defaults to the border
+            placement of [7] (see :func:`rectangular_vl_border_positions`).
+        dram_positions: interposer coordinates of DRAM PEs; defaults to two
+            per vertical edge at one-third and two-thirds height, matching
+            the four edge DRAMs of Fig. 1.
+        name: label for reports; defaults to a descriptive string.
+    """
+    if chiplet_cols < 1 or chiplet_rows < 1:
+        raise TopologyError("chiplet grid must be at least 1x1")
+    if vl_positions is None:
+        vl_positions = rectangular_vl_border_positions(chiplet_width, chiplet_height)
+    interposer_width = chiplet_cols * chiplet_width
+    interposer_height = chiplet_rows * chiplet_height
+    chiplets = tuple(
+        ChipletSpec(
+            origin=(col * chiplet_width, row * chiplet_height),
+            width=chiplet_width,
+            height=chiplet_height,
+            vl_positions=vl_positions,
+        )
+        for row in range(chiplet_rows)
+        for col in range(chiplet_cols)
+    )
+    if dram_positions is None:
+        third = max(1, interposer_height // 3)
+        two_thirds = min(interposer_height - 1, 2 * interposer_height // 3)
+        dram_positions = (
+            (0, third),
+            (0, two_thirds),
+            (interposer_width - 1, third),
+            (interposer_width - 1, two_thirds),
+        )
+        dram_positions = tuple(dict.fromkeys(dram_positions))
+    spec = SystemSpec(
+        chiplets=chiplets,
+        interposer_width=interposer_width,
+        interposer_height=interposer_height,
+        dram_positions=dram_positions,
+        name=name or f"{chiplet_cols}x{chiplet_rows} grid of {chiplet_width}x{chiplet_height} chiplets",
+    )
+    return build_system(spec)
+
+
+def baseline_4_chiplets() -> System:
+    """The paper's baseline system (Fig. 1): 4 chiplets, 64 cores, 32 directed VLs."""
+    return chiplet_grid(2, 2, name="baseline-4-chiplets")
+
+
+def baseline_6_chiplets() -> System:
+    """The paper's scaled system: 6 chiplets, 96 cores, 48 directed VLs."""
+    return chiplet_grid(3, 2, name="baseline-6-chiplets")
+
+
+def single_chiplet(width: int = 4, height: int = 4) -> System:
+    """A one-chiplet system over a matching interposer (for unit tests)."""
+    return chiplet_grid(1, 1, width, height, name="single-chiplet", dram_positions=())

@@ -1,0 +1,195 @@
+"""Declarative topology specifications.
+
+A :class:`SystemSpec` is a pure-data description of a 2.5D system that can
+be validated and serialized independently of the built router graph. Use
+:func:`repro.topology.builder.build_system` to turn a spec into a
+:class:`~repro.topology.builder.System`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class ChipletSpec:
+    """One chiplet: a ``width`` x ``height`` mesh placed on the interposer.
+
+    Attributes:
+        origin: interposer-grid coordinate of the chiplet's north-west
+            (minimum x, minimum y) router. Chiplet router with local
+            coordinate ``(x, y)`` sits directly above interposer router
+            ``(origin[0] + x, origin[1] + y)``.
+        width / height: mesh dimensions in routers.
+        vl_positions: chiplet-local coordinates of the boundary routers
+            that own a vertical link. The default (set by the presets) is
+            the border placement of Yin et al. [7], which the paper calls
+            optimal for a 4x4 chiplet.
+    """
+
+    origin: tuple[int, int]
+    width: int
+    height: int
+    vl_positions: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise TopologyError(f"chiplet dimensions must be >= 1, got {self.width}x{self.height}")
+        if not self.vl_positions:
+            raise TopologyError("a chiplet needs at least one vertical link")
+        seen: set[tuple[int, int]] = set()
+        for (x, y) in self.vl_positions:
+            if not (0 <= x < self.width and 0 <= y < self.height):
+                raise TopologyError(
+                    f"VL position ({x},{y}) outside {self.width}x{self.height} chiplet"
+                )
+            if (x, y) in seen:
+                raise TopologyError(f"duplicate VL position ({x},{y})")
+            seen.add((x, y))
+
+    @property
+    def num_routers(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_vls(self) -> int:
+        return len(self.vl_positions)
+
+    def covers(self, gx: int, gy: int) -> bool:
+        """Whether interposer coordinate ``(gx, gy)`` lies under this chiplet."""
+        ox, oy = self.origin
+        return ox <= gx < ox + self.width and oy <= gy < oy + self.height
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A full 2.5D system: chiplets + interposer mesh + interposer PEs.
+
+    Attributes:
+        chiplets: the chiplet placements; chiplet index = list position.
+        interposer_width / interposer_height: interposer mesh dimensions.
+        dram_positions: interposer-grid coordinates of routers with an
+            attached DRAM processing element (packet sources/sinks on the
+            interposer, as in Fig. 1 of the paper).
+        name: human-readable label used in reports.
+    """
+
+    chiplets: tuple[ChipletSpec, ...]
+    interposer_width: int
+    interposer_height: int
+    dram_positions: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.interposer_width < 1 or self.interposer_height < 1:
+            raise TopologyError("interposer dimensions must be >= 1")
+        if not self.chiplets:
+            raise TopologyError("a system needs at least one chiplet")
+        self._check_chiplet_bounds()
+        self._check_chiplet_overlap()
+        self._check_dram_positions()
+
+    def _check_chiplet_bounds(self) -> None:
+        for index, chiplet in enumerate(self.chiplets):
+            ox, oy = chiplet.origin
+            if ox < 0 or oy < 0:
+                raise TopologyError(f"chiplet {index} origin {chiplet.origin} is negative")
+            if ox + chiplet.width > self.interposer_width or oy + chiplet.height > self.interposer_height:
+                raise TopologyError(
+                    f"chiplet {index} at {chiplet.origin} size "
+                    f"{chiplet.width}x{chiplet.height} exceeds the "
+                    f"{self.interposer_width}x{self.interposer_height} interposer"
+                )
+
+    def _check_chiplet_overlap(self) -> None:
+        claimed: dict[tuple[int, int], int] = {}
+        for index, chiplet in enumerate(self.chiplets):
+            ox, oy = chiplet.origin
+            for x in range(ox, ox + chiplet.width):
+                for y in range(oy, oy + chiplet.height):
+                    if (x, y) in claimed:
+                        raise TopologyError(
+                            f"chiplets {claimed[(x, y)]} and {index} overlap at ({x},{y})"
+                        )
+                    claimed[(x, y)] = index
+
+    def _check_dram_positions(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for (x, y) in self.dram_positions:
+            if not (0 <= x < self.interposer_width and 0 <= y < self.interposer_height):
+                raise TopologyError(f"DRAM position ({x},{y}) outside the interposer")
+            if (x, y) in seen:
+                raise TopologyError(f"duplicate DRAM position ({x},{y})")
+            seen.add((x, y))
+
+    @property
+    def num_chiplets(self) -> int:
+        return len(self.chiplets)
+
+    @property
+    def num_cores(self) -> int:
+        """Total core PEs (one per chiplet router)."""
+        return sum(c.num_routers for c in self.chiplets)
+
+    @property
+    def num_vertical_links(self) -> int:
+        """Bidirectional vertical links in the system."""
+        return sum(c.num_vls for c in self.chiplets)
+
+    @property
+    def num_directed_vls(self) -> int:
+        """Unidirectional VL channels — the unit of the paper's fault counts.
+
+        The paper's Fig. 7 caption counts 32 VLs for the 4-chiplet system
+        (4 chiplets x 4 bidirectional VLs x 2 directions) and 48 for the
+        6-chiplet system.
+        """
+        return 2 * self.num_vertical_links
+
+    def chiplet_at(self, gx: int, gy: int) -> int | None:
+        """Chiplet index covering interposer coordinate ``(gx, gy)``, if any."""
+        for index, chiplet in enumerate(self.chiplets):
+            if chiplet.covers(gx, gy):
+                return index
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the system."""
+        return (
+            f"{self.name}: {self.num_chiplets} chiplets, "
+            f"{self.num_cores} cores, interposer "
+            f"{self.interposer_width}x{self.interposer_height}, "
+            f"{self.num_vertical_links} bidirectional VLs "
+            f"({self.num_directed_vls} directed), "
+            f"{len(self.dram_positions)} DRAM PEs"
+        )
+
+
+def rectangular_vl_border_positions(width: int, height: int) -> tuple[tuple[int, int], ...]:
+    """The paper's default border VL placement for a ``width`` x ``height`` chiplet.
+
+    For the 4x4 chiplet of the baseline system this yields the four border
+    tiles highlighted in Fig. 3: two on the north edge and two on the south
+    edge, at the middle columns. For other sizes the same pattern is used
+    (middle two columns of the top and bottom rows), which keeps the VLs on
+    the chiplet border as [7] recommends.
+    """
+    if width < 2 or height < 1:
+        raise TopologyError("border VL placement needs a chiplet at least 2 wide")
+    left = (width - 1) // 2
+    right = left + 1 if width > 1 else left
+    top, bottom = 0, height - 1
+    positions: list[tuple[int, int]] = [(left, top), (right, top)]
+    if bottom != top:
+        positions += [(left, bottom), (right, bottom)]
+    return tuple(dict.fromkeys(positions))
+
+
+def iter_positions(width: int, height: int) -> Iterable[tuple[int, int]]:
+    """Row-major iteration over all ``(x, y)`` positions of a mesh."""
+    for y in range(height):
+        for x in range(width):
+            yield (x, y)

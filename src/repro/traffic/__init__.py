@@ -1,0 +1,49 @@
+"""Traffic generation.
+
+Synthetic patterns used in the paper's Fig. 4/5 (Uniform, Localized,
+Hotspot), classic extras (transpose, bit-complement) for wider testing,
+trace-driven injection, and the PARSEC-like CMP workload generator that
+substitutes for the paper's GEM5 full-system traces (Fig. 6).
+"""
+
+from .base import TraceEntry, TrafficGenerator, TraceTraffic
+from .synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    LocalizedTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+)
+from .parsec import (
+    APP_PROFILES,
+    FIG6A_APPS,
+    FIG6B_PAIRS,
+    AppProfile,
+    MultiApplicationTraffic,
+    ParsecLikeTraffic,
+    app_pair_load,
+    directory_nodes,
+    shared_l2_nodes,
+    two_app_workload,
+)
+
+__all__ = [
+    "TrafficGenerator",
+    "TraceEntry",
+    "TraceTraffic",
+    "UniformTraffic",
+    "LocalizedTraffic",
+    "HotspotTraffic",
+    "TransposeTraffic",
+    "BitComplementTraffic",
+    "APP_PROFILES",
+    "FIG6A_APPS",
+    "FIG6B_PAIRS",
+    "AppProfile",
+    "ParsecLikeTraffic",
+    "MultiApplicationTraffic",
+    "app_pair_load",
+    "directory_nodes",
+    "shared_l2_nodes",
+    "two_app_workload",
+]

@@ -1,0 +1,95 @@
+"""Traffic-generator interface and trace-driven injection."""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from ..topology.builder import System
+
+
+class TrafficGenerator(abc.ABC):
+    """Produces (source, destination) packet requests per cycle.
+
+    Implementations must be deterministic for a given seed so experiments
+    are reproducible.
+    """
+
+    name: str = "traffic"
+
+    @abc.abstractmethod
+    def packets_for_cycle(self, cycle: int) -> list[tuple[int, int]]:
+        """Packets created this cycle as ``(src_router, dst_router)`` pairs."""
+
+
+class RandomTraffic(TrafficGenerator):
+    """Base for Bernoulli-injection synthetic patterns.
+
+    Every source PE independently creates a packet with probability
+    ``rate`` per cycle (packets/cycle/node, the x-axis unit of Fig. 4);
+    the destination is drawn by :meth:`_pick_destination`.
+    """
+
+    def __init__(self, system: System, rate: float, seed: int = 1,
+                 sources: Sequence[int] | None = None):
+        if rate < 0 or rate > 1:
+            raise ConfigurationError(f"injection rate must be in [0, 1], got {rate}")
+        self.system = system
+        self.rate = rate
+        self.seed = seed
+        self.sources: tuple[int, ...] = tuple(sources if sources is not None else system.cores)
+        self.rng = random.Random(seed)
+
+    def packets_for_cycle(self, cycle: int) -> list[tuple[int, int]]:
+        rate = self.rate
+        if rate <= 0:
+            return []
+        rng = self.rng
+        packets = []
+        for src in self.sources:
+            if rng.random() < rate:
+                dst = self._pick_destination(src)
+                if dst != src:
+                    packets.append((src, dst))
+        return packets
+
+    def _pick_destination(self, src: int) -> int:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One packet of a pre-generated trace."""
+
+    cycle: int
+    src: int
+    dst: int
+
+
+class TraceTraffic(TrafficGenerator):
+    """Replays a sorted trace of :class:`TraceEntry` items.
+
+    Entries must be sorted by cycle; an optional ``cycle_offset`` shifts
+    the whole trace (used to skip warmup).
+    """
+
+    name = "trace"
+
+    def __init__(self, entries: Iterable[TraceEntry], repeat_period: int | None = None):
+        self.entries = sorted(entries, key=lambda e: e.cycle)
+        self.repeat_period = repeat_period
+        self._by_cycle: dict[int, list[tuple[int, int]]] = {}
+        for entry in self.entries:
+            self._by_cycle.setdefault(entry.cycle, []).append((entry.src, entry.dst))
+
+    def packets_for_cycle(self, cycle: int) -> list[tuple[int, int]]:
+        if self.repeat_period:
+            cycle = cycle % self.repeat_period
+        return self._by_cycle.get(cycle, [])
+
+    @property
+    def num_packets(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,172 @@
+"""Synthetic traffic patterns (paper Section IV-A/B).
+
+* :class:`UniformTraffic` — destination uniform over all other cores.
+* :class:`LocalizedTraffic` — a fraction (the paper uses 40%) of packets
+  stay on the source chiplet; the rest go to cores on other chiplets.
+* :class:`HotspotTraffic` — a few hotspot destinations receive extra
+  traffic (the paper uses 3 hotspots at 10% each).
+* :class:`TransposeTraffic` / :class:`BitComplementTraffic` — classic mesh
+  stress patterns, useful for wider validation of the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..topology.builder import System
+from .base import RandomTraffic
+
+
+class UniformTraffic(RandomTraffic):
+    """Uniform-random destinations over every other core."""
+
+    name = "uniform"
+
+    def _pick_destination(self, src: int) -> int:
+        cores = self.sources
+        dst = src
+        while dst == src:
+            dst = cores[self.rng.randrange(len(cores))]
+        return dst
+
+
+class LocalizedTraffic(RandomTraffic):
+    """Localized traffic: ``local_fraction`` of packets stay intra-chiplet.
+
+    The remaining packets pick a uniform destination among cores of other
+    chiplets (always inter-chiplet), which matches the paper's description
+    that 40% of packets have source and destination on the same chiplet.
+    """
+
+    name = "localized"
+
+    def __init__(self, system: System, rate: float, seed: int = 1,
+                 local_fraction: float = 0.4):
+        super().__init__(system, rate, seed)
+        if not 0 <= local_fraction <= 1:
+            raise ConfigurationError("local_fraction must be in [0, 1]")
+        self.local_fraction = local_fraction
+        self._same_chiplet: dict[int, tuple[int, ...]] = {}
+        self._other_chiplets: dict[int, tuple[int, ...]] = {}
+        for chiplet in range(system.spec.num_chiplets):
+            members = tuple(r.id for r in system.chiplet_routers(chiplet))
+            others = tuple(c for c in system.cores if c not in set(members))
+            for rid in members:
+                self._same_chiplet[rid] = members
+                self._other_chiplets[rid] = others
+
+    def _pick_destination(self, src: int) -> int:
+        rng = self.rng
+        if rng.random() < self.local_fraction:
+            peers = self._same_chiplet[src]
+            dst = src
+            while dst == src:
+                dst = peers[rng.randrange(len(peers))]
+            return dst
+        others = self._other_chiplets[src]
+        return others[rng.randrange(len(others))]
+
+
+class HotspotTraffic(RandomTraffic):
+    """Hotspot traffic: chosen nodes absorb a fixed share of all packets.
+
+    With probability ``sum(hotspot_rates)`` the destination is one of the
+    hotspots (chosen proportionally); otherwise it is uniform over the
+    other cores. The paper's configuration is three hotspots at 10% each.
+    """
+
+    name = "hotspot"
+
+    def __init__(self, system: System, rate: float, seed: int = 1,
+                 hotspots: Sequence[int] | None = None,
+                 hotspot_rate: float = 0.1):
+        super().__init__(system, rate, seed)
+        if hotspots is None:
+            hotspots = self.default_hotspots(system)
+        if not hotspots:
+            raise ConfigurationError("hotspot traffic needs at least one hotspot")
+        self.hotspots = tuple(hotspots)
+        self.hotspot_rate = hotspot_rate
+        total = hotspot_rate * len(self.hotspots)
+        if total >= 1.0:
+            raise ConfigurationError(
+                f"{len(self.hotspots)} hotspots at rate {hotspot_rate} absorb >= 100%"
+            )
+        self.total_hotspot_share = total
+
+    @staticmethod
+    def default_hotspots(system: System) -> tuple[int, ...]:
+        """Three spread-out hotspot cores (one per chiplet, first three chiplets)."""
+        hotspots = []
+        for chiplet in range(min(3, system.spec.num_chiplets)):
+            routers = system.chiplet_routers(chiplet)
+            hotspots.append(routers[len(routers) // 2].id)
+        return tuple(hotspots)
+
+    def _pick_destination(self, src: int) -> int:
+        rng = self.rng
+        if rng.random() < self.total_hotspot_share:
+            choices = [h for h in self.hotspots if h != src] or list(self.hotspots)
+            return choices[rng.randrange(len(choices))]
+        cores = self.sources
+        dst = src
+        while dst == src:
+            dst = cores[rng.randrange(len(cores))]
+        return dst
+
+
+class TransposeTraffic(RandomTraffic):
+    """Matrix-transpose pattern over the global core grid.
+
+    Core at footprint position (x, y) sends to the core at (y, x). Cores
+    whose transpose position has no core (or is themselves) fall back to
+    uniform destinations.
+    """
+
+    name = "transpose"
+
+    def __init__(self, system: System, rate: float, seed: int = 1):
+        super().__init__(system, rate, seed)
+        by_footprint = {
+            (system.routers[c].gx, system.routers[c].gy): c for c in system.cores
+        }
+        self._partner: dict[int, int | None] = {}
+        for core in system.cores:
+            router = system.routers[core]
+            partner = by_footprint.get((router.gy, router.gx))
+            self._partner[core] = partner if partner not in (None, core) else None
+
+    def _pick_destination(self, src: int) -> int:
+        partner = self._partner[src]
+        if partner is not None:
+            return partner
+        cores = self.sources
+        dst = src
+        while dst == src:
+            dst = cores[self.rng.randrange(len(cores))]
+        return dst
+
+
+class BitComplementTraffic(RandomTraffic):
+    """Bit-complement pattern over the core index space."""
+
+    name = "bit-complement"
+
+    def __init__(self, system: System, rate: float, seed: int = 1):
+        super().__init__(system, rate, seed)
+        cores = list(system.cores)
+        n = len(cores)
+        self._partner = {
+            core: cores[(n - 1) - index] for index, core in enumerate(cores)
+        }
+
+    def _pick_destination(self, src: int) -> int:
+        partner = self._partner[src]
+        if partner != src:
+            return partner
+        cores = self.sources
+        dst = src
+        while dst == src:
+            dst = cores[self.rng.randrange(len(cores))]
+        return dst

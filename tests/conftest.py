@@ -1,0 +1,51 @@
+"""Shared fixtures for the test-suite.
+
+Systems are session-scoped (topology objects are immutable in practice);
+simulation configs are small enough for CI while still exercising
+contention (buffers shallower than packets, multi-packet overlap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.topology.presets import (
+    baseline_4_chiplets,
+    baseline_6_chiplets,
+    chiplet_grid,
+    single_chiplet,
+)
+
+
+@pytest.fixture(scope="session")
+def system4():
+    return baseline_4_chiplets()
+
+
+@pytest.fixture(scope="session")
+def system6():
+    return baseline_6_chiplets()
+
+
+@pytest.fixture(scope="session")
+def system2():
+    """A small 2-chiplet system for cheap integration tests."""
+    return chiplet_grid(2, 1, name="two-chiplets")
+
+
+@pytest.fixture(scope="session")
+def lone_chiplet():
+    return single_chiplet()
+
+
+@pytest.fixture()
+def fast_config():
+    """Short but contention-capable simulation window."""
+    return SimulationConfig(
+        warmup_cycles=100,
+        measure_cycles=500,
+        drain_cycles=6_000,
+        watchdog_cycles=4_000,
+        seed=7,
+    )

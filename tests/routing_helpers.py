@@ -1,0 +1,93 @@
+"""Shared helpers for routing tests: symbolic path walking."""
+
+from __future__ import annotations
+
+from repro.core.vn import PortClass, check_hop_legal
+from repro.network.flit import Packet
+from repro.routing.base import Port, opposite_port
+from repro.topology.builder import System
+
+
+def walk_packet(
+    system: System,
+    algorithm,
+    src: int,
+    dst: int,
+    max_hops: int = 200,
+    verify_vn_rules: bool = False,
+    prefer_vn: int | None = None,
+):
+    """Walk a packet hop by hop through an algorithm's route decisions.
+
+    Returns ``(path, packet)`` where ``path`` is the list of visited router
+    ids ending at the destination. ``prefer_vn`` picks the given VN from
+    the allowed set when present (else the first option), letting tests
+    explore both VN branches. With ``verify_vn_rules`` every hop is checked
+    against Rules 1-3.
+    """
+    packet = Packet(0, src, dst, size=8, created_cycle=0)
+    algorithm.prepare_packet(packet)
+    current, in_port = src, Port.LOCAL
+    path = [current]
+    for _ in range(max_hops):
+        decision = algorithm.route(packet, current, in_port)
+        router = system.routers[current]
+        if verify_vn_rules:
+            vn_in = packet.vn
+            in_kind = _port_class(router, in_port, incoming=True)
+            out_kind = _port_class(router, decision.out_port, incoming=False)
+            assert decision.allowed_vns, "empty VN set"
+            for vn_out in decision.allowed_vns:
+                check_hop_legal(in_kind, out_kind, vn_in, vn_out)
+        if decision.out_port == Port.LOCAL:
+            assert current == dst, f"ejected at {current}, wanted {dst}"
+            return path, packet
+        if decision.out_port == Port.VERTICAL:
+            nxt = router.vertical_neighbor
+            next_in = Port.VERTICAL
+        else:
+            nxt = router.neighbors[decision.out_port]
+            next_in = opposite_port(decision.out_port)
+        assert nxt is not None, "route used a missing port"
+        chosen = decision.allowed_vns[0]
+        if prefer_vn is not None and prefer_vn in decision.allowed_vns:
+            chosen = prefer_vn
+        packet.vn = chosen
+        current, in_port = nxt, next_in
+        path.append(current)
+    raise AssertionError(f"packet looped: {src}->{dst} via {path[:20]}...")
+
+
+def _port_class(router, port: Port, incoming: bool) -> PortClass:
+    """Map a physical port to the paper's Up/Down/Horizontal/Local classes."""
+    if port == Port.LOCAL:
+        return PortClass.LOCAL
+    if port == Port.VERTICAL:
+        if incoming:
+            # Arrived vertically: an up-traversal if we are on a chiplet.
+            return PortClass.DOWN if router.is_interposer else PortClass.UP
+        # Leaving vertically: down from a chiplet, up from the interposer.
+        return PortClass.UP if router.is_interposer else PortClass.DOWN
+    return PortClass.HORIZONTAL
+
+
+def minimal_hops(system: System, packet: Packet) -> int:
+    """Hop count of the three-phase minimal route bound to a packet."""
+    src = system.routers[packet.src]
+    dst = system.routers[packet.dst]
+    if src.layer == dst.layer:
+        return system.distance_on_layer(packet.src, packet.dst)
+    hops = 0
+    position = packet.src
+    if not src.is_interposer:
+        assert packet.down_vl is not None
+        down = system.vls[packet.down_vl]
+        hops += system.distance_on_layer(position, down.chiplet_router) + 1
+        position = down.interposer_router
+    if not dst.is_interposer:
+        assert packet.up_vl is not None
+        up = system.vls[packet.up_vl]
+        hops += system.distance_on_layer(position, up.interposer_router) + 1
+        position = up.chiplet_router
+    hops += system.distance_on_layer(position, packet.dst)
+    return hops

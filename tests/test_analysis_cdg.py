@@ -1,0 +1,91 @@
+"""Channel-dependency-graph deadlock analysis."""
+
+import pytest
+
+from repro.analysis.cdg import build_cdg, find_dependency_cycle
+from repro.fault.model import chiplet_fault_pattern
+from repro.routing.deft import DeftRouting, VlSelectionStrategy
+from repro.routing.mtr import MtrRouting
+from repro.routing.naive import NaiveRouting
+from repro.routing.rc import RcRouting
+
+
+class TestProtectedAlgorithmsAreAcyclic:
+    @pytest.mark.parametrize("factory", [DeftRouting, MtrRouting, RcRouting])
+    def test_acyclic_on_baseline(self, system4, factory):
+        report = build_cdg(system4, factory(system4))
+        assert report.is_acyclic
+        assert report.cycle() is None
+        assert report.pairs_walked > 4000
+        assert report.unroutable_pairs == 0
+
+    def test_deft_distance_strategy_acyclic(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.DISTANCE)
+        assert find_dependency_cycle(system4, algo) is None
+
+    def test_deft_acyclic_under_faults(self, system4):
+        algo = DeftRouting(system4)
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0, 1]).with_faults(
+            chiplet_fault_pattern(system4, 2, up_faulty=[1, 3]).faults
+        )
+        algo.set_fault_state(state)
+        report = build_cdg(system4, algo)
+        assert report.is_acyclic
+        assert report.unroutable_pairs == 0
+
+    def test_mtr_acyclic_under_faults_with_drops(self, system4):
+        algo = MtrRouting(system4)
+        algo.set_fault_state(
+            chiplet_fault_pattern(system4, 0, down_faulty=[0, 2])
+        )
+        report = build_cdg(system4, algo)
+        assert report.is_acyclic
+        assert report.unroutable_pairs > 0  # west half of chiplet 0 cut off
+
+    def test_two_chiplet_system(self, system2):
+        for factory in (DeftRouting, MtrRouting, RcRouting):
+            assert find_dependency_cycle(system2, factory(system2)) is None
+
+
+class TestNaiveIsCyclic:
+    def test_figure1_motivation(self, system4):
+        """The unprotected network has the cyclic dependency of Fig. 1."""
+        cycle = find_dependency_cycle(system4, NaiveRouting(system4))
+        assert cycle is not None
+        assert len(cycle) >= 4
+
+    def test_cycle_crosses_layers(self, system4):
+        """The cycle necessarily spans chiplet and interposer channels."""
+        report = build_cdg(system4, NaiveRouting(system4))
+        cycle = report.cycle()
+        layers = set()
+        for (link, _vn) in cycle:
+            if isinstance(link, tuple) and isinstance(link[0], int):
+                layers.add(system4.routers[link[0]].layer)
+        assert len(layers) >= 2
+
+    def test_naive_on_two_chiplets_also_cyclic(self, system2):
+        assert find_dependency_cycle(system2, NaiveRouting(system2)) is not None
+
+
+class TestCdgStructure:
+    def test_vn_partition_edges_never_downgrade(self, system4):
+        """No CDG edge goes from a VN.1 channel to a VN.0 channel (Rule 1)."""
+        report = build_cdg(system4, DeftRouting(system4))
+        for (src, dst) in report.graph.edges():
+            _, vn_src = src
+            _, vn_dst = dst
+            assert vn_dst >= vn_src
+
+    def test_rc_buffer_nodes_have_no_inbound_edges(self, system4):
+        report = build_cdg(system4, RcRouting(system4))
+        rc_nodes = [n for n in report.graph.nodes if n[0][0] == "rcbuf"]
+        assert rc_nodes
+        for node in rc_nodes:
+            assert report.graph.in_degree(node) == 0
+
+    def test_subset_of_sources(self, system4):
+        sources = system4.cores[:4]
+        report = build_cdg(system4, DeftRouting(system4), sources=sources)
+        expected = len(sources) * (len(system4.pes) - 1)
+        assert report.pairs_walked <= expected

@@ -1,0 +1,101 @@
+"""Exact reachability analysis vs brute force and Monte-Carlo (Fig. 7)."""
+
+import pytest
+
+from repro.analysis.reachability import (
+    average_reachability,
+    brute_force_reachability,
+    monte_carlo_reachability,
+    reachability_curve,
+    reachability_of_state,
+    worst_reachability,
+)
+from repro.errors import FaultModelError
+from repro.fault.model import chiplet_fault_pattern, fault_free
+from repro.routing.deft import DeftRouting
+from repro.routing.mtr import MtrRouting
+from repro.routing.rc import RcRouting
+
+
+class TestExactMatchesBruteForce:
+    @pytest.mark.parametrize("factory", [DeftRouting, MtrRouting, RcRouting])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_average_and_worst(self, system4, factory, k):
+        algo = factory(system4)
+        avg = average_reachability(system4, algo, k)
+        wrst = worst_reachability(system4, algo, k)
+        brute_avg, brute_wrst = brute_force_reachability(system4, algo, k)
+        assert avg == pytest.approx(brute_avg, abs=1e-12)
+        assert wrst == pytest.approx(brute_wrst, abs=1e-12)
+
+    def test_monte_carlo_brackets_exact(self, system4):
+        algo = RcRouting(system4)
+        exact = average_reachability(system4, algo, 4)
+        mc_avg, mc_min = monte_carlo_reachability(system4, algo, 4, samples=150, seed=2)
+        assert abs(mc_avg - exact) < 0.03
+        assert mc_min >= worst_reachability(system4, algo, 4) - 1e-12
+
+
+class TestPaperShape:
+    def test_deft_always_full(self, system4):
+        curve = reachability_curve(system4, DeftRouting(system4))
+        assert all(v == 1.0 for v in curve.average)
+        assert all(v == 1.0 for v in curve.worst)
+
+    def test_mtr_profile(self, system4):
+        curve = reachability_curve(system4, MtrRouting(system4))
+        assert curve.average[0] == 1.0 and curve.worst[0] == 1.0
+        assert curve.worst[1] < 1.0
+        assert all(a >= b for a, b in zip(curve.average, curve.average[1:]))
+
+    def test_rc_profile(self, system4):
+        curve = reachability_curve(system4, RcRouting(system4))
+        assert curve.average[0] < 1.0
+        # RC's average declines roughly linearly with fault count.
+        drops = [
+            curve.average[i] - curve.average[i + 1]
+            for i in range(len(curve.average) - 1)
+        ]
+        assert all(d > 0 for d in drops)
+
+    def test_rc_single_fault_value(self, system4):
+        """One faulty down VL cuts 4 bound senders from 48 remote cores:
+        4*48 of 64*63 ordered pairs."""
+        algo = RcRouting(system4)
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0])
+        value = reachability_of_state(system4, algo, state)
+        expected = 1 - (4 * 48) / (64 * 63)
+        assert value == pytest.approx(expected)
+
+    def test_six_chiplet_ordering(self, system6):
+        mtr = reachability_curve(system6, MtrRouting(system6), (1, 2, 3))
+        rc = reachability_curve(system6, RcRouting(system6), (1, 2, 3))
+        assert mtr.average[0] == 1.0
+        assert rc.average[0] < 1.0
+        assert all(m >= r for m, r in zip(mtr.average, rc.average))
+
+
+class TestReachabilityOfState:
+    def test_fault_free_is_full(self, system4):
+        for factory in (DeftRouting, MtrRouting, RcRouting):
+            algo = factory(system4)
+            assert reachability_of_state(system4, algo, fault_free(system4)) == 1.0
+
+    def test_restores_original_fault_state(self, system4):
+        algo = MtrRouting(system4)
+        original = algo.fault_state
+        state = chiplet_fault_pattern(system4, 1, down_faulty=[0, 2])
+        reachability_of_state(system4, algo, state)
+        assert algo.fault_state is original
+
+
+class TestErrors:
+    def test_impossible_fault_count(self, system4):
+        algo = DeftRouting(system4)
+        with pytest.raises(FaultModelError):
+            average_reachability(system4, algo, 99)
+
+    def test_needs_two_chiplets(self, lone_chiplet):
+        algo = DeftRouting(lone_chiplet)
+        with pytest.raises(FaultModelError):
+            average_reachability(lone_chiplet, algo, 1)

@@ -1,0 +1,92 @@
+"""VL wear / relative-lifetime analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.wear import vl_wear_report, wear_summary_row
+from repro.config import SimulationConfig
+from repro.fault.model import chiplet_fault_pattern
+from repro.network.simulator import Simulator
+from repro.network.stats import StatsCollector
+from repro.routing.deft import DeftRouting, VlSelectionStrategy
+from repro.traffic.synthetic import UniformTraffic
+
+
+class TestWearModel:
+    def test_idle_network_reports_unity(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.cycles_run = 1000
+        report = vl_wear_report(system4, stats)
+        assert report.imbalance == 1.0
+        assert report.min_relative_mttf == 1.0
+
+    def test_balanced_load_gives_unity_mttf(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.cycles_run = 1000
+        for link in system4.vls:
+            stats.vl_flits[(link.index, 0)] = 100
+            stats.vl_flits[(link.index, 1)] = 100
+        report = vl_wear_report(system4, stats)
+        assert report.imbalance == pytest.approx(1.0)
+        assert report.min_relative_mttf == pytest.approx(1.0)
+
+    def test_hot_channel_wears_quadratically(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.cycles_run = 1000
+        # One channel at double the load of the others.
+        for link in system4.vls:
+            stats.vl_flits[(link.index, 0)] = 100
+        stats.vl_flits[(0, 0)] = 200
+        report = vl_wear_report(system4, stats)
+        mean = (15 * 100 + 200) / 16 / 1000
+        expected = (mean / 0.2) ** 2.0
+        assert report.relative_mttf[(0, 0)] == pytest.approx(expected)
+        assert report.min_relative_mttf == pytest.approx(expected)
+        assert report.imbalance > 1.5
+
+    def test_unused_channels_live_forever(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.cycles_run = 1000
+        stats.vl_flits[(0, 0)] = 100
+        report = vl_wear_report(system4, stats)
+        assert math.isinf(report.relative_mttf[(1, 0)])
+
+    def test_hottest_channels_sorted(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.cycles_run = 100
+        stats.vl_flits[(3, 0)] = 50
+        stats.vl_flits[(1, 1)] = 30
+        stats.vl_flits[(2, 0)] = 10
+        report = vl_wear_report(system4, stats)
+        hottest = report.hottest_channels(2)
+        assert hottest[0][0] == (3, 0)
+        assert hottest[1][0] == (1, 1)
+
+    def test_summary_row_format(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.cycles_run = 10
+        row = wear_summary_row("x", vl_wear_report(system4, stats))
+        assert "wear imbalance" in row
+
+
+class TestWearIntegration:
+    def test_optimized_beats_distance_under_fault(self, system4):
+        """The reliability argument of Section III-B, measured."""
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0]).with_faults(
+            chiplet_fault_pattern(system4, 1, down_faulty=[1]).faults
+        )
+        config = SimulationConfig(
+            warmup_cycles=200, measure_cycles=1_500, drain_cycles=8_000, seed=3
+        )
+        imbalances = {}
+        for strategy in (VlSelectionStrategy.OPTIMIZED, VlSelectionStrategy.DISTANCE):
+            algorithm = DeftRouting(system4, strategy)
+            algorithm.set_fault_state(state)
+            traffic = UniformTraffic(system4, 0.006, seed=3)
+            report = Simulator(system4, algorithm, traffic, config).run()
+            imbalances[strategy] = vl_wear_report(system4, report.stats).imbalance
+        assert (
+            imbalances[VlSelectionStrategy.OPTIMIZED]
+            < imbalances[VlSelectionStrategy.DISTANCE]
+        )

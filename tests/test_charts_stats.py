@@ -1,0 +1,147 @@
+"""ASCII chart rendering, stats collector details, CLI deadlock command."""
+
+import pytest
+
+from repro.experiments.charts import ascii_chart, bar_rows
+from repro.network.stats import LatencySummary, StatsCollector
+from repro.topology.geometry import INTERPOSER_LAYER
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=5,
+            title="demo",
+        )
+        assert "o=a" in chart and "x=b" in chart
+        assert "demo" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"s": [(0.0, 10.0), (2.0, 30.0)]}, x_label="rate")
+        assert "10.0" in chart and "30.0" in chart
+        assert "rate" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"s": [(0, 5), (1, 5)]})
+        assert "5.0" in chart
+
+
+class TestBarRows:
+    def test_empty(self):
+        assert bar_rows({}) == []
+
+    def test_bars_scale_with_values(self):
+        rows = bar_rows({"small": 1.0, "big": 10.0}, width=10, unit="%")
+        small_row = next(r for r in rows if "small" in r)
+        big_row = next(r for r in rows if "big" in r)
+        assert big_row.count("#") > small_row.count("#")
+        assert "%" in big_row
+
+    def test_negative_values_marked(self):
+        rows = bar_rows({"neg": -2.0, "pos": 2.0})
+        assert any("-" in r and "neg" in r for r in rows)
+
+
+class TestLatencySummary:
+    def test_empty_average_is_nan(self):
+        import math
+
+        assert math.isnan(LatencySummary().average)
+
+    def test_min_max_tracking(self):
+        summary = LatencySummary()
+        for value in (5, 2, 9):
+            summary.record(value)
+        assert summary.minimum == 2
+        assert summary.maximum == 9
+        assert summary.average == pytest.approx(16 / 3)
+
+    def test_percentiles_nearest_rank(self):
+        summary = LatencySummary()
+        for value in range(1, 101):  # 1..100
+            summary.record(value)
+        assert summary.p50 == 50.0
+        assert summary.p95 == 95.0
+        assert summary.p99 == 99.0
+        assert summary.percentile(100) == 100.0
+
+    def test_percentile_single_sample(self):
+        summary = LatencySummary()
+        summary.record(42)
+        assert summary.p50 == 42.0
+        assert summary.p99 == 42.0
+
+    def test_percentile_empty_is_nan(self):
+        import math
+
+        assert math.isnan(LatencySummary().p95)
+
+    def test_percentile_validates_range(self):
+        summary = LatencySummary()
+        summary.record(1)
+        with pytest.raises(ValueError):
+            summary.percentile(101)
+
+    def test_tail_exceeds_median_under_skew(self):
+        summary = LatencySummary()
+        for value in [10] * 90 + [500] * 10:
+            summary.record(value)
+        assert summary.p50 == 10.0
+        assert summary.p95 == 500.0
+
+
+class TestStatsCollector:
+    def test_vc_utilization_even_split_when_idle(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        assert stats.vc_utilization(INTERPOSER_LAYER) == [0.5, 0.5]
+
+    def test_vc_utilization_reflects_counts(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        for _ in range(3):
+            stats.on_flit_transfer(INTERPOSER_LAYER, 0)
+        stats.on_flit_transfer(INTERPOSER_LAYER, 1)
+        assert stats.vc_utilization(INTERPOSER_LAYER) == [0.75, 0.25]
+
+    def test_delivered_ratio_nan_without_measured_traffic(self, system4):
+        import math
+
+        stats = StatsCollector(system4, num_vcs=2)
+        assert math.isnan(stats.delivered_ratio)
+
+    def test_delivered_ratio_counts_drops(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.on_packet_created(True)
+        stats.on_packet_created(True)
+        stats.on_packet_delivered(10, 4, True)
+        stats.on_packet_dropped(True)
+        assert stats.delivered_ratio == 0.5
+
+    def test_vl_load_report_covers_all_links(self, system4):
+        stats = StatsCollector(system4, num_vcs=2)
+        stats.on_vl_traversal(2, 0)
+        stats.on_vl_traversal(2, 1)
+        stats.on_vl_traversal(2, 1)
+        report = stats.vl_load_report()
+        assert len(report) == len(system4.vls)
+        assert report[2] == (1, 2)
+        assert report[0] == (0, 0)
+
+
+class TestCliDeadlockCommand:
+    def test_protected_algorithm_returns_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["deadlock", "--algo", "deft", "--system", "2x1"]) == 0
+        assert "acyclic" in capsys.readouterr().out
+
+    def test_naive_returns_error_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["deadlock", "--algo", "naive", "--system", "2x1"]) == 2
+        assert "CYCLIC" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--algo", "bogus"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-4-chiplets" in out
+        assert "deft" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "DeFT" in out
+        assert "[PASS]" in out
+
+    def test_reachability(self, capsys):
+        assert main(["reachability", "--algo", "rc", "--max-faults", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 faulty VLs" in out
+
+    def test_optimize_prints_map(self, capsys):
+        assert main(["optimize", "--faulty", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "faulty down VLs [1]" in out
+        assert "*" in out
+
+    def test_simulate_small(self, capsys):
+        code = main([
+            "simulate", "--rate", "0.004", "--warmup", "50",
+            "--cycles", "200", "--drain", "3000", "--json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm=DeFT" in out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["average_latency"] > 0
+
+    def test_simulate_with_fault(self, capsys):
+        code = main([
+            "simulate", "--algo", "rc", "--rate", "0.004", "--warmup", "50",
+            "--cycles", "200", "--drain", "3000", "--fault", "0:down",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--algo", "deft", "--rates", "0.002,0.004",
+            "--warmup", "50", "--cycles", "150", "--drain", "2000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.0020" in out and "0.0040" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_custom_grid_system(self, capsys):
+        assert main(["reachability", "--system", "2x1", "--max-faults", "1"]) == 0

@@ -1,0 +1,78 @@
+"""SimulationConfig / SweepConfig validation and serialization."""
+
+import pytest
+
+from repro.config import SimulationConfig, SweepConfig
+from repro.errors import ConfigurationError
+
+
+class TestSimulationConfigValidation:
+    def test_defaults_are_paper_parameters(self):
+        cfg = SimulationConfig()
+        assert cfg.packet_size == 8
+        assert cfg.buffer_depth == 4
+        assert cfg.num_vcs == 2
+        assert cfg.flit_width_bits == 32
+
+    @pytest.mark.parametrize("field,value", [
+        ("packet_size", 0),
+        ("buffer_depth", 0),
+        ("num_vcs", 0),
+        ("flit_width_bits", 0),
+        ("hop_latency", 0),
+        ("credit_latency", 0),
+        ("warmup_cycles", -1),
+        ("measure_cycles", -5),
+        ("drain_cycles", -1),
+        ("watchdog_cycles", -2),
+    ])
+    def test_rejects_invalid_values(self, field, value):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**{field: value})
+
+    def test_total_cycles(self):
+        cfg = SimulationConfig(warmup_cycles=10, measure_cycles=20, drain_cycles=30)
+        assert cfg.total_cycles == 60
+
+    def test_replace_returns_modified_copy(self):
+        cfg = SimulationConfig()
+        other = cfg.replace(seed=99)
+        assert other.seed == 99
+        assert cfg.seed == 1
+        assert other.packet_size == cfg.packet_size
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig().replace(buffer_depth=-1)
+
+
+class TestSimulationConfigSerialization:
+    def test_dict_roundtrip(self):
+        cfg = SimulationConfig(seed=5, measure_cycles=123)
+        assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_json_roundtrip(self):
+        cfg = SimulationConfig(packet_size=4, num_vcs=4)
+        assert SimulationConfig.from_json(cfg.to_json()) == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            SimulationConfig.from_dict({"bogus_field": 1})
+
+
+class TestSweepConfig:
+    def test_valid(self):
+        sweep = SweepConfig(rates=(0.001, 0.002))
+        assert sweep.repeats == 1
+
+    def test_needs_rates(self):
+        with pytest.raises(ConfigurationError):
+            SweepConfig(rates=())
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            SweepConfig(rates=(0.001, -0.1))
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ConfigurationError):
+            SweepConfig(rates=(0.001,), repeats=0)

@@ -1,0 +1,97 @@
+"""Experiment harnesses: smoke runs at tiny scale + analytical checks.
+
+The analytical experiments (fig7, table1) run in full and must pass every
+shape check. The simulation-backed ones run at a small cycle scale here —
+their full-scale shape checks are exercised by the benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, table1
+from repro.experiments.common import (
+    ExperimentResult,
+    default_config,
+    effective_scale,
+    format_report,
+)
+
+TINY = 0.15
+
+
+class TestCommon:
+    def test_effective_scale_prefers_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "2.0")
+        assert effective_scale(0.5) == 0.5
+        assert effective_scale(None) == 2.0
+
+    def test_effective_scale_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXPERIMENT_SCALE", raising=False)
+        assert effective_scale(None) == 1.0
+
+    def test_effective_scale_ignores_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "not-a-number")
+        assert effective_scale(None) == 1.0
+
+    def test_default_config_scales(self):
+        small = default_config(0.1)
+        full = default_config(1.0)
+        assert small.measure_cycles < full.measure_cycles
+
+    def test_format_report_contains_checks(self):
+        result = ExperimentResult("x", "title")
+        result.check("something", True)
+        result.check("other", False)
+        text = format_report(result)
+        assert "[PASS] something" in text
+        assert "[FAIL] other" in text
+        assert result.failed_checks() == ["other"]
+        assert not result.all_checks_pass
+
+
+class TestAnalyticalExperiments:
+    def test_table1_all_checks_pass(self):
+        result = table1.run()
+        assert result.all_checks_pass, result.failed_checks()
+        assert any("DeFT" in row for row in result.rows)
+
+    def test_fig7_all_checks_pass(self):
+        for result in fig7.run():
+            assert result.all_checks_pass, result.failed_checks()
+
+
+class TestSimulationExperimentsSmoke:
+    """Tiny-scale smoke runs: structure + data plumbing, not statistics."""
+
+    def test_fig4a_structure(self):
+        result = fig4.fig4a(scale=TINY)
+        assert set(result.data) == {"deft", "mtr", "rc"}
+        assert len(result.data["deft"]["rates"]) == len(fig4.RATES_UNIFORM_4)
+        assert all(latency > 0 for latency in result.data["deft"]["latency"])
+
+    def test_fig5_structure(self):
+        result = fig5.run(scale=TINY)
+        assert "uniform" in result.data
+        for util in result.data["uniform"].values():
+            assert sum(util) == pytest.approx(1.0)
+
+    def test_fig6a_structure(self):
+        result = fig6.fig6a(scale=TINY)
+        assert len(result.data["improvements"]) == 8
+
+    def test_fig8a_structure(self):
+        result = fig8.fig8a(scale=TINY)
+        assert set(result.data) == {"deft", "deft-dis", "deft-ran"}
+        # DeFT keeps delivering under the 12.5% fault pattern.
+        deft_check = [c for c in result.checks if "reachability" in c[0]]
+        assert deft_check and deft_check[0][1]
+
+    def test_fig8_fault_patterns(self):
+        from repro.topology.presets import baseline_4_chiplets
+
+        system = baseline_4_chiplets()
+        state_a = fig8.fault_pattern_12p5(system)
+        state_b = fig8.fault_pattern_25(system)
+        assert state_a.num_faults == 4
+        assert state_b.num_faults == 8
+        assert not state_a.disconnects_any_chiplet()
+        assert not state_b.disconnects_any_chiplet()

@@ -1,0 +1,135 @@
+"""Extension features: adaptive online selection, VL serialization,
+ablation experiment plumbing."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.fault.model import chiplet_fault_pattern
+from repro.network.flit import Packet
+from repro.network.simulator import Simulator
+from repro.routing.deft import DeftRouting, VlSelectionStrategy
+from repro.routing.registry import make_algorithm
+from repro.traffic.synthetic import UniformTraffic
+
+from .routing_helpers import walk_packet
+
+
+class TestAdaptiveStrategy:
+    def test_registered(self, system4):
+        algo = make_algorithm("deft-ada", system4)
+        assert algo.name == "DeFT-Ada"
+        assert algo.strategy is VlSelectionStrategy.ADAPTIVE
+
+    def test_tracks_outstanding_load(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.ADAPTIVE)
+        src = system4.router_id(0, 0, 0)
+        dst = system4.chiplet_routers(1)[0].id
+        packet = Packet(0, src, dst, 8, 0)
+        algo.prepare_packet(packet)
+        assert algo._outstanding_down[packet.down_vl] == 1
+        algo._bind_up_vl(packet)
+        assert algo._outstanding_up[packet.up_vl] == 1
+        algo.on_packet_delivered(packet, 100)
+        assert algo._outstanding_down[packet.down_vl] == 0
+        assert algo._outstanding_up[packet.up_vl] == 0
+
+    def test_spreads_load_across_vls(self, system4):
+        """With equal distances, consecutive packets take different VLs."""
+        algo = DeftRouting(system4, VlSelectionStrategy.ADAPTIVE)
+        src = system4.router_id(0, 1, 1)
+        dst = system4.chiplet_routers(1)[5].id
+        chosen = set()
+        for i in range(8):
+            packet = Packet(i, src, dst, 8, 0)
+            algo.prepare_packet(packet)
+            chosen.add(packet.down_vl)
+        assert len(chosen) >= 2
+
+    def test_respects_faults(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.ADAPTIVE)
+        algo.set_fault_state(chiplet_fault_pattern(system4, 0, down_faulty=[0, 1]))
+        src = system4.router_id(0, 1, 1)
+        dst = system4.chiplet_routers(1)[0].id
+        for i in range(10):
+            packet = Packet(i, src, dst, 8, 0)
+            algo.prepare_packet(packet)
+            assert system4.vls[packet.down_vl].local_index in (2, 3)
+
+    def test_routes_deliver_with_vn_rules(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.ADAPTIVE)
+        for src in system4.cores[::13]:
+            for dst in system4.cores[::11]:
+                if src != dst:
+                    path, _ = walk_packet(system4, algo, src, dst, verify_vn_rules=True)
+                    assert path[-1] == dst
+
+    def test_full_simulation_delivers(self, system4, fast_config):
+        algo = make_algorithm("deft-ada", system4)
+        traffic = UniformTraffic(system4, 0.005, seed=3)
+        report = Simulator(system4, algo, traffic, fast_config).run()
+        assert not report.deadlocked
+        assert report.stats.delivered_ratio == 1.0
+
+    def test_reset_clears_outstanding(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.ADAPTIVE)
+        src = system4.router_id(0, 0, 0)
+        dst = system4.chiplet_routers(1)[0].id
+        packet = Packet(0, src, dst, 8, 0)
+        algo.prepare_packet(packet)
+        algo.reset_runtime_state()
+        assert not algo._outstanding_down
+        assert not algo._outstanding_up
+
+
+class TestVlSerialization:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(vl_serialization=0)
+
+    def test_serialization_one_is_default_behaviour(self, system4, fast_config):
+        base = fast_config
+        explicit = fast_config.replace(vl_serialization=1)
+        reports = []
+        for cfg in (base, explicit):
+            algo = make_algorithm("deft", system4)
+            traffic = UniformTraffic(system4, 0.004, seed=6)
+            reports.append(Simulator(system4, algo, traffic, cfg).run())
+        assert reports[0].stats.average_latency == reports[1].stats.average_latency
+
+    def test_serialization_slows_inter_chiplet_traffic(self, system4, fast_config):
+        latencies = {}
+        for factor in (1, 4):
+            cfg = fast_config.replace(vl_serialization=factor)
+            algo = make_algorithm("deft", system4)
+            traffic = UniformTraffic(system4, 0.004, seed=6)
+            report = Simulator(system4, algo, traffic, cfg).run()
+            assert not report.deadlocked
+            assert report.stats.delivered_ratio == 1.0
+            latencies[factor] = report.stats.average_latency
+        assert latencies[4] > latencies[1]
+
+    def test_serialized_rc_still_delivers(self, system4, fast_config):
+        cfg = fast_config.replace(vl_serialization=2)
+        algo = make_algorithm("rc", system4)
+        traffic = UniformTraffic(system4, 0.003, seed=8)
+        report = Simulator(system4, algo, traffic, cfg).run()
+        assert not report.deadlocked
+        assert report.stats.delivered_ratio == 1.0
+
+
+class TestAblationExperiments:
+    def test_rho_sweep_smoke(self):
+        from repro.experiments import ablations
+
+        result = ablations.rho_sweep(scale=0.1)
+        assert set(result.data) == set(ablations.RHO_VALUES)
+        # Static table metrics are scale-independent and must always hold.
+        static_checks = [ok for desc, ok in result.checks if "rho" in desc][:2]
+        assert all(static_checks)
+
+    def test_serialization_sweep_smoke(self):
+        from repro.experiments import ablations
+
+        result = ablations.serialization_sweep(scale=0.1)
+        assert len(result.data) == len(ablations.SERIALIZATION_FACTORS)

@@ -1,0 +1,111 @@
+"""Fault-state queries, scenario enumeration, random sampling."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import FaultModelError
+from repro.fault.model import (
+    DirectedVL,
+    FaultState,
+    VLDirection,
+    all_fault_patterns,
+    chiplet_fault_pattern,
+    fault_free,
+    random_fault_state,
+)
+
+
+class TestFaultStateBasics:
+    def test_empty_state(self, system4):
+        state = fault_free(system4)
+        assert state.num_faults == 0
+        assert not state.disconnects_any_chiplet()
+        for link in system4.vls:
+            assert state.down_ok(link.index)
+            assert state.up_ok(link.index)
+
+    def test_directed_faults_are_independent(self, system4):
+        state = FaultState(system4, [DirectedVL(0, VLDirection.DOWN)])
+        assert not state.down_ok(0)
+        assert state.up_ok(0)
+
+    def test_alive_lists(self, system4):
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0, 2])
+        assert state.alive_down_vls(0) == (1, 3)
+        assert state.alive_up_vls(0) == (0, 1, 2, 3)
+        assert state.alive_down_vls(1) == (0, 1, 2, 3)
+
+    def test_patterns(self, system4):
+        state = chiplet_fault_pattern(system4, 2, down_faulty=[1], up_faulty=[0, 3])
+        assert state.chiplet_down_pattern(2) == frozenset({1})
+        assert state.chiplet_up_pattern(2) == frozenset({0, 3})
+        assert state.chiplet_down_pattern(0) == frozenset()
+
+    def test_disconnection_detection(self, system4):
+        state = chiplet_fault_pattern(system4, 1, down_faulty=[0, 1, 2, 3])
+        assert state.disconnects_any_chiplet()
+        state = chiplet_fault_pattern(system4, 1, up_faulty=[0, 1, 2, 3])
+        assert state.disconnects_any_chiplet()
+        state = chiplet_fault_pattern(system4, 1, down_faulty=[0, 1, 2], up_faulty=[3])
+        assert not state.disconnects_any_chiplet()
+
+    def test_rejects_unknown_vl(self, system4):
+        with pytest.raises(FaultModelError):
+            FaultState(system4, [DirectedVL(99, VLDirection.DOWN)])
+
+    def test_chiplet_pattern_rejects_unknown_local_index(self, system4):
+        with pytest.raises(FaultModelError):
+            chiplet_fault_pattern(system4, 0, down_faulty=[7])
+
+    def test_with_faults_extends(self, system4):
+        base = FaultState(system4, [DirectedVL(0, VLDirection.DOWN)])
+        extended = base.with_faults([DirectedVL(1, VLDirection.UP)])
+        assert extended.num_faults == 2
+        assert base.num_faults == 1
+
+    def test_equality_and_hash(self, system4):
+        a = FaultState(system4, [DirectedVL(3, VLDirection.UP)])
+        b = FaultState(system4, [DirectedVL(3, VLDirection.UP)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != fault_free(system4)
+
+
+class TestPatternEnumeration:
+    def test_count_without_exclusion(self, system4):
+        patterns = list(all_fault_patterns(system4, 1, exclude_disconnecting=False))
+        assert len(patterns) == 32  # every directed channel
+
+    def test_single_fault_never_disconnects(self, system4):
+        with_exclusion = list(all_fault_patterns(system4, 1))
+        assert len(with_exclusion) == 32
+
+    def test_exclusion_removes_disconnecting_patterns(self, system4):
+        total = math.comb(32, 4)
+        kept = sum(1 for _ in all_fault_patterns(system4, 4))
+        # 8 groups (4 chiplets x up/down) of 4 channels can be fully faulty.
+        assert kept == total - 8
+
+    def test_all_patterns_have_requested_size(self, system4):
+        for state in all_fault_patterns(system4, 2):
+            assert state.num_faults == 2
+
+
+class TestRandomFaultState:
+    def test_deterministic_for_seeded_rng(self, system4):
+        a = random_fault_state(system4, 5, random.Random(3))
+        b = random_fault_state(system4, 5, random.Random(3))
+        assert a == b
+
+    def test_respects_exclusion(self, system4):
+        rng = random.Random(11)
+        for _ in range(50):
+            state = random_fault_state(system4, 8, rng)
+            assert not state.disconnects_any_chiplet()
+            assert state.num_faults == 8
+
+    def test_rejects_impossible_count(self, system4):
+        with pytest.raises(FaultModelError):
+            random_fault_state(system4, 33, random.Random(0))

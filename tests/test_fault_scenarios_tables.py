@@ -1,0 +1,127 @@
+"""Fault-scenario enumeration and the offline selection tables."""
+
+import math
+
+import pytest
+
+from repro.core.fault_scenarios import enumerate_chiplet_scenarios, scenario_count
+from repro.core.tables import build_selection_tables, distance_tables
+from repro.core.vl_selection import vl_loads
+
+
+class TestScenarioEnumeration:
+    def test_paper_count_for_four_vls(self):
+        # C(4,1) + C(4,2) + C(4,3) = 14 (Section III-B).
+        assert scenario_count(4) == 14
+        assert scenario_count(4, include_fault_free=True) == 15
+
+    def test_counts_for_other_sizes(self):
+        for v in (1, 2, 3, 5):
+            expected = sum(math.comb(v, k) for k in range(1, v))
+            assert scenario_count(v) == expected
+
+    def test_enumeration_yields_distinct_scenarios(self):
+        scenarios = list(enumerate_chiplet_scenarios(4))
+        assert len(scenarios) == 15
+        assert len(set(scenarios)) == 15
+        assert frozenset() in scenarios
+
+    def test_all_faulty_scenario_excluded(self):
+        scenarios = set(enumerate_chiplet_scenarios(4))
+        assert frozenset({0, 1, 2, 3}) not in scenarios
+
+    def test_without_fault_free(self):
+        scenarios = list(enumerate_chiplet_scenarios(4, include_fault_free=False))
+        assert frozenset() not in scenarios
+        assert len(scenarios) == 14
+
+    def test_rejects_zero_vls(self):
+        with pytest.raises(ValueError):
+            list(enumerate_chiplet_scenarios(0))
+
+
+class TestSelectionTables:
+    @pytest.fixture(scope="class")
+    def tables(self, system4):
+        return build_selection_tables(system4)
+
+    def test_one_table_per_chiplet(self, tables, system4):
+        assert set(tables) == set(range(system4.spec.num_chiplets))
+
+    def test_fifteen_entries_per_table(self, tables):
+        for table in tables.values():
+            assert table.num_entries == 15
+
+    def test_selections_avoid_faulty_vls(self, tables):
+        for table in tables.values():
+            for scenario, selection in table.entries.items():
+                assert not (set(selection) & set(scenario))
+
+    def test_selection_covers_all_routers(self, tables, system4):
+        for chiplet, table in tables.items():
+            expected = len(system4.chiplet_routers(chiplet))
+            for selection in table.entries.values():
+                assert len(selection) == expected
+
+    def test_fault_free_selection_is_balanced(self, tables):
+        from collections import Counter
+
+        for table in tables.values():
+            counts = Counter(table.lookup(frozenset()))
+            assert sorted(counts.values()) == [4, 4, 4, 4]
+
+    def test_single_fault_selection_rebalances(self, tables):
+        """The optimized tables avoid the naive 8/4/4 split of Fig. 3(b)."""
+        from collections import Counter
+
+        for table in tables.values():
+            counts = Counter(table.lookup(frozenset({0})))
+            assert max(counts.values()) <= 6
+
+    def test_lookup_unknown_scenario_raises(self, tables):
+        with pytest.raises(KeyError):
+            tables[0].lookup(frozenset({0, 1, 2, 3}))
+
+    def test_costs_recorded(self, tables):
+        table = tables[0]
+        assert table.costs[frozenset()] >= 0.0
+
+    def test_table_bits(self, tables):
+        # 15 entries x 2 address bits for 4 VLs.
+        assert tables[0].table_bits(num_vls=4) == 30
+
+    def test_traffic_aware_tables_differ(self, system4):
+        heavy_router = system4.chiplet_routers(0)[0].id
+
+        def traffic(router_id: int) -> float:
+            return 10.0 if router_id == heavy_router else 1.0
+
+        weighted = build_selection_tables(system4, traffic_of_router=traffic)
+        uniform = build_selection_tables(system4)
+        assert (
+            weighted[0].lookup(frozenset({0})) != uniform[0].lookup(frozenset({0}))
+            or weighted[0].lookup(frozenset()) != uniform[0].lookup(frozenset())
+        )
+
+
+class TestDistanceTables:
+    def test_same_interface(self, system4):
+        tables = distance_tables(system4)
+        assert tables[0].num_entries == 15
+
+    def test_fault_free_matches_nearest(self, system4):
+        tables = distance_tables(system4)
+        selection = tables[0].lookup(frozenset())
+        routers = system4.chiplet_routers(0)
+        links = system4.vls_of_chiplet(0)
+        for router, chosen in zip(routers, selection):
+            best = min(
+                links,
+                key=lambda l: (abs(router.x - l.cx) + abs(router.y - l.cy), l.local_index),
+            )
+            assert chosen == best.local_index
+
+    def test_faulted_entries_avoid_fault(self, system4):
+        tables = distance_tables(system4)
+        for scenario, selection in tables[0].entries.items():
+            assert not (set(selection) & set(scenario))

@@ -1,0 +1,139 @@
+"""End-to-end integration: every algorithm x traffic pattern, faults,
+cross-module consistency between the simulator and the analyses."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.fault.model import chiplet_fault_pattern
+from repro.network.simulator import Simulator
+from repro.routing.registry import available_algorithms, make_algorithm
+from repro.analysis.reachability import reachability_of_state
+from repro.traffic.parsec import APP_PROFILES, ParsecLikeTraffic
+from repro.traffic.synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    LocalizedTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+)
+
+TRAFFIC_CLASSES = [
+    UniformTraffic,
+    LocalizedTraffic,
+    HotspotTraffic,
+    TransposeTraffic,
+    BitComplementTraffic,
+]
+
+
+class TestAllAlgorithmsAllTraffic:
+    @pytest.mark.parametrize("algo_name", ["deft", "deft-dis", "deft-ran", "mtr", "rc"])
+    @pytest.mark.parametrize("traffic_cls", TRAFFIC_CLASSES)
+    def test_delivers_everything_fault_free(self, system4, fast_config, algo_name, traffic_cls):
+        algorithm = make_algorithm(algo_name, system4)
+        traffic = traffic_cls(system4, 0.004, seed=2)
+        report = Simulator(system4, algorithm, traffic, fast_config).run()
+        assert not report.deadlocked
+        assert report.stats.packets_dropped_unroutable == 0
+        assert report.stats.delivered_ratio == 1.0
+        assert report.stats.average_latency > 0
+
+    def test_registry_covers_all_names(self):
+        assert set(available_algorithms()) == {
+            "deft", "deft-dis", "deft-ran", "deft-ada", "mtr", "rc",
+        }
+
+
+class TestSixChipletSystem:
+    @pytest.mark.parametrize("algo_name", ["deft", "mtr", "rc"])
+    def test_uniform_delivery(self, system6, fast_config, algo_name):
+        algorithm = make_algorithm(algo_name, system6)
+        traffic = UniformTraffic(system6, 0.004, seed=3)
+        report = Simulator(system6, algorithm, traffic, fast_config).run()
+        assert not report.deadlocked
+        assert report.stats.delivered_ratio == 1.0
+
+
+class TestSimulatorMatchesAnalyticalReachability:
+    """The in-simulator delivered ratio must equal the analytical
+    reachability of the injected fault pattern (uniform traffic)."""
+
+    @pytest.mark.parametrize("algo_name", ["deft", "mtr", "rc"])
+    def test_under_two_down_faults(self, system4, algo_name):
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0, 2])
+        algorithm = make_algorithm(algo_name, system4)
+        expected = reachability_of_state(system4, algorithm, state)
+        algorithm.set_fault_state(state)
+        config = SimulationConfig(
+            warmup_cycles=100, measure_cycles=2_500, drain_cycles=8_000, seed=5
+        )
+        traffic = UniformTraffic(system4, 0.004, seed=5)
+        report = Simulator(system4, algorithm, traffic, config).run()
+        assert not report.deadlocked
+        assert report.stats.delivered_ratio == pytest.approx(expected, abs=0.02)
+
+
+class TestFaultedSimulationsStayDeadlockFree:
+    @pytest.mark.parametrize("algo_name", ["deft", "deft-dis", "deft-ran"])
+    def test_heavy_fault_pattern(self, system4, fast_config, algo_name):
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0, 1, 2]).with_faults(
+            chiplet_fault_pattern(system4, 1, up_faulty=[0, 1, 3]).faults
+        )
+        algorithm = make_algorithm(algo_name, system4)
+        algorithm.set_fault_state(state)
+        traffic = UniformTraffic(system4, 0.006, seed=7)
+        report = Simulator(system4, algorithm, traffic, fast_config).run()
+        assert not report.deadlocked
+        assert report.stats.delivered_ratio == 1.0  # DeFT: 100% reachability
+
+
+class TestParsecWorkloads:
+    @pytest.mark.parametrize("app", ["FL", "ST"])
+    def test_single_app_runs_on_all_algorithms(self, system4, fast_config, app):
+        for algo_name in ("deft", "mtr", "rc"):
+            algorithm = make_algorithm(algo_name, system4)
+            traffic = ParsecLikeTraffic(system4, APP_PROFILES[app], seed=2)
+            report = Simulator(system4, algorithm, traffic, fast_config).run()
+            assert not report.deadlocked
+            assert report.stats.packets_delivered > 0
+
+
+class TestLatencyOrderingUnderLoad:
+    def test_deft_beats_baselines_at_high_uniform_load(self, system4):
+        """The headline of Fig. 4 at a single high-load point."""
+        config = SimulationConfig(
+            warmup_cycles=300, measure_cycles=1_500, drain_cycles=12_000, seed=11
+        )
+        latencies = {}
+        for algo_name in ("deft", "mtr", "rc"):
+            algorithm = make_algorithm(algo_name, system4)
+            traffic = UniformTraffic(system4, 0.010, seed=11)
+            report = Simulator(system4, algorithm, traffic, config).run()
+            latencies[algo_name] = report.stats.average_latency
+        assert latencies["deft"] < latencies["mtr"]
+        assert latencies["deft"] < latencies["rc"]
+
+    def test_rc_pays_serialization_even_at_low_load(self, system4, fast_config):
+        latencies = {}
+        for algo_name in ("deft", "rc"):
+            algorithm = make_algorithm(algo_name, system4)
+            traffic = UniformTraffic(system4, 0.002, seed=4)
+            report = Simulator(system4, algorithm, traffic, fast_config).run()
+            latencies[algo_name] = report.stats.average_latency
+        assert latencies["rc"] > latencies["deft"] + 5
+
+
+class TestVcUtilizationIntegration:
+    def test_deft_balanced_baselines_unbalanced(self, system4):
+        config = SimulationConfig(
+            warmup_cycles=200, measure_cycles=1_500, drain_cycles=8_000, seed=9
+        )
+        utils = {}
+        for algo_name in ("deft", "mtr"):
+            algorithm = make_algorithm(algo_name, system4)
+            traffic = UniformTraffic(system4, 0.006, seed=9)
+            report = Simulator(system4, algorithm, traffic, config).run()
+            utils[algo_name] = report.stats.vc_utilization_report()
+        # DeFT interposer split close to even; MTR pins interposer to VC0.
+        assert abs(utils["deft"]["interposer"][0] - 0.5) < 0.05
+        assert utils["mtr"]["interposer"][0] > 0.95

@@ -1,0 +1,38 @@
+"""Packet/flit serialization."""
+
+from repro.network.flit import Flit, FlitKind, Packet
+
+
+class TestPacket:
+    def test_flit_sequence_structure(self):
+        packet = Packet(1, 0, 5, size=8, created_cycle=10)
+        flits = packet.flits()
+        assert len(flits) == 8
+        assert flits[0].kind is FlitKind.HEAD
+        assert flits[-1].kind is FlitKind.TAIL
+        assert all(f.kind is FlitKind.BODY for f in flits[1:-1])
+        assert [f.seq for f in flits] == list(range(8))
+        assert all(f.packet is packet for f in flits)
+
+    def test_single_flit_packet(self):
+        packet = Packet(1, 0, 5, size=1, created_cycle=0)
+        flits = packet.flits()
+        assert len(flits) == 1
+        assert flits[0].kind is FlitKind.HEAD_TAIL
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_two_flit_packet(self):
+        flits = Packet(1, 0, 5, size=2, created_cycle=0).flits()
+        assert [f.kind for f in flits] == [FlitKind.HEAD, FlitKind.TAIL]
+
+    def test_latency_none_until_delivered(self):
+        packet = Packet(1, 0, 5, size=8, created_cycle=10)
+        assert packet.latency is None
+        packet.delivered_cycle = 42
+        assert packet.latency == 32
+
+    def test_head_tail_predicates(self):
+        assert FlitKind.HEAD.is_head and not FlitKind.HEAD.is_tail
+        assert FlitKind.TAIL.is_tail and not FlitKind.TAIL.is_head
+        assert not FlitKind.BODY.is_head and not FlitKind.BODY.is_tail
+        assert FlitKind.HEAD_TAIL.is_head and FlitKind.HEAD_TAIL.is_tail

@@ -1,0 +1,156 @@
+"""Optimization searches for Algorithm 2 / equation (7).
+
+The composition optimizer must be *exact* for uniform traffic — verified
+against the literal exhaustive Algorithm 2 on every instance small enough
+to enumerate, including hypothesis-generated ones.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import (
+    CompositionOptimizer,
+    ExhaustiveOptimizer,
+    LocalSearchOptimizer,
+    default_optimizer,
+)
+from repro.core.vl_selection import (
+    SelectionProblem,
+    distance_based_selection,
+    selection_cost,
+    vl_loads,
+)
+from repro.errors import OptimizationError
+
+
+def _uniform_problem(router_positions, vl_positions, rho=0.01):
+    return SelectionProblem.uniform(router_positions, vl_positions, rho=rho)
+
+
+SMALL = _uniform_problem([(0, 0), (1, 0), (2, 0), (3, 0)], [(0, 0), (3, 0)])
+
+
+class TestExhaustive:
+    def test_finds_balanced_split(self):
+        result = ExhaustiveOptimizer().optimize(SMALL)
+        assert sorted(vl_loads(SMALL, result.selection)) == [2.0, 2.0]
+
+    def test_cost_matches_recomputation(self):
+        result = ExhaustiveOptimizer().optimize(SMALL)
+        assert result.cost == pytest.approx(selection_cost(SMALL, result.selection))
+
+    def test_guards_against_explosion(self):
+        big = _uniform_problem([(x, y) for x in range(4) for y in range(4)],
+                               [(0, 0), (3, 0), (0, 3), (3, 3)])
+        with pytest.raises(OptimizationError, match="exceeds"):
+            ExhaustiveOptimizer(max_sets=1000).optimize(big)
+
+    def test_evaluates_all_sets(self):
+        result = ExhaustiveOptimizer().optimize(SMALL)
+        assert result.evaluations == 2 ** 4
+
+
+class TestCompositionExactness:
+    @pytest.mark.parametrize("routers,vls", [
+        ([(0, 0), (1, 0), (2, 0)], [(0, 0), (2, 0)]),
+        ([(0, 0), (1, 1), (2, 0), (0, 2)], [(1, 0), (0, 1)]),
+        ([(x, 0) for x in range(6)], [(0, 0), (2, 0), (5, 0)]),
+        ([(x, y) for x in range(3) for y in range(2)], [(0, 0), (2, 1)]),
+    ])
+    def test_matches_exhaustive(self, routers, vls):
+        problem = _uniform_problem(routers, vls)
+        exact = ExhaustiveOptimizer().optimize(problem)
+        fast = CompositionOptimizer().optimize(problem)
+        assert fast.cost == pytest.approx(exact.cost, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_routers=st.integers(2, 6),
+        num_vls=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matches_exhaustive_random(self, num_routers, num_vls, seed):
+        import random
+
+        rng = random.Random(seed)
+        positions = set()
+        while len(positions) < num_routers + num_vls:
+            positions.add((rng.randrange(5), rng.randrange(5)))
+        positions = list(positions)
+        problem = _uniform_problem(positions[:num_routers], positions[num_routers:])
+        exact = ExhaustiveOptimizer().optimize(problem)
+        fast = CompositionOptimizer().optimize(problem)
+        assert fast.cost == pytest.approx(exact.cost, abs=1e-9)
+
+    def test_handles_paper_sized_instance_quickly(self):
+        problem = _uniform_problem(
+            [(x, y) for y in range(4) for x in range(4)],
+            [(1, 0), (2, 0), (1, 3), (2, 3)],
+        )
+        result = CompositionOptimizer().optimize(problem)
+        loads = vl_loads(problem, result.selection)
+        assert sorted(loads) == [4.0, 4.0, 4.0, 4.0]
+
+    def test_paper_fig3b_rebalances_under_fault(self):
+        """With one faulty VL the optimizer avoids the naive 8/4/4 split."""
+        problem = _uniform_problem(
+            [(x, y) for y in range(4) for x in range(4)],
+            [(2, 0), (1, 3), (2, 3)],
+        )
+        result = CompositionOptimizer().optimize(problem)
+        loads = sorted(vl_loads(problem, result.selection))
+        naive = _uniform_problem(problem.router_positions, problem.vl_positions)
+        naive_loads = sorted(vl_loads(naive, distance_based_selection(naive)))
+        assert naive_loads == [4.0, 4.0, 8.0]
+        assert loads in ([5.0, 5.0, 6.0], [5.0, 5.5, 5.5])
+        assert result.cost < selection_cost(problem, distance_based_selection(problem))
+
+
+class TestLocalSearch:
+    def test_never_worse_than_distance_based(self):
+        problem = SelectionProblem(
+            router_positions=tuple((x, y) for y in range(4) for x in range(4)),
+            vl_positions=((1, 0), (2, 0), (1, 3), (2, 3)),
+            traffic=tuple(float(1 + (i % 3)) for i in range(16)),
+        )
+        result = LocalSearchOptimizer(restarts=4, seed=1).optimize(problem)
+        baseline = selection_cost(problem, distance_based_selection(problem))
+        assert result.cost <= baseline + 1e-9
+
+    def test_matches_exhaustive_on_small_nonuniform(self):
+        problem = SelectionProblem(
+            router_positions=((0, 0), (1, 0), (2, 0), (3, 0)),
+            vl_positions=((0, 0), (3, 0)),
+            traffic=(0.5, 1.0, 2.0, 0.5),
+        )
+        exact = ExhaustiveOptimizer().optimize(problem)
+        local = LocalSearchOptimizer(restarts=6, seed=3).optimize(problem)
+        assert local.cost == pytest.approx(exact.cost, abs=1e-9)
+
+    def test_rejects_zero_restarts(self):
+        with pytest.raises(OptimizationError):
+            LocalSearchOptimizer(restarts=0)
+
+
+class TestDefaultOptimizer:
+    def test_uniform_dispatches_to_composition(self):
+        result = default_optimizer(SMALL)
+        assert result.method == "composition"
+
+    def test_small_nonuniform_dispatches_to_exhaustive(self):
+        problem = SelectionProblem(
+            router_positions=((0, 0), (1, 0)),
+            vl_positions=((0, 0), (1, 0)),
+            traffic=(1.0, 2.0),
+        )
+        result = default_optimizer(problem)
+        assert result.method == "exhaustive"
+
+    def test_large_nonuniform_dispatches_to_local_search(self):
+        problem = SelectionProblem(
+            router_positions=tuple((x, y) for y in range(4) for x in range(4)),
+            vl_positions=((1, 0), (2, 0), (1, 3), (2, 3)),
+            traffic=tuple(float(i % 4 + 1) for i in range(16)),
+        )
+        result = default_optimizer(problem)
+        assert result.method == "local-search"

@@ -1,0 +1,143 @@
+"""PARSEC-like CMP traffic generator (the GEM5-trace substitution)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.parsec import (
+    APP_PROFILES,
+    FIG6A_APPS,
+    FIG6B_PAIRS,
+    ParsecLikeTraffic,
+    app_pair_load,
+    directory_nodes,
+    shared_l2_nodes,
+    two_app_workload,
+)
+
+
+def _drain(generator, cycles=3000):
+    packets = []
+    for cycle in range(cycles):
+        packets.extend(generator.packets_for_cycle(cycle))
+    return packets
+
+
+class TestProfiles:
+    def test_eight_applications(self):
+        assert len(APP_PROFILES) == 8
+        assert set(FIG6A_APPS) == set(APP_PROFILES)
+
+    def test_pair_loads_sorted_as_in_the_paper(self):
+        """Fig. 6(b)'s x-axis is sorted by load, FA+FL lowest, ST+FL highest."""
+        loads = [app_pair_load(a, b) for a, b in FIG6B_PAIRS]
+        assert loads == sorted(loads)
+        assert FIG6B_PAIRS[0] == ("FA", "FL")
+        assert FIG6B_PAIRS[-1] == ("ST", "FL")
+
+    def test_fractions_are_probabilities(self):
+        for profile in APP_PROFILES.values():
+            assert 0 <= profile.local_fraction <= 1
+            assert 0 <= profile.l2_fraction <= 1
+            assert profile.local_fraction + profile.l2_fraction <= 1
+            assert 0 <= profile.burstiness < 1
+
+
+class TestServiceNodes:
+    def test_l2_banks_on_interposer(self, system4):
+        nodes = shared_l2_nodes(system4)
+        assert len(nodes) == 4
+        for node in nodes:
+            assert system4.routers[node].is_interposer
+
+    def test_directories_colocated_with_dram(self, system4):
+        assert set(directory_nodes(system4)) == set(system4.drams)
+
+
+class TestSingleApplication:
+    def test_generates_valid_pairs(self, system4):
+        gen = ParsecLikeTraffic(system4, APP_PROFILES["CA"], seed=2)
+        packets = _drain(gen)
+        assert packets
+        valid_nodes = set(system4.cores) | set(gen.service_nodes)
+        for src, dst in packets:
+            assert src in valid_nodes
+            assert dst in valid_nodes
+            assert src != dst
+
+    def test_aggregate_rate_tracks_total_load(self, system4):
+        profile = APP_PROFILES["ST"]
+        gen = ParsecLikeTraffic(system4, profile, seed=3)
+        cycles = 5000
+        packets = []
+        for cycle in range(cycles):
+            packets.extend(gen.packets_for_cycle(cycle))
+        # cores inject total_load; service nodes add the reply flows.
+        expected = profile.total_load * (1 + profile.l2_fraction) * cycles
+        assert expected * 0.8 < len(packets) < expected * 1.2
+
+    def test_l2_fraction_reaches_service_nodes(self, system4):
+        profile = APP_PROFILES["ST"]  # 50% L2 traffic
+        gen = ParsecLikeTraffic(system4, profile, seed=4)
+        packets = _drain(gen, 5000)
+        service = set(gen.service_nodes)
+        to_service = sum(1 for s, d in packets if d in service)
+        core_sourced = sum(1 for s, _ in packets if s not in service)
+        assert to_service / max(1, core_sourced) > 0.3
+
+    def test_load_scale(self, system4):
+        base = ParsecLikeTraffic(system4, APP_PROFILES["DE"], seed=5)
+        scaled = ParsecLikeTraffic(system4, APP_PROFILES["DE"], seed=5, load_scale=0.5)
+        assert scaled.core_rate == pytest.approx(base.core_rate * 0.5)
+
+    def test_rejects_negative_scale(self, system4):
+        with pytest.raises(ConfigurationError):
+            ParsecLikeTraffic(system4, APP_PROFILES["DE"], load_scale=-1.0)
+
+    def test_rejects_empty_core_set(self, system4):
+        with pytest.raises(ConfigurationError):
+            ParsecLikeTraffic(system4, APP_PROFILES["DE"], cores=[])
+
+    def test_burst_modulation_preserves_mean(self, system4):
+        profile = APP_PROFILES["DE"]  # bursty app
+        gen = ParsecLikeTraffic(system4, profile, seed=6)
+        cycles = 20_000
+        count = 0
+        for cycle in range(cycles):
+            count += sum(
+                1 for s, _ in gen.packets_for_cycle(cycle) if s in set(gen.cores)
+            )
+        expected = profile.total_load * cycles
+        assert expected * 0.85 < count < expected * 1.15
+
+
+class TestTwoApplications:
+    def test_core_partition_is_disjoint(self, system4):
+        workload = two_app_workload(system4, "ST", "FL", seed=1)
+        gen_a, gen_b = workload.generators
+        assert not (set(gen_a.cores) & set(gen_b.cores))
+        assert len(gen_a.cores) == len(gen_b.cores) == 32
+
+    def test_partition_splits_by_chiplet_halves(self, system4):
+        workload = two_app_workload(system4, "CA", "FA", seed=1)
+        gen_a, gen_b = workload.generators
+        layers_a = {system4.routers[c].layer for c in gen_a.cores}
+        layers_b = {system4.routers[c].layer for c in gen_b.cores}
+        assert layers_a == {0, 1}
+        assert layers_b == {2, 3}
+
+    def test_combined_stream_contains_both(self, system4):
+        workload = two_app_workload(system4, "ST", "FL", seed=2)
+        packets = _drain(workload, 2000)
+        gen_a, gen_b = workload.generators
+        srcs = {s for s, _ in packets}
+        assert srcs & set(gen_a.cores)
+        assert srcs & set(gen_b.cores)
+
+    def test_name_reflects_pair(self, system4):
+        workload = two_app_workload(system4, "BO", "CA")
+        assert workload.name == "BO+CA"
+
+    def test_per_core_rate_doubles_versus_single_app(self, system4):
+        single = ParsecLikeTraffic(system4, APP_PROFILES["ST"], seed=1)
+        paired = two_app_workload(system4, "ST", "FL", seed=1).generators[0]
+        assert paired.core_rate == pytest.approx(single.core_rate * 2.0)

@@ -1,0 +1,104 @@
+"""ORION-style area/power model (Table I)."""
+
+import pytest
+
+from repro.power.model import (
+    RouterParams,
+    TECHNOLOGY_45NM,
+    estimate_deft_router,
+    estimate_mtr_router,
+    estimate_rc_boundary_router,
+    estimate_rc_nonboundary_router,
+    table1,
+)
+
+PAPER = {
+    "MTR": (45878, 11.644),
+    "RC non-boundary": (46663, 11.760),
+    "RC boundary": (51984, 12.841),
+    "DeFT": (46651, 11.693),
+}
+
+
+class TestCalibration:
+    def test_absolute_values_match_paper_within_one_percent(self):
+        for name, estimate in table1().items():
+            area, power = PAPER[name]
+            assert estimate.area_um2 == pytest.approx(area, rel=0.01)
+            assert estimate.power_mw == pytest.approx(power, rel=0.01)
+
+    def test_normalized_values_match_paper(self):
+        estimates = table1()
+        mtr = estimates["MTR"]
+        norm_area, norm_power = estimates["DeFT"].normalized_to(mtr)
+        assert norm_area == pytest.approx(46651 / 45878, abs=0.005)
+        assert norm_power == pytest.approx(11.693 / 11.644, abs=0.005)
+        rcb_area, rcb_power = estimates["RC boundary"].normalized_to(mtr)
+        assert rcb_area == pytest.approx(1.133, abs=0.005)
+        assert rcb_power == pytest.approx(1.102, abs=0.005)
+
+    def test_breakdowns_sum_to_totals(self):
+        for estimate in table1().values():
+            assert sum(estimate.area_breakdown.values()) == pytest.approx(
+                estimate.area_um2
+            )
+            assert sum(estimate.power_breakdown.values()) == pytest.approx(
+                estimate.power_mw
+            )
+
+
+class TestStructureSizes:
+    def test_paper_parameters(self):
+        params = RouterParams()
+        assert params.buffer_bits == 6 * 2 * 4 * 32
+        assert params.rc_buffer_bits == 8 * 32
+        # 15 scenarios x 2-bit VL address x two selection sides.
+        assert params.lut_bits == 2 * 15 * 2
+
+    def test_deft_overhead_components(self):
+        mtr = estimate_mtr_router()
+        deft = estimate_deft_router()
+        assert set(deft.area_breakdown) - set(mtr.area_breakdown) == {
+            "vl-lut", "vn-logic",
+        }
+
+    def test_rc_boundary_dominated_by_buffer(self):
+        rcb = estimate_rc_boundary_router()
+        assert rcb.area_breakdown["rc-buffer"] > rcb.area_breakdown["permission"]
+
+    def test_rc_nonboundary_only_adds_requester(self):
+        mtr = estimate_mtr_router()
+        rcn = estimate_rc_nonboundary_router()
+        delta = rcn.area_um2 - mtr.area_um2
+        assert delta == pytest.approx(TECHNOLOGY_45NM.permission_requester_area)
+
+
+class TestScaling:
+    def test_more_vcs_cost_more(self):
+        base = estimate_mtr_router(RouterParams(num_vcs=2))
+        wide = estimate_mtr_router(RouterParams(num_vcs=4))
+        assert wide.area_um2 > base.area_um2
+        assert wide.power_mw > base.power_mw
+
+    def test_deeper_buffers_cost_more(self):
+        base = estimate_mtr_router(RouterParams(buffer_depth=4))
+        deep = estimate_mtr_router(RouterParams(buffer_depth=8))
+        assert deep.area_um2 > base.area_um2
+
+    def test_bigger_packets_grow_rc_buffer_only(self):
+        small = estimate_rc_boundary_router(RouterParams(packet_size=8))
+        large = estimate_rc_boundary_router(RouterParams(packet_size=16))
+        assert large.area_um2 > small.area_um2
+        assert estimate_mtr_router(RouterParams(packet_size=16)).area_um2 == \
+            estimate_mtr_router(RouterParams(packet_size=8)).area_um2
+
+    def test_more_vls_grow_deft_lut(self):
+        few = estimate_deft_router(RouterParams(vls_per_chiplet=4))
+        many = estimate_deft_router(RouterParams(vls_per_chiplet=8))
+        assert many.area_um2 > few.area_um2
+
+    def test_deft_overhead_stays_small_even_with_more_vls(self):
+        mtr = estimate_mtr_router()
+        deft8 = estimate_deft_router(RouterParams(vls_per_chiplet=6))
+        norm, _ = deft8.normalized_to(mtr)
+        assert norm < 1.10

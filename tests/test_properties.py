@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SimulationConfig
+from repro.core.optimizer import CompositionOptimizer, ExhaustiveOptimizer
+from repro.core.vl_selection import (
+    SelectionProblem,
+    distance_based_selection,
+    selection_cost,
+    vl_loads,
+)
+from repro.core.vn import VN0, VN1, PortClass, allowed_output_vns
+from repro.fault.model import DirectedVL, FaultState, VLDirection
+from repro.network.simulator import Simulator
+from repro.routing.deft import DeftRouting
+from repro.topology.geometry import manhattan, xy_path
+from repro.topology.presets import baseline_4_chiplets
+from repro.traffic.synthetic import UniformTraffic
+
+SYSTEM = baseline_4_chiplets()
+
+
+# ---------------------------------------------------------------------------
+# geometry
+# ---------------------------------------------------------------------------
+
+coords = st.tuples(st.integers(0, 7), st.integers(0, 7))
+
+
+@given(a=coords, b=coords)
+def test_xy_path_endpoints_and_length(a, b):
+    path = xy_path(a[0], a[1], b[0], b[1])
+    assert path[0] == a and path[-1] == b
+    assert len(path) == manhattan(*a, *b) + 1
+    for (x0, y0), (x1, y1) in zip(path, path[1:]):
+        assert abs(x1 - x0) + abs(y1 - y0) == 1
+
+
+@given(a=coords, b=coords)
+def test_manhattan_symmetry_and_triangle(a, b):
+    assert manhattan(*a, *b) == manhattan(*b, *a)
+    assert manhattan(*a, *a) == 0
+
+
+# ---------------------------------------------------------------------------
+# VN rules
+# ---------------------------------------------------------------------------
+
+port_classes = st.sampled_from(list(PortClass))
+vns = st.sampled_from([VN0, VN1])
+
+
+@given(in_port=port_classes, out_port=port_classes, vn=vns)
+def test_allowed_vns_respect_rule1(in_port, out_port, vn):
+    for vn_out in allowed_output_vns(in_port, out_port, vn):
+        assert vn_out >= vn  # Rule 1: never downgrade
+
+
+@given(in_port=port_classes, out_port=port_classes, vn=vns)
+def test_allowed_vns_only_empty_for_rule3(in_port, out_port, vn):
+    allowed = allowed_output_vns(in_port, out_port, vn)
+    if not allowed:
+        assert vn == VN1
+        assert in_port is PortClass.HORIZONTAL
+        assert out_port is PortClass.DOWN
+
+
+@given(in_port=port_classes, out_port=port_classes, vn=vns)
+def test_rule2_never_lands_up_horizontal_in_vn0(in_port, out_port, vn):
+    allowed = allowed_output_vns(in_port, out_port, vn)
+    if in_port is PortClass.UP and out_port is PortClass.HORIZONTAL:
+        assert VN0 not in allowed
+
+
+# ---------------------------------------------------------------------------
+# VL selection optimization
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_composition_optimizer_matches_exhaustive(seed):
+    rng = random.Random(seed)
+    num_routers = rng.randint(2, 5)
+    num_vls = rng.randint(1, 3)
+    positions = set()
+    while len(positions) < num_routers + num_vls:
+        positions.add((rng.randrange(4), rng.randrange(4)))
+    positions = sorted(positions)
+    problem = SelectionProblem.uniform(
+        positions[:num_routers], positions[num_routers:]
+    )
+    exact = ExhaustiveOptimizer().optimize(problem).cost
+    fast = CompositionOptimizer().optimize(problem).cost
+    assert abs(exact - fast) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_optimizer_never_worse_than_distance_based(seed):
+    rng = random.Random(seed)
+    num_routers = rng.randint(2, 8)
+    num_vls = rng.randint(1, 4)
+    positions = set()
+    while len(positions) < num_routers + num_vls:
+        positions.add((rng.randrange(5), rng.randrange(5)))
+    positions = sorted(positions)
+    problem = SelectionProblem.uniform(
+        positions[:num_routers], positions[num_routers:]
+    )
+    best = CompositionOptimizer().optimize(problem)
+    baseline = selection_cost(problem, distance_based_selection(problem))
+    assert best.cost <= baseline + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_loads_sum_to_total_traffic(seed):
+    rng = random.Random(seed)
+    num_routers = rng.randint(1, 10)
+    num_vls = rng.randint(1, 4)
+    problem = SelectionProblem(
+        router_positions=tuple((rng.randrange(6), rng.randrange(6)) for _ in range(num_routers)),
+        vl_positions=tuple((i, 0) for i in range(num_vls)),
+        traffic=tuple(rng.random() for _ in range(num_routers)),
+    )
+    selection = [rng.randrange(num_vls) for _ in range(num_routers)]
+    assert abs(sum(vl_loads(problem, selection)) - problem.total_traffic) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# fault model
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**6), k=st.integers(0, 10))
+def test_fault_state_pattern_consistency(seed, k):
+    rng = random.Random(seed)
+    channels = [
+        DirectedVL(link.index, direction)
+        for link in SYSTEM.vls
+        for direction in (VLDirection.DOWN, VLDirection.UP)
+    ]
+    faults = rng.sample(channels, min(k, len(channels)))
+    state = FaultState(SYSTEM, faults)
+    for chiplet in range(SYSTEM.spec.num_chiplets):
+        down = state.chiplet_down_pattern(chiplet)
+        alive = state.alive_down_vls(chiplet)
+        assert set(down) | set(alive) == set(range(4))
+        assert not (set(down) & set(alive))
+
+
+# ---------------------------------------------------------------------------
+# end-to-end flit conservation
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rate=st.sampled_from([0.002, 0.005, 0.009]),
+    seed=st.integers(1, 50),
+)
+def test_simulation_conserves_packets(rate, seed):
+    """created == delivered + dropped + in-flight, for random loads/seeds."""
+    config = SimulationConfig(
+        warmup_cycles=50, measure_cycles=300, drain_cycles=4_000, seed=seed
+    )
+    traffic = UniformTraffic(SYSTEM, rate, seed)
+    sim = Simulator(SYSTEM, DeftRouting(SYSTEM), traffic, config)
+    report = sim.run()
+    stats = report.stats
+    queued = sum(len(nic.queue) + (1 if nic.busy else 0) for nic in sim.nics)
+    in_network = sim._flits_in_flight
+    assert stats.packets_dropped_unroutable == 0
+    assert stats.packets_delivered <= stats.packets_created
+    if in_network == 0 and queued == 0:
+        assert stats.packets_delivered == stats.packets_created
+    assert not report.deadlocked

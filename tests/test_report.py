@@ -1,0 +1,85 @@
+"""Consolidated result reporting (`deft report`)."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import RecordedArtifact, load_recorded, render_summary
+
+
+def _write(dirpath, experiment, checks, data=None, title="t"):
+    payload = {
+        "experiment": experiment,
+        "title": title,
+        "data": data or {},
+        "checks": [{"description": f"c{i}", "passed": ok} for i, ok in enumerate(checks)],
+    }
+    (dirpath / f"{experiment}.json").write_text(json.dumps(payload))
+
+
+class TestLoadRecorded:
+    def test_empty_directory(self, tmp_path):
+        assert load_recorded(tmp_path) == []
+
+    def test_orders_like_the_paper(self, tmp_path):
+        _write(tmp_path, "table1", [True])
+        _write(tmp_path, "fig4a", [True, True])
+        _write(tmp_path, "fig7a", [True])
+        artifacts = load_recorded(tmp_path)
+        assert [a.experiment_id for a in artifacts] == ["fig4a", "fig7a", "table1"]
+
+    def test_counts_checks(self, tmp_path):
+        _write(tmp_path, "fig4a", [True, False, True])
+        artifact = load_recorded(tmp_path)[0]
+        assert artifact.checks_passed == 2
+        assert artifact.checks_total == 3
+        assert not artifact.ok
+
+    def test_headline_fig4(self, tmp_path):
+        data = {
+            "deft": {"rates": [0.1], "latency": [50.0]},
+            "mtr": {"rates": [0.1], "latency": [100.0]},
+            "rc": {"rates": [0.1], "latency": [120.0]},
+        }
+        _write(tmp_path, "fig4a", [True], data)
+        assert "DeFT 50c vs MTR 100c" in load_recorded(tmp_path)[0].headline
+
+    def test_headline_table1(self, tmp_path):
+        data = {
+            "DeFT": {"area_um2": 46651.0},
+            "MTR": {"area_um2": 45878.0},
+        }
+        _write(tmp_path, "table1", [True], data)
+        assert "+1.7% area" in load_recorded(tmp_path)[0].headline
+
+    def test_headline_survives_malformed_data(self, tmp_path):
+        _write(tmp_path, "fig4a", [True], {"bogus": 1})
+        assert load_recorded(tmp_path)[0].headline == ""
+
+
+class TestRenderSummary:
+    def test_no_results_message(self):
+        assert "no recorded results" in render_summary([])
+
+    def test_flags_failures(self):
+        artifacts = [
+            RecordedArtifact("fig4a", "t", 2, 2, "fine"),
+            RecordedArtifact("fig5", "t", 1, 3, "bad"),
+        ]
+        text = render_summary(artifacts)
+        assert "FAILING" in text
+        assert "3/5 shape checks pass" in text
+
+    def test_cli_report_on_real_results(self, capsys):
+        """The repository's own recorded results must all pass."""
+        import pathlib
+
+        from repro.cli import main
+
+        results = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.exists() or not list(results.glob("*.json")):
+            pytest.skip("no recorded benchmark results yet")
+        code = main(["report", "--results", str(results)])
+        out = capsys.readouterr().out
+        assert "shape checks pass" in out
+        assert code == 0

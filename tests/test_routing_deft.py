@@ -1,0 +1,218 @@
+"""DeFT routing: paths, VN discipline, fault-tolerant VL selection."""
+
+import pytest
+
+from repro.core.tables import build_selection_tables
+from repro.errors import UnroutablePacketError
+from repro.fault.model import chiplet_fault_pattern, fault_free
+from repro.network.flit import Packet
+from repro.routing.deft import DeftRouting, VlSelectionStrategy
+from repro.routing.base import Port
+
+from .routing_helpers import minimal_hops, walk_packet
+
+
+@pytest.fixture()
+def deft(system4):
+    return DeftRouting(system4)
+
+
+class TestPathCorrectness:
+    def test_every_core_pair_reaches_destination(self, system4, deft):
+        cores = system4.cores[::5]  # subsample for speed
+        for src in cores:
+            for dst in cores:
+                if src == dst:
+                    continue
+                path, _ = walk_packet(system4, deft, src, dst, verify_vn_rules=True)
+                assert path[-1] == dst
+
+    def test_paths_are_minimal_given_vl_bindings(self, system4, deft):
+        for src in system4.cores[::7]:
+            for dst in system4.cores[::6]:
+                if src == dst:
+                    continue
+                path, packet = walk_packet(system4, deft, src, dst)
+                assert len(path) - 1 == minimal_hops(system4, packet)
+
+    def test_dram_to_core_and_back(self, system4, deft):
+        dram = system4.drams[0]
+        core = system4.cores[13]
+        path, _ = walk_packet(system4, deft, dram, core, verify_vn_rules=True)
+        assert path[-1] == core
+        path, _ = walk_packet(system4, deft, core, dram, verify_vn_rules=True)
+        assert path[-1] == dram
+
+    def test_both_vn_branches_deliver(self, system4, deft):
+        src, dst = system4.cores[0], system4.cores[40]
+        for prefer in (0, 1):
+            path, _ = walk_packet(
+                system4, deft, src, dst, verify_vn_rules=True, prefer_vn=prefer
+            )
+            assert path[-1] == dst
+
+    def test_intra_chiplet_stays_on_chiplet(self, system4, deft):
+        routers = system4.chiplet_routers(1)
+        src, dst = routers[0].id, routers[15].id
+        path, _ = walk_packet(system4, deft, src, dst)
+        assert all(system4.routers[r].layer == 1 for r in path)
+
+    def test_inter_chiplet_passes_interposer(self, system4, deft):
+        src = system4.chiplet_routers(0)[5].id
+        dst = system4.chiplet_routers(3)[10].id
+        path, _ = walk_packet(system4, deft, src, dst)
+        assert any(system4.routers[r].is_interposer for r in path)
+
+
+class TestVnAssignment:
+    def test_inter_chiplet_nonboundary_starts_vn0(self, system4, deft):
+        src = system4.router_id(0, 0, 1)  # not a boundary router
+        dst = system4.chiplet_routers(1)[0].id
+        for _ in range(4):
+            packet = Packet(0, src, dst, 8, 0)
+            deft.prepare_packet(packet)
+            assert packet.vn == 0
+
+    def test_intra_chiplet_round_robins(self, system4, deft):
+        src = system4.router_id(0, 0, 1)
+        dst = system4.router_id(0, 3, 2)
+        vns = []
+        for _ in range(4):
+            packet = Packet(0, src, dst, 8, 0)
+            deft.prepare_packet(packet)
+            vns.append(packet.vn)
+        assert set(vns) == {0, 1}
+
+    def test_interposer_source_round_robins(self, system4, deft):
+        src = system4.drams[0]
+        dst = system4.cores[0]
+        vns = set()
+        for _ in range(4):
+            packet = Packet(0, src, dst, 8, 0)
+            deft.prepare_packet(packet)
+            vns.add(packet.vn)
+        assert vns == {0, 1}
+
+    def test_reset_runtime_state_restarts_round_robin(self, system4, deft):
+        src = system4.router_id(0, 0, 1)
+        dst = system4.router_id(0, 3, 2)
+        packet = Packet(0, src, dst, 8, 0)
+        deft.prepare_packet(packet)
+        first = packet.vn
+        deft.reset_runtime_state()
+        packet = Packet(1, src, dst, 8, 0)
+        deft.prepare_packet(packet)
+        assert packet.vn == first
+
+
+class TestVlSelection:
+    def test_fault_free_uses_optimized_table(self, system4, deft):
+        tables = build_selection_tables(system4)
+        src = system4.chiplet_routers(0)[0].id
+        dst = system4.chiplet_routers(1)[0].id
+        packet = Packet(0, src, dst, 8, 0)
+        deft.prepare_packet(packet)
+        expected_local = tables[0].vl_for_router(0, frozenset())
+        assert system4.vls[packet.down_vl].local_index == expected_local
+
+    def test_selection_adapts_to_fault(self, system4, deft):
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0])
+        deft.set_fault_state(state)
+        try:
+            for router in system4.chiplet_routers(0):
+                packet = Packet(0, router.id, system4.chiplet_routers(2)[0].id, 8, 0)
+                deft.prepare_packet(packet)
+                link = system4.vls[packet.down_vl]
+                assert link.local_index != 0
+        finally:
+            deft.set_fault_state(fault_free(system4))
+
+    def test_up_vl_avoids_up_faults(self, system4, deft):
+        state = chiplet_fault_pattern(system4, 1, up_faulty=[0, 1])
+        deft.set_fault_state(state)
+        try:
+            src = system4.chiplet_routers(0)[3].id
+            for dst_router in system4.chiplet_routers(1)[::3]:
+                path, packet = walk_packet(system4, deft, src, dst_router.id)
+                assert system4.vls[packet.up_vl].local_index in (2, 3)
+                assert path[-1] == dst_router.id
+        finally:
+            deft.set_fault_state(fault_free(system4))
+
+    def test_full_reachability_under_heavy_faults(self, system4, deft):
+        # 3 of 4 down channels dead on chiplet 0, 3 of 4 up dead on chiplet 3.
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0, 1, 2]).with_faults(
+            chiplet_fault_pattern(system4, 3, up_faulty=[1, 2, 3]).faults
+        )
+        deft.set_fault_state(state)
+        try:
+            for src in (r.id for r in system4.chiplet_routers(0)[::5]):
+                for dst in (r.id for r in system4.chiplet_routers(3)[::5]):
+                    assert deft.is_routable(src, dst)
+                    path, _ = walk_packet(system4, deft, src, dst, verify_vn_rules=True)
+                    assert path[-1] == dst
+        finally:
+            deft.set_fault_state(fault_free(system4))
+
+    def test_unroutable_when_chiplet_disconnected(self, system4, deft):
+        state = chiplet_fault_pattern(system4, 0, down_faulty=[0, 1, 2, 3])
+        deft.set_fault_state(state)
+        try:
+            src = system4.chiplet_routers(0)[0].id
+            dst = system4.chiplet_routers(1)[0].id
+            assert not deft.is_routable(src, dst)
+            with pytest.raises(UnroutablePacketError):
+                deft.prepare_packet(Packet(0, src, dst, 8, 0))
+            # Intra-chiplet traffic is unaffected.
+            assert deft.is_routable(src, system4.chiplet_routers(0)[5].id)
+        finally:
+            deft.set_fault_state(fault_free(system4))
+
+
+class TestStrategies:
+    def test_distance_strategy_picks_nearest(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.DISTANCE)
+        assert algo.name == "DeFT-Dis"
+        src = system4.router_id(0, 0, 0)  # nearest VL is (1,0) = local idx 0
+        packet = Packet(0, src, system4.chiplet_routers(1)[0].id, 8, 0)
+        algo.prepare_packet(packet)
+        assert system4.vls[packet.down_vl].local_index == 0
+
+    def test_random_strategy_spreads_choices(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.RANDOM, seed=3)
+        assert algo.name == "DeFT-Ran"
+        src = system4.router_id(0, 0, 0)
+        dst = system4.chiplet_routers(1)[0].id
+        chosen = set()
+        for i in range(40):
+            packet = Packet(i, src, dst, 8, 0)
+            algo.prepare_packet(packet)
+            chosen.add(system4.vls[packet.down_vl].local_index)
+        assert len(chosen) >= 3
+
+    def test_random_strategy_respects_faults(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.RANDOM, seed=5)
+        algo.set_fault_state(chiplet_fault_pattern(system4, 0, down_faulty=[0, 2]))
+        src = system4.router_id(0, 0, 0)
+        dst = system4.chiplet_routers(1)[0].id
+        for i in range(20):
+            packet = Packet(i, src, dst, 8, 0)
+            algo.prepare_packet(packet)
+            assert system4.vls[packet.down_vl].local_index in (1, 3)
+
+    def test_strategies_are_deterministic_after_reset(self, system4):
+        algo = DeftRouting(system4, VlSelectionStrategy.RANDOM, seed=11)
+        src = system4.router_id(0, 2, 2)
+        dst = system4.chiplet_routers(2)[4].id
+
+        def sample():
+            out = []
+            for i in range(10):
+                packet = Packet(i, src, dst, 8, 0)
+                algo.prepare_packet(packet)
+                out.append(packet.down_vl)
+            return out
+
+        first = sample()
+        algo.reset_runtime_state()
+        assert sample() == first

@@ -1,0 +1,105 @@
+"""Geometry primitives: directions, manhattan distance, XY route helpers."""
+
+import pytest
+
+from repro.topology.geometry import (
+    Direction,
+    direction_between,
+    manhattan,
+    opposite,
+    xy_arrival_direction,
+    xy_departure_direction,
+    xy_first_step,
+    xy_path,
+)
+
+
+class TestDirections:
+    def test_deltas(self):
+        assert (Direction.EAST.dx, Direction.EAST.dy) == (1, 0)
+        assert (Direction.WEST.dx, Direction.WEST.dy) == (-1, 0)
+        assert (Direction.NORTH.dx, Direction.NORTH.dy) == (0, -1)
+        assert (Direction.SOUTH.dx, Direction.SOUTH.dy) == (0, 1)
+
+    def test_opposites_are_involutive(self):
+        for direction in Direction:
+            assert opposite(opposite(direction)) is direction
+
+    def test_opposite_pairs(self):
+        assert opposite(Direction.EAST) is Direction.WEST
+        assert opposite(Direction.NORTH) is Direction.SOUTH
+
+
+class TestManhattan:
+    def test_zero_for_same_point(self):
+        assert manhattan(3, 2, 3, 2) == 0
+
+    def test_matches_paper_equation_4(self):
+        # |xr - xv| + |yr - yv|
+        assert manhattan(0, 0, 3, 2) == 5
+        assert manhattan(2, 3, 1, 0) == 4
+
+
+class TestDirectionBetween:
+    @pytest.mark.parametrize("b,expected", [
+        ((1, 0), Direction.EAST),
+        ((-1, 0), Direction.WEST),
+        ((0, -1), Direction.NORTH),
+        ((0, 1), Direction.SOUTH),
+    ])
+    def test_neighbours(self, b, expected):
+        assert direction_between(0, 0, b[0], b[1]) is expected
+
+    def test_rejects_non_neighbours(self):
+        with pytest.raises(ValueError):
+            direction_between(0, 0, 2, 0)
+        with pytest.raises(ValueError):
+            direction_between(0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            direction_between(0, 0, 0, 0)
+
+
+class TestXyRouting:
+    def test_first_step_prefers_x(self):
+        assert xy_first_step(0, 0, 3, 3) is Direction.EAST
+        assert xy_first_step(3, 0, 0, 3) is Direction.WEST
+
+    def test_first_step_y_when_aligned(self):
+        assert xy_first_step(2, 3, 2, 0) is Direction.NORTH
+        assert xy_first_step(2, 0, 2, 2) is Direction.SOUTH
+
+    def test_first_step_rejects_identity(self):
+        with pytest.raises(ValueError):
+            xy_first_step(1, 1, 1, 1)
+
+    def test_path_is_x_then_y(self):
+        path = xy_path(0, 0, 2, 1)
+        assert path == [(0, 0), (1, 0), (2, 0), (2, 1)]
+
+    def test_path_length_is_manhattan_plus_one(self):
+        for (ax, ay, bx, by) in [(0, 0, 3, 3), (2, 1, 0, 0), (1, 1, 1, 1)]:
+            path = xy_path(ax, ay, bx, by)
+            assert len(path) == manhattan(ax, ay, bx, by) + 1
+            assert path[0] == (ax, ay)
+            assert path[-1] == (bx, by)
+
+    def test_path_steps_are_unit_moves(self):
+        path = xy_path(3, 2, 0, 0)
+        for (x0, y0), (x1, y1) in zip(path, path[1:]):
+            assert abs(x1 - x0) + abs(y1 - y0) == 1
+
+    def test_arrival_direction_vertical_leg(self):
+        # x handled first, so arrival is vertical when y differs.
+        assert xy_arrival_direction(0, 0, 2, 2) is Direction.SOUTH
+        assert xy_arrival_direction(0, 3, 2, 0) is Direction.NORTH
+
+    def test_arrival_direction_horizontal_when_same_row(self):
+        assert xy_arrival_direction(0, 1, 3, 1) is Direction.EAST
+        assert xy_arrival_direction(3, 1, 0, 1) is Direction.WEST
+
+    def test_arrival_rejects_identity(self):
+        with pytest.raises(ValueError):
+            xy_arrival_direction(1, 1, 1, 1)
+
+    def test_departure_matches_first_step(self):
+        assert xy_departure_direction(0, 0, 2, 2) is xy_first_step(0, 0, 2, 2)

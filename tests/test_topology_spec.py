@@ -1,0 +1,152 @@
+"""ChipletSpec / SystemSpec validation and derived properties."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.spec import (
+    ChipletSpec,
+    SystemSpec,
+    iter_positions,
+    rectangular_vl_border_positions,
+)
+
+
+def _chiplet(origin=(0, 0), width=4, height=4, vls=((1, 0), (2, 0), (1, 3), (2, 3))):
+    return ChipletSpec(origin=origin, width=width, height=height, vl_positions=vls)
+
+
+class TestChipletSpec:
+    def test_valid(self):
+        chiplet = _chiplet()
+        assert chiplet.num_routers == 16
+        assert chiplet.num_vls == 4
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(TopologyError):
+            _chiplet(width=0)
+        with pytest.raises(TopologyError):
+            _chiplet(height=0)
+
+    def test_rejects_vl_outside_mesh(self):
+        with pytest.raises(TopologyError, match="outside"):
+            _chiplet(vls=((4, 0),))
+
+    def test_rejects_duplicate_vls(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            _chiplet(vls=((1, 0), (1, 0)))
+
+    def test_requires_at_least_one_vl(self):
+        with pytest.raises(TopologyError):
+            _chiplet(vls=())
+
+    def test_covers(self):
+        chiplet = _chiplet(origin=(4, 4))
+        assert chiplet.covers(4, 4)
+        assert chiplet.covers(7, 7)
+        assert not chiplet.covers(3, 4)
+        assert not chiplet.covers(8, 4)
+
+
+class TestSystemSpec:
+    def test_valid_baseline_shape(self):
+        spec = SystemSpec(
+            chiplets=(_chiplet(), _chiplet(origin=(4, 0))),
+            interposer_width=8,
+            interposer_height=4,
+        )
+        assert spec.num_chiplets == 2
+        assert spec.num_cores == 32
+        assert spec.num_vertical_links == 8
+        assert spec.num_directed_vls == 16
+
+    def test_rejects_chiplet_out_of_bounds(self):
+        with pytest.raises(TopologyError, match="exceeds"):
+            SystemSpec(
+                chiplets=(_chiplet(origin=(5, 0)),),
+                interposer_width=8,
+                interposer_height=4,
+            )
+
+    def test_rejects_negative_origin(self):
+        with pytest.raises(TopologyError, match="negative"):
+            SystemSpec(
+                chiplets=(_chiplet(origin=(-1, 0)),),
+                interposer_width=8,
+                interposer_height=4,
+            )
+
+    def test_rejects_overlapping_chiplets(self):
+        with pytest.raises(TopologyError, match="overlap"):
+            SystemSpec(
+                chiplets=(_chiplet(), _chiplet(origin=(2, 0))),
+                interposer_width=8,
+                interposer_height=4,
+            )
+
+    def test_rejects_dram_outside_interposer(self):
+        with pytest.raises(TopologyError, match="DRAM"):
+            SystemSpec(
+                chiplets=(_chiplet(),),
+                interposer_width=4,
+                interposer_height=4,
+                dram_positions=((4, 0),),
+            )
+
+    def test_rejects_duplicate_dram(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            SystemSpec(
+                chiplets=(_chiplet(),),
+                interposer_width=4,
+                interposer_height=4,
+                dram_positions=((0, 0), (0, 0)),
+            )
+
+    def test_needs_a_chiplet(self):
+        with pytest.raises(TopologyError):
+            SystemSpec(chiplets=(), interposer_width=4, interposer_height=4)
+
+    def test_chiplet_at(self):
+        spec = SystemSpec(
+            chiplets=(_chiplet(), _chiplet(origin=(4, 0))),
+            interposer_width=8,
+            interposer_height=4,
+        )
+        assert spec.chiplet_at(0, 0) == 0
+        assert spec.chiplet_at(5, 2) == 1
+        assert spec.chiplet_at(0, 5) is None
+
+    def test_describe_mentions_the_counts(self):
+        spec = SystemSpec(
+            chiplets=(_chiplet(),), interposer_width=4, interposer_height=4
+        )
+        text = spec.describe()
+        assert "1 chiplets" in text
+        assert "16 cores" in text
+        assert "8 directed" in text
+
+
+class TestBorderVlPlacement:
+    def test_4x4_matches_paper_figure3(self):
+        positions = rectangular_vl_border_positions(4, 4)
+        assert set(positions) == {(1, 0), (2, 0), (1, 3), (2, 3)}
+
+    def test_positions_are_on_the_border(self):
+        for width, height in [(4, 4), (6, 4), (5, 3), (2, 2)]:
+            for (x, y) in rectangular_vl_border_positions(width, height):
+                assert y in (0, height - 1)
+
+    def test_single_row_chiplet(self):
+        positions = rectangular_vl_border_positions(4, 1)
+        assert len(positions) == 2
+
+    def test_rejects_too_narrow(self):
+        with pytest.raises(TopologyError):
+            rectangular_vl_border_positions(1, 4)
+
+
+class TestIterPositions:
+    def test_row_major_order(self):
+        assert list(iter_positions(2, 2)) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_count(self):
+        assert len(list(iter_positions(4, 3))) == 12

@@ -1,0 +1,151 @@
+"""Synthetic traffic generators and trace replay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.base import TraceEntry, TraceTraffic
+from repro.traffic.synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    LocalizedTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+)
+
+
+def _drain(generator, cycles=2000):
+    packets = []
+    for cycle in range(cycles):
+        packets.extend(generator.packets_for_cycle(cycle))
+    return packets
+
+
+class TestUniform:
+    def test_rate_zero_generates_nothing(self, system4):
+        assert _drain(UniformTraffic(system4, 0.0)) == []
+
+    def test_rejects_out_of_range_rate(self, system4):
+        with pytest.raises(ConfigurationError):
+            UniformTraffic(system4, -0.1)
+        with pytest.raises(ConfigurationError):
+            UniformTraffic(system4, 1.5)
+
+    def test_sources_and_destinations_are_cores(self, system4):
+        packets = _drain(UniformTraffic(system4, 0.01, seed=2))
+        cores = set(system4.cores)
+        assert packets
+        for src, dst in packets:
+            assert src in cores
+            assert dst in cores
+            assert src != dst
+
+    def test_rate_is_respected(self, system4):
+        cycles = 3000
+        packets = []
+        gen = UniformTraffic(system4, 0.01, seed=3)
+        for cycle in range(cycles):
+            packets.extend(gen.packets_for_cycle(cycle))
+        expected = 0.01 * len(system4.cores) * cycles
+        assert expected * 0.85 < len(packets) < expected * 1.15
+
+    def test_deterministic_per_seed(self, system4):
+        a = _drain(UniformTraffic(system4, 0.01, seed=9), 500)
+        b = _drain(UniformTraffic(system4, 0.01, seed=9), 500)
+        assert a == b
+
+    def test_different_seeds_differ(self, system4):
+        a = _drain(UniformTraffic(system4, 0.01, seed=1), 500)
+        b = _drain(UniformTraffic(system4, 0.01, seed=2), 500)
+        assert a != b
+
+    def test_destinations_cover_the_system(self, system4):
+        packets = _drain(UniformTraffic(system4, 0.02, seed=5), 3000)
+        destinations = {dst for _, dst in packets}
+        assert len(destinations) > len(system4.cores) * 0.9
+
+
+class TestLocalized:
+    def test_local_fraction_matches_configuration(self, system4):
+        gen = LocalizedTraffic(system4, 0.02, seed=4, local_fraction=0.4)
+        packets = _drain(gen, 4000)
+        local = sum(1 for s, d in packets if system4.same_chiplet(s, d))
+        fraction = local / len(packets)
+        assert 0.35 < fraction < 0.45
+
+    def test_nonlocal_packets_cross_chiplets(self, system4):
+        gen = LocalizedTraffic(system4, 0.02, seed=4, local_fraction=0.0)
+        packets = _drain(gen, 500)
+        assert packets
+        for s, d in packets:
+            assert not system4.same_chiplet(s, d)
+
+    def test_rejects_bad_fraction(self, system4):
+        with pytest.raises(ConfigurationError):
+            LocalizedTraffic(system4, 0.01, local_fraction=1.5)
+
+
+class TestHotspot:
+    def test_hotspots_receive_extra_traffic(self, system4):
+        gen = HotspotTraffic(system4, 0.02, seed=6)
+        packets = _drain(gen, 4000)
+        hotspot_share = sum(1 for _, d in packets if d in gen.hotspots) / len(packets)
+        # 3 hotspots at 10% each plus their share of uniform background.
+        assert hotspot_share > 0.25
+
+    def test_default_hotspots_are_cores(self, system4):
+        gen = HotspotTraffic(system4, 0.01)
+        assert set(gen.hotspots) <= set(system4.cores)
+        assert len(gen.hotspots) == 3
+
+    def test_custom_hotspots(self, system4):
+        spots = (system4.cores[0], system4.cores[10])
+        gen = HotspotTraffic(system4, 0.01, hotspots=spots, hotspot_rate=0.2)
+        assert gen.hotspots == spots
+
+    def test_rejects_oversubscribed_hotspots(self, system4):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(
+                system4, 0.01, hotspots=tuple(system4.cores[:6]), hotspot_rate=0.2
+            )
+
+    def test_rejects_empty_hotspots(self, system4):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(system4, 0.01, hotspots=())
+
+
+class TestTranspose:
+    def test_partners_are_transposed(self, system4):
+        gen = TransposeTraffic(system4, 0.05, seed=1)
+        packets = _drain(gen, 300)
+        routers = system4.routers
+        transposed = 0
+        for src, dst in packets:
+            if (routers[src].gx, routers[src].gy) == (routers[dst].gy, routers[dst].gx):
+                transposed += 1
+        assert transposed / len(packets) > 0.8  # diagonal cores fall back
+
+
+class TestBitComplement:
+    def test_partner_mapping_is_involution(self, system4):
+        gen = BitComplementTraffic(system4, 0.05)
+        for core in system4.cores:
+            partner = gen._partner[core]
+            assert gen._partner[partner] == core
+
+
+class TestTraceTraffic:
+    def test_replay_by_cycle(self):
+        trace = TraceTraffic([
+            TraceEntry(5, 1, 2),
+            TraceEntry(5, 3, 4),
+            TraceEntry(7, 1, 4),
+        ])
+        assert trace.packets_for_cycle(5) == [(1, 2), (3, 4)]
+        assert trace.packets_for_cycle(6) == []
+        assert trace.packets_for_cycle(7) == [(1, 4)]
+        assert trace.num_packets == 3
+
+    def test_repeat_period(self):
+        trace = TraceTraffic([TraceEntry(1, 0, 2)], repeat_period=10)
+        assert trace.packets_for_cycle(11) == [(0, 2)]
+        assert trace.packets_for_cycle(21) == [(0, 2)]

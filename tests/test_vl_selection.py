@@ -1,0 +1,133 @@
+"""Cost model of equations (1)-(6) with hand-computed examples."""
+
+import math
+
+import pytest
+
+from repro.core.vl_selection import (
+    SelectionProblem,
+    distance_based_selection,
+    distance_cost,
+    load_cost,
+    selection_cost,
+    vl_loads,
+)
+from repro.errors import OptimizationError
+
+
+@pytest.fixture()
+def tiny_problem():
+    """Three routers on a row, two VLs at the ends, uniform traffic."""
+    return SelectionProblem.uniform(
+        router_positions=[(0, 0), (1, 0), (2, 0)],
+        vl_positions=[(0, 0), (2, 0)],
+        rho=0.01,
+    )
+
+
+class TestProblemValidation:
+    def test_needs_a_vl(self):
+        with pytest.raises(OptimizationError):
+            SelectionProblem(((0, 0),), (), (1.0,))
+
+    def test_traffic_length_must_match(self):
+        with pytest.raises(OptimizationError):
+            SelectionProblem(((0, 0),), ((0, 0),), (1.0, 2.0))
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(OptimizationError):
+            SelectionProblem(((0, 0),), ((0, 0),), (-1.0,))
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(OptimizationError):
+            SelectionProblem(((0, 0),), ((0, 0),), (1.0,), rho=-0.1)
+
+    def test_distance_is_manhattan(self, tiny_problem):
+        assert tiny_problem.distance(0, 0) == 0
+        assert tiny_problem.distance(0, 1) == 2
+        assert tiny_problem.distance(1, 1) == 1
+
+
+class TestEquation1Loads:
+    def test_uniform_loads(self, tiny_problem):
+        # routers 0,1 -> VL0; router 2 -> VL1
+        assert vl_loads(tiny_problem, [0, 0, 1]) == [2.0, 1.0]
+
+    def test_weighted_loads(self):
+        problem = SelectionProblem(
+            router_positions=((0, 0), (1, 0)),
+            vl_positions=((0, 0), (1, 0)),
+            traffic=(0.3, 0.7),
+        )
+        assert vl_loads(problem, [1, 1]) == [0.0, 1.0]
+
+
+class TestEquation3LoadCost:
+    def test_perfect_balance_is_zero(self, tiny_problem):
+        # 3 routers over 2 VLs cannot balance perfectly; use 4-router case.
+        problem = SelectionProblem.uniform(
+            [(0, 0), (1, 0), (2, 0), (3, 0)], [(0, 0), (3, 0)]
+        )
+        assert load_cost(problem, [0, 0, 1, 1]) == pytest.approx(0.0)
+
+    def test_hand_computed_imbalance(self, tiny_problem):
+        # loads [2, 1], avg 1.5 -> |2-1.5|/1.5 + |1-1.5|/1.5 = 2/3
+        assert load_cost(tiny_problem, [0, 0, 1]) == pytest.approx(2.0 / 3.0)
+
+    def test_zero_traffic_costs_nothing(self):
+        problem = SelectionProblem(
+            router_positions=((0, 0), (1, 0)),
+            vl_positions=((0, 0), (1, 0)),
+            traffic=(0.0, 0.0),
+        )
+        assert load_cost(problem, [0, 0]) == 0.0
+
+
+class TestEquation5DistanceCost:
+    def test_hand_computed(self, tiny_problem):
+        # router0->VL0: 0, router1->VL0: 1, router2->VL1: 0
+        assert distance_cost(tiny_problem, [0, 0, 1]) == 1.0
+
+    def test_worst_assignment(self, tiny_problem):
+        # everyone to the far VL: 2 + 1 + 0
+        assert distance_cost(tiny_problem, [1, 1, 1]) == 3.0
+
+
+class TestEquation6OverallCost:
+    def test_combines_with_rho(self, tiny_problem):
+        expected = 0.01 * 1.0 + 2.0 / 3.0
+        assert selection_cost(tiny_problem, [0, 0, 1]) == pytest.approx(expected)
+
+    def test_validates_selection_length(self, tiny_problem):
+        with pytest.raises(OptimizationError):
+            selection_cost(tiny_problem, [0, 0])
+
+    def test_validates_vl_indices(self, tiny_problem):
+        with pytest.raises(OptimizationError):
+            selection_cost(tiny_problem, [0, 0, 5])
+
+
+class TestDistanceBasedSelection:
+    def test_picks_closest(self, tiny_problem):
+        # middle router ties (distance 1 both) -> lower index wins
+        assert distance_based_selection(tiny_problem) == (0, 0, 1)
+
+    def test_matches_paper_fig3a_shape(self):
+        """Fault-free 4x4 chiplet: closest-VL gives a 4/4/4/4 split."""
+        problem = SelectionProblem.uniform(
+            [(x, y) for y in range(4) for x in range(4)],
+            [(1, 0), (2, 0), (1, 3), (2, 3)],
+        )
+        selection = distance_based_selection(problem)
+        loads = vl_loads(problem, selection)
+        assert sorted(loads) == [4.0, 4.0, 4.0, 4.0]
+
+    def test_paper_fig3b_unbalanced_under_fault(self):
+        """One faulty VL: distance-based gives the paper's 8/4/4 split."""
+        problem = SelectionProblem.uniform(
+            [(x, y) for y in range(4) for x in range(4)],
+            [(2, 0), (1, 3), (2, 3)],  # VL (1,0) faulty
+        )
+        selection = distance_based_selection(problem)
+        loads = vl_loads(problem, selection)
+        assert sorted(loads) == [4.0, 4.0, 8.0]

@@ -1,0 +1,136 @@
+"""Rules 1-3 and Algorithm 1's VN assignment (repro.core.vn)."""
+
+import pytest
+
+from repro.core.vn import (
+    VN0,
+    VN1,
+    PortClass,
+    allowed_output_vns,
+    assign_injection_vn,
+    boundary_down_vns,
+    check_hop_legal,
+    classify_turn,
+    interposer_up_vn,
+)
+from repro.errors import RoutingError
+
+H, U, D, L = PortClass.HORIZONTAL, PortClass.UP, PortClass.DOWN, PortClass.LOCAL
+
+
+class TestRule1:
+    """Routing from VN.1 to VN.0 is forbidden; VN.0 -> VN.1 allowed."""
+
+    def test_vn0_can_stay_or_upgrade(self):
+        assert allowed_output_vns(H, H, VN0) == (VN0, VN1)
+
+    def test_vn1_cannot_downgrade(self):
+        assert allowed_output_vns(H, H, VN1) == (VN1,)
+
+    def test_check_hop_rejects_downgrade(self):
+        with pytest.raises(RoutingError, match="Rule 1"):
+            check_hop_legal(H, H, VN1, VN0)
+
+
+class TestRule2:
+    """Up -> Horizontal turns may not land in VN.0 (Theorem III.4: a VN.0
+    packet switches to VN.1 while turning)."""
+
+    def test_up_to_horizontal_forces_vn1_for_vn0_packets(self):
+        assert allowed_output_vns(U, H, VN0) == (VN1,)
+
+    def test_up_to_horizontal_allowed_in_vn1(self):
+        assert allowed_output_vns(U, H, VN1) == (VN1,)
+
+    def test_up_to_local_unrestricted(self):
+        # Ejection is not a Horizontal port.
+        assert allowed_output_vns(U, L, VN0) == (VN0, VN1)
+
+    def test_check_hop_rejects_rule2(self):
+        # Staying in VN.0 across the turn is the forbidden case.
+        with pytest.raises(RoutingError, match="Rule 2"):
+            check_hop_legal(U, H, VN0, VN0)
+
+    def test_check_hop_allows_switch_while_turning(self):
+        check_hop_legal(U, H, VN0, VN1)  # must not raise
+
+
+class TestRule3:
+    """VN.1 packets may not route from Horizontal ports to a Down port."""
+
+    def test_horizontal_to_down_forbidden_in_vn1(self):
+        assert allowed_output_vns(H, D, VN1) == ()
+
+    def test_horizontal_to_down_allowed_in_vn0(self):
+        assert allowed_output_vns(H, D, VN0) == (VN0, VN1)
+
+    def test_local_to_down_exempt(self):
+        # Injection at a boundary router may descend in either VN.
+        assert allowed_output_vns(L, D, VN1) == (VN1,)
+        assert allowed_output_vns(L, D, VN0) == (VN0, VN1)
+
+    def test_check_hop_rejects_rule3(self):
+        with pytest.raises(RoutingError, match="Rule 3"):
+            check_hop_legal(H, D, VN1, VN1)
+
+
+class TestTheorems:
+    """The theorems' statements as executable checks."""
+
+    def test_theorem_iii_1_intra_chiplet_uses_both_vns(self):
+        # Horizontal-only movement is legal in both VNs.
+        for vn in (VN0, VN1):
+            assert vn in allowed_output_vns(L, H, vn)
+            assert vn in allowed_output_vns(H, H, vn)
+
+    def test_theorem_iii_3_any_vl_on_source_chiplet(self):
+        # Horizontal -> Down in VN.0 with both output VNs available.
+        assert allowed_output_vns(H, D, VN0) == (VN0, VN1)
+        # Down -> Horizontal afterwards, either VN.
+        assert allowed_output_vns(D, H, VN0) == (VN0, VN1)
+        assert allowed_output_vns(D, H, VN1) == (VN1,)
+
+    def test_theorem_iii_4_any_vl_to_destination_chiplet(self):
+        # Horizontal -> Up regardless of VN.
+        assert allowed_output_vns(H, U, VN0) == (VN0, VN1)
+        assert allowed_output_vns(H, U, VN1) == (VN1,)
+        # After ascending, the packet continues horizontally in VN.1,
+        # switching on the turn if it ascended in VN.0.
+        assert allowed_output_vns(U, H, VN1) == (VN1,)
+        assert allowed_output_vns(U, H, VN0) == (VN1,)
+
+
+class TestAlgorithm1Assignment:
+    def test_interposer_source_round_robins(self):
+        vn0, state = assign_injection_vn(True, False, False, 0)
+        vn1, state = assign_injection_vn(True, False, False, state)
+        assert (vn0, vn1) == (VN0, VN1)
+
+    def test_intra_chiplet_round_robins(self):
+        vn0, state = assign_injection_vn(False, False, True, 0)
+        vn1, _ = assign_injection_vn(False, False, True, state)
+        assert {vn0, vn1} == {VN0, VN1}
+
+    def test_boundary_source_round_robins(self):
+        vn0, state = assign_injection_vn(False, True, False, 0)
+        vn1, _ = assign_injection_vn(False, True, False, state)
+        assert {vn0, vn1} == {VN0, VN1}
+
+    def test_other_inter_chiplet_sources_get_vn0(self):
+        for rr in range(4):
+            vn, new_rr = assign_injection_vn(False, False, False, rr)
+            assert vn == VN0
+            assert new_rr == rr  # round-robin state untouched
+
+    def test_boundary_down_vns(self):
+        assert boundary_down_vns(VN0) == (VN0, VN1)
+        assert boundary_down_vns(VN1) == (VN1,)
+
+    def test_interposer_up_vn_is_vn1(self):
+        assert interposer_up_vn() == VN1
+
+
+class TestClassifyTurn:
+    def test_label(self):
+        assert classify_turn(H, D) == "HORIZONTAL->DOWN"
+        assert classify_turn(U, L) == "UP->LOCAL"
