@@ -1,0 +1,108 @@
+"""Campaign-runner benchmark: serial vs multi-worker, cold vs warm cache.
+
+Runs a fig4-sized grid (3 algorithms x 6 rates, uniform traffic on the
+4-chiplet baseline) three ways and reports wall-clock:
+
+* serial backend, no cache — the pre-runner baseline;
+* process-pool backend, no cache — the parallel speedup (asserted only
+  when the machine actually has >= 2 cores);
+* serial backend with a cold then warm content-addressed cache — the
+  incremental-campaign speedup (warm run must be served >= 90% from
+  cache and be dramatically faster).
+
+``REPRO_EXPERIMENT_SCALE`` scales the simulated windows as in every
+other bench module.
+"""
+
+import os
+import time
+
+from repro.experiments.common import default_config, sweep_jobs
+from repro.runner import (
+    Campaign,
+    CampaignRunner,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SystemRef,
+)
+
+from conftest import _SESSION_REPORTS
+
+
+def _fig4_sized_jobs():
+    """The fig4(a) grid shape: 3 algorithms x 6 rates x 1 seed."""
+    return sweep_jobs(
+        SystemRef.baseline4(),
+        ("deft", "mtr", "rc"),
+        "uniform",
+        (0.002, 0.004, 0.006, 0.008, 0.010, 0.012),
+        default_config(None),
+        seeds=(1,),
+    )
+
+
+def _timed(runner, jobs, name):
+    start = time.perf_counter()
+    report = runner.run(Campaign(name=name, jobs=tuple(jobs)))
+    report.raise_if_failed()
+    return report, time.perf_counter() - start
+
+
+def test_campaign_serial_vs_parallel_vs_cache(tmp_path_factory):
+    jobs = _fig4_sized_jobs()
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+
+    serial_report, serial_s = _timed(
+        CampaignRunner(backend=SerialBackend()), jobs, "serial"
+    )
+
+    parallel_report, parallel_s = _timed(
+        CampaignRunner(backend=ProcessPoolBackend(workers=workers)), jobs, "parallel"
+    )
+
+    cache_dir = tmp_path_factory.mktemp("campaign-cache")
+    cold_report, cold_s = _timed(
+        CampaignRunner(backend=SerialBackend(), cache=ResultCache(cache_dir)),
+        jobs,
+        "cold-cache",
+    )
+    warm_report, warm_s = _timed(
+        CampaignRunner(backend=SerialBackend(), cache=ResultCache(cache_dir)),
+        jobs,
+        "warm-cache",
+    )
+
+    lines = [
+        "== bench_campaign: fig4-sized grid "
+        f"({len(jobs)} jobs, {workers} workers, {cores} cores) ==",
+        f"  serial, no cache:      {serial_s:7.2f}s",
+        f"  parallel x{workers}:          {parallel_s:7.2f}s "
+        f"(speedup {serial_s / parallel_s:4.2f}x)",
+        f"  cold cache (populate): {cold_s:7.2f}s",
+        f"  warm cache:            {warm_s:7.2f}s "
+        f"({warm_report.cache_hits}/{warm_report.total} hits, "
+        f"speedup {serial_s / max(warm_s, 1e-9):.0f}x)",
+    ]
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+
+    # Correctness: every execution mode produces identical results.
+    assert parallel_report.results == serial_report.results
+    assert warm_report.results == serial_report.results
+
+    # Incrementality: a repeated campaign is served >= 90% from cache
+    # (here: fully) and beats re-simulating by a wide margin.
+    assert warm_report.hit_ratio >= 0.90
+    assert warm_report.executed == 0
+    assert warm_s < serial_s / 10
+
+    # Parallelism: real speedup wherever the hardware offers real cores.
+    if cores >= 2:
+        assert parallel_s < serial_s * 0.9, (
+            f"expected parallel speedup on {cores} cores: "
+            f"{parallel_s:.2f}s vs serial {serial_s:.2f}s"
+        )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
 from ..network.stats import StatsCollector
 from ..topology.builder import System
@@ -67,12 +68,29 @@ def vl_wear_report(
     of all *active* channels, so a perfectly balanced selection yields
     ``relative_mttf == 1.0`` everywhere.
     """
-    cycles = max(1, stats.cycles_run)
+    return wear_report_from_loads(
+        system, stats.vl_load_report(), stats.cycles_run, current_exponent
+    )
+
+
+def wear_report_from_loads(
+    system: System,
+    vl_loads: Mapping[int, tuple[int, int]],
+    cycles: int,
+    current_exponent: float = DEFAULT_CURRENT_EXPONENT,
+) -> VlWearReport:
+    """Wear report from serialized per-VL ``(down, up)`` flit totals.
+
+    The loads-based entry point lets campaign-runner results — which carry
+    ``vl_loads`` instead of a live :class:`StatsCollector` — feed the same
+    reliability analysis.
+    """
+    cycles = max(1, cycles)
     utilization: dict[tuple[int, int], float] = {}
     for link in system.vls:
-        for direction in (0, 1):
-            flits = stats.vl_flits.get((link.index, direction), 0)
-            utilization[(link.index, direction)] = flits / cycles
+        down, up = vl_loads.get(link.index, (0, 0))
+        utilization[(link.index, 0)] = down / cycles
+        utilization[(link.index, 1)] = up / cycles
     active = [value for value in utilization.values() if value > 0]
     if not active:
         ones = {key: 1.0 for key in utilization}

@@ -5,11 +5,15 @@ Subcommands:
 * ``deft info`` — describe the preset systems.
 * ``deft simulate`` — one simulation run (system x algorithm x traffic).
 * ``deft sweep`` — latency vs injection-rate sweep.
+* ``deft campaign`` — a batched (algorithm x rate x seed) simulation grid
+  through the campaign runner: multi-worker (``--workers``) and served
+  incrementally from the content-addressed result cache (``--cache-dir``).
 * ``deft reachability`` — exact Fig. 7-style reachability numbers.
 * ``deft optimize`` — run the offline VL-selection optimization and print
   the per-router selection map (the Fig. 3 visualization).
 * ``deft area`` — the Table I area/power model.
-* ``deft experiment <id|all>`` — regenerate a paper artifact.
+* ``deft experiment <id|all>`` — regenerate a paper artifact
+  (``--workers N`` parallelizes the figure's simulation grid).
 """
 
 from __future__ import annotations
@@ -26,41 +30,38 @@ from .experiments.common import ExperimentResult, format_report
 from .fault.model import DirectedVL, FaultState, VLDirection
 from .network.simulator import Simulator
 from .routing.registry import available_algorithms, make_algorithm
+from .runner import (
+    DEFAULT_CACHE_DIR,
+    Campaign,
+    CampaignRunner,
+    Job,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SystemRef,
+    TrafficSpec,
+)
 from .topology.builder import System
 from .topology.presets import baseline_4_chiplets, baseline_6_chiplets, chiplet_grid
-from .traffic.synthetic import (
-    BitComplementTraffic,
-    HotspotTraffic,
-    LocalizedTraffic,
-    TransposeTraffic,
-    UniformTraffic,
-)
-
-_TRAFFIC = {
-    "uniform": UniformTraffic,
-    "localized": LocalizedTraffic,
-    "hotspot": HotspotTraffic,
-    "transpose": TransposeTraffic,
-    "bit-complement": BitComplementTraffic,
-}
+from .traffic.registry import RATE_PATTERNS, available_traffic, make_traffic
 
 _EXPERIMENTS = {
-    "fig4a": lambda scale: [fig4.fig4a(scale)],
-    "fig4b": lambda scale: [fig4.fig4b(scale)],
-    "fig4c": lambda scale: [fig4.fig4c(scale)],
-    "fig4d": lambda scale: [fig4.fig4d(scale)],
+    "fig4a": lambda scale, runner: [fig4.fig4a(scale, runner=runner)],
+    "fig4b": lambda scale, runner: [fig4.fig4b(scale, runner=runner)],
+    "fig4c": lambda scale, runner: [fig4.fig4c(scale, runner=runner)],
+    "fig4d": lambda scale, runner: [fig4.fig4d(scale, runner=runner)],
     "fig4": fig4.run,
-    "fig5": lambda scale: [fig5.run(scale)],
-    "fig6a": lambda scale: [fig6.fig6a(scale)],
-    "fig6b": lambda scale: [fig6.fig6b(scale)],
+    "fig5": lambda scale, runner: [fig5.run(scale, runner=runner)],
+    "fig6a": lambda scale, runner: [fig6.fig6a(scale, runner=runner)],
+    "fig6b": lambda scale, runner: [fig6.fig6b(scale, runner=runner)],
     "fig6": fig6.run,
-    "fig7a": lambda scale: [fig7.fig7a()],
-    "fig7b": lambda scale: [fig7.fig7b()],
+    "fig7a": lambda scale, runner: [fig7.fig7a()],
+    "fig7b": lambda scale, runner: [fig7.fig7b()],
     "fig7": fig7.run,
-    "fig8a": lambda scale: [fig8.fig8a(scale)],
-    "fig8b": lambda scale: [fig8.fig8b(scale)],
+    "fig8a": lambda scale, runner: [fig8.fig8a(scale, runner=runner)],
+    "fig8b": lambda scale, runner: [fig8.fig8b(scale, runner=runner)],
     "fig8": fig8.run,
-    "table1": lambda scale: [table1.run(scale)],
+    "table1": lambda scale, runner: [table1.run(scale)],
     "ablations": ablations.run,
 }
 
@@ -82,12 +83,24 @@ def _add_system_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_fault_spec(spec: str) -> tuple[int, str]:
+    """Parse one ``VL[:down|up]`` flag into ``(vl_index, direction)``.
+
+    The single home of the flag grammar, shared by ``simulate``,
+    ``deadlock`` and ``campaign``. Directions other than ``up`` keep
+    their historical down-default.
+    """
+    vl_text, _, direction_text = spec.partition(":")
+    direction = "up" if direction_text.lower() == "up" else "down"
+    return int(vl_text), direction
+
+
 def _fault_state_from_args(system: System, args: argparse.Namespace) -> FaultState:
     faults = []
     for spec in args.fault or []:
-        vl_text, _, direction_text = spec.partition(":")
-        direction = VLDirection.DOWN if direction_text.lower() != "up" else VLDirection.UP
-        faults.append(DirectedVL(int(vl_text), direction))
+        vl_index, direction = _parse_fault_spec(spec)
+        vl_direction = VLDirection.UP if direction == "up" else VLDirection.DOWN
+        faults.append(DirectedVL(vl_index, vl_direction))
     return FaultState(system, faults)
 
 
@@ -99,7 +112,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
             positions = ", ".join(f"({link.cx},{link.cy})" for link in links)
             print(f"  chiplet {chiplet}: VLs at {positions}")
     print(f"algorithms: {', '.join(available_algorithms())}")
-    print(f"traffic patterns: {', '.join(sorted(_TRAFFIC))}")
+    print(f"traffic patterns: {', '.join(available_traffic())}")
     return 0
 
 
@@ -107,7 +120,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     system = _system_from_args(args)
     algorithm = make_algorithm(args.algo, system)
     algorithm.set_fault_state(_fault_state_from_args(system, args))
-    traffic = _TRAFFIC[args.traffic](system, args.rate, args.seed)
+    traffic = make_traffic(args.traffic, system, seed=args.seed, rate=args.rate)
     config = SimulationConfig(
         warmup_cycles=args.warmup,
         measure_cycles=args.cycles,
@@ -129,28 +142,118 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _without_nan(value):
+    """Replace non-finite floats with None for strict-JSON artifacts."""
+    import math
+
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _without_nan(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_without_nan(item) for item in value]
+    return value
+
+
+def _runner_from_args(args: argparse.Namespace) -> CampaignRunner:
+    """Build the campaign runner the CLI flags describe.
+
+    ``--workers N`` (N > 1) selects the process-pool backend; a cache is
+    attached when ``--cache-dir`` is given (or defaulted) and not
+    disabled by ``--no-cache``.
+    """
+    workers = getattr(args, "workers", 1) or 1
+    timeout = getattr(args, "timeout", None)
+    if workers > 1:
+        backend = ProcessPoolBackend(workers=workers, timeout=timeout)
+    else:
+        backend = SerialBackend()
+    cache = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir and not getattr(args, "no_cache", False):
+        cache = ResultCache(cache_dir)
+    return CampaignRunner(backend=backend, cache=cache)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments.common import run_sweep, series_rows
 
-    system = _system_from_args(args)
     rates = tuple(float(r) for r in args.rates.split(","))
     config = SimulationConfig(
         warmup_cycles=args.warmup,
         measure_cycles=args.cycles,
         drain_cycles=args.drain,
     )
-    traffic_cls = _TRAFFIC[args.traffic]
     series = run_sweep(
-        system,
+        SystemRef.from_cli(args.system),
         tuple(args.algo),
-        lambda s, rate, seed: traffic_cls(s, rate, seed),
+        args.traffic,
         rates,
         config,
         seeds=tuple(range(1, args.repeats + 1)),
+        runner=_runner_from_args(args),
     )
     for row in series_rows(series):
         print(row)
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .experiments.common import series_from_results, series_rows, sweep_jobs
+
+    system = SystemRef.from_cli(args.system)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    seeds = tuple(range(1, args.seeds + 1))
+    config = SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        drain_cycles=args.drain,
+    )
+    faults = tuple(_parse_fault_spec(spec) for spec in args.fault or [])
+    jobs = sweep_jobs(
+        system, tuple(args.algo), args.traffic, rates, config, seeds, faults=faults
+    )
+    campaign = Campaign(name=f"{args.traffic}-on-{system.label}", jobs=tuple(jobs))
+    runner = _runner_from_args(args)
+
+    def progress(done: int, total: int, job: Job, result) -> None:
+        if args.quiet:
+            return
+        status = "cached" if result.cached else (
+            "ok" if result.ok else "FAILED"
+        )
+        print(
+            f"  [{done}/{total}] {job.label}: {status}"
+            + (f" latency={result.average_latency:.2f}" if result.ok else ""),
+            file=sys.stderr,
+        )
+
+    report = runner.run(campaign, progress=progress)
+
+    # Aggregate into the familiar per-algorithm latency table.
+    series = series_from_results(
+        report.results, tuple(args.algo), rates, seeds, skip_failed=True
+    )
+    for row in series_rows(series):
+        print(row)
+    print(report.summary())
+    if args.json:
+        payload = {
+            "campaign": campaign.name,
+            "system": system.to_dict(),
+            "jobs": [job.canonical() for job in campaign.jobs],
+            "results": [result.to_dict() for result in report.results],
+            "cache_hits": report.cache_hits,
+            "executed": report.executed,
+        }
+        with open(args.json, "w") as handle:
+            # NaN metrics (failed or packet-less jobs) become null so the
+            # artifact stays strict JSON for non-Python consumers.
+            json.dump(_without_nan(payload), handle, indent=2, allow_nan=False)
+        print(f"wrote {args.json}")
+    for failed in report.errors:
+        print(f"FAILED {failed.job_key[:12]}: {failed.error}", file=sys.stderr)
+    return 1 if report.errors else 0
 
 
 def _cmd_reachability(args: argparse.Namespace) -> int:
@@ -238,10 +341,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = list(_EXPERIMENTS) if args.name == "all" else [args.name]
+    campaign_runner = _runner_from_args(args)
     failed: list[str] = []
     for name in names:
-        runner = _EXPERIMENTS[name]
-        results: list[ExperimentResult] = runner(args.scale)
+        experiment = _EXPERIMENTS[name]
+        results: list[ExperimentResult] = experiment(args.scale, campaign_runner)
         for result in results:
             print(format_report(result))
             print()
@@ -268,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="run one simulation")
     _add_system_arg(p)
     p.add_argument("--algo", default="deft", choices=available_algorithms())
-    p.add_argument("--traffic", default="uniform", choices=sorted(_TRAFFIC))
+    p.add_argument("--traffic", default="uniform", choices=RATE_PATTERNS)
     p.add_argument("--rate", type=float, default=0.005)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--warmup", type=int, default=600)
@@ -286,13 +390,43 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="latency vs injection-rate sweep")
     _add_system_arg(p)
     p.add_argument("--algo", nargs="+", default=["deft", "mtr", "rc"])
-    p.add_argument("--traffic", default="uniform", choices=sorted(_TRAFFIC))
+    p.add_argument("--traffic", default="uniform", choices=RATE_PATTERNS)
     p.add_argument("--rates", default="0.002,0.004,0.006,0.008,0.010")
     p.add_argument("--repeats", type=int, default=1)
     p.add_argument("--warmup", type=int, default=600)
     p.add_argument("--cycles", type=int, default=3000)
     p.add_argument("--drain", type=int, default=20000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool workers (1 = in-process serial)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="batched simulation grid through the cached campaign runner",
+    )
+    _add_system_arg(p)
+    p.add_argument("--algo", nargs="+", default=["deft", "mtr", "rc"])
+    p.add_argument("--traffic", default="uniform", choices=RATE_PATTERNS)
+    p.add_argument("--rates", default="0.002,0.004,0.006,0.008,0.010")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="seeds 1..N averaged per grid point")
+    p.add_argument("--fault", action="append", metavar="VL[:down|up]",
+                   help="inject a directed VL fault into every job (repeatable)")
+    p.add_argument("--warmup", type=int, default=600)
+    p.add_argument("--cycles", type=int, default=3000)
+    p.add_argument("--drain", type=int, default=20000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool workers (1 = in-process serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds (parallel backend only)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help=f"content-addressed result cache (default {DEFAULT_CACHE_DIR})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache entirely")
+    p.add_argument("--quiet", action="store_true", help="suppress per-job progress")
+    p.add_argument("--json", metavar="PATH",
+                   help="also dump jobs + results as JSON")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("reachability", help="exact reachability under faults")
     _add_system_arg(p)
@@ -325,6 +459,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(_EXPERIMENTS) + ["all"])
     p.add_argument("--scale", type=float, default=None,
                    help="cycle-scale multiplier (default 1.0 or $REPRO_EXPERIMENT_SCALE)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool workers for the figure's simulation grid")
+    p.add_argument("--cache-dir", default=None,
+                   help="optional content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache even if --cache-dir is set")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("report", help="summarize recorded benchmark results")

@@ -1,9 +1,12 @@
 """Experiment harnesses regenerating every figure and table of the paper.
 
-Each module exposes ``run(scale=1.0, ...) -> ExperimentResult`` and a
-``format_report(result) -> str`` renderer. ``scale`` multiplies the
-simulated measurement window so benchmarks can trade accuracy for time
-(``REPRO_EXPERIMENT_SCALE`` overrides the default from the environment).
+Each module exposes ``run(scale=1.0, runner=None, ...) ->
+ExperimentResult`` and a ``format_report(result) -> str`` renderer.
+``scale`` multiplies the simulated measurement window so benchmarks can
+trade accuracy for time (``REPRO_EXPERIMENT_SCALE`` overrides the default
+from the environment); ``runner`` is an optional
+:class:`~repro.runner.CampaignRunner` that parallelizes and caches the
+simulation grid behind each figure.
 
 | module    | artifact                                          |
 |-----------|---------------------------------------------------|
@@ -17,14 +20,23 @@ simulated measurement window so benchmarks can trade accuracy for time
 |           | adaptive online selection, VL serialization, wear |
 """
 
-from .common import ExperimentResult, SweepSeries, default_config, run_sweep
+from .common import (
+    ExperimentResult,
+    SweepSeries,
+    default_config,
+    run_jobs,
+    run_sweep,
+    sweep_jobs,
+)
 from . import ablations, fig4, fig5, fig6, fig7, fig8, table1
 
 __all__ = [
     "ExperimentResult",
     "SweepSeries",
     "default_config",
+    "run_jobs",
     "run_sweep",
+    "sweep_jobs",
     "ablations",
     "fig4",
     "fig5",

@@ -24,14 +24,14 @@ Four ablations on knobs the paper fixes or only mentions:
 
 from __future__ import annotations
 
-from ..config import SimulationConfig
 from ..core.tables import build_selection_tables
 from ..core.vl_selection import SelectionProblem, distance_cost, load_cost
 from ..network.simulator import Simulator
-from ..routing.deft import DeftRouting, VlSelectionStrategy
+from ..routing.deft import DeftRouting
+from ..runner import CampaignRunner, Job, SystemRef, TrafficSpec, faults_to_spec
 from ..topology.presets import baseline_4_chiplets
-from ..traffic.synthetic import HotspotTraffic, UniformTraffic
-from .common import ExperimentResult, default_config
+from ..traffic.synthetic import HotspotTraffic
+from .common import ExperimentResult, default_config, run_jobs
 from .fig8 import fault_pattern_25
 
 RHO_VALUES = (0.0, 0.01, 1.0, 10.0)
@@ -66,27 +66,40 @@ def _table_static_metrics(system, tables) -> tuple[float, float]:
     return total_distance, total_balance
 
 
-def rho_sweep(scale: float | None = None, seed: int = 13) -> ExperimentResult:
+def rho_sweep(
+    scale: float | None = None,
+    seed: int = 13,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Ablate equation (6)'s rho on the faulted table entries and latency."""
     from .fig8 import fault_pattern_12p5
 
     system = baseline_4_chiplets()
     config = default_config(scale, seed=seed)
-    state = fault_pattern_12p5(system)
+    faults = faults_to_spec(fault_pattern_12p5(system))
     result = ExperimentResult(
         experiment_id="ablation-rho",
         title="Ablation: distance/balance weight rho of eq. (6), 12.5% faults",
     )
     result.rows.append(f"{'rho':>6s} {'distance':>9s} {'imbalance':>10s} {'latency':>9s}")
+    jobs = [
+        Job.make(
+            SystemRef.baseline4(),
+            "deft",
+            TrafficSpec.make("uniform", rate=0.007),
+            config,
+            faults=faults,
+            seed=seed,
+            algorithm_params={"rho": rho},
+        )
+        for rho in RHO_VALUES
+    ]
+    results = run_jobs(jobs, runner, name="ablation-rho")
     rows = {}
-    for rho in RHO_VALUES:
+    for rho, job_result in zip(RHO_VALUES, results):
         tables = build_selection_tables(system, rho=rho)
         distance, balance = _table_static_metrics(system, tables)
-        algorithm = DeftRouting(system, selection_tables=tables)
-        algorithm.set_fault_state(state)
-        traffic = UniformTraffic(system, 0.007, seed)
-        report = Simulator(system, algorithm, traffic, config).run()
-        latency = report.stats.average_latency
+        latency = job_result.average_latency
         rows[rho] = {"distance": distance, "imbalance": balance, "latency": latency}
         result.rows.append(f"{rho:6.2f} {distance:9.1f} {balance:10.3f} {latency:9.2f}")
     result.data = rows
@@ -108,7 +121,12 @@ def rho_sweep(scale: float | None = None, seed: int = 13) -> ExperimentResult:
 
 
 def traffic_aware_tables(scale: float | None = None, seed: int = 17) -> ExperimentResult:
-    """Offline optimization fed with the measured traffic profile."""
+    """Offline optimization fed with the measured traffic profile.
+
+    This ablation stays on the inline simulator: its selection tables are
+    parameterized by *measured per-router rate callables*, which have no
+    canonical serialized form a campaign job could carry.
+    """
     system = baseline_4_chiplets()
     config = default_config(scale, seed=seed)
     result = ExperimentResult(
@@ -163,7 +181,11 @@ def traffic_aware_tables(scale: float | None = None, seed: int = 17) -> Experime
     return result
 
 
-def adaptive_selection(scale: float | None = None, seed: int = 19) -> ExperimentResult:
+def adaptive_selection(
+    scale: float | None = None,
+    seed: int = 19,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Online load-aware selection (DeFT-Ada) vs the offline tables.
 
     Evaluated under hotspot traffic *and* a 25% fault rate: the offline
@@ -177,20 +199,29 @@ def adaptive_selection(scale: float | None = None, seed: int = 19) -> Experiment
         experiment_id="ablation-adaptive",
         title="Ablation: online adaptive VL selection, hotspot + 25% faults",
     )
-    state = fault_pattern_25(system)
+    faults = faults_to_spec(fault_pattern_25(system))
+    strategies = (
+        ("deft", "offline tables"),
+        ("deft-ada", "online adaptive"),
+        ("deft-ran", "random"),
+    )
+    jobs = [
+        Job.make(
+            SystemRef.baseline4(),
+            algorithm,
+            TrafficSpec.make("hotspot", rate=0.0045),
+            config,
+            faults=faults,
+            seed=seed,
+        )
+        for algorithm, _label in strategies
+    ]
+    results = run_jobs(jobs, runner, name="ablation-adaptive")
     latencies = {}
-    for strategy, label in (
-        (VlSelectionStrategy.OPTIMIZED, "offline tables"),
-        (VlSelectionStrategy.ADAPTIVE, "online adaptive"),
-        (VlSelectionStrategy.RANDOM, "random"),
-    ):
-        algorithm = DeftRouting(system, strategy)
-        algorithm.set_fault_state(state)
-        traffic = HotspotTraffic(system, 0.0045, seed)
-        report = Simulator(system, algorithm, traffic, config).run()
-        latencies[label] = report.stats.average_latency
+    for (_algorithm, label), job_result in zip(strategies, results):
+        latencies[label] = job_result.average_latency
         result.rows.append(f"{label:>16s}: {latencies[label]:8.2f} cycles "
-                           f"(delivered {report.delivered_ratio * 100:.1f}%)")
+                           f"(delivered {job_result.delivered_ratio * 100:.1f}%)")
     result.data = latencies
     result.check(
         "adaptive selection beats random selection under skewed load + faults",
@@ -203,23 +234,33 @@ def adaptive_selection(scale: float | None = None, seed: int = 19) -> Experiment
     return result
 
 
-def serialization_sweep(scale: float | None = None, seed: int = 23) -> ExperimentResult:
+def serialization_sweep(
+    scale: float | None = None,
+    seed: int = 23,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Latency cost of serialized vertical links ([18], Section IV-A)."""
-    system = baseline_4_chiplets()
     result = ExperimentResult(
         experiment_id="ablation-serialization",
         title="Ablation: vertical-link serialization factor",
     )
+    jobs = [
+        Job.make(
+            SystemRef.baseline4(),
+            "deft",
+            TrafficSpec.make("uniform", rate=0.005),
+            default_config(scale, seed=seed).replace(vl_serialization=factor),
+            seed=seed,
+        )
+        for factor in SERIALIZATION_FACTORS
+    ]
+    results = run_jobs(jobs, runner, name="ablation-serialization")
     latencies = {}
-    for factor in SERIALIZATION_FACTORS:
-        config = default_config(scale, seed=seed).replace(vl_serialization=factor)
-        algorithm = DeftRouting(system)
-        traffic = UniformTraffic(system, 0.005, seed)
-        report = Simulator(system, algorithm, traffic, config).run()
-        latencies[factor] = report.stats.average_latency
+    for factor, job_result in zip(SERIALIZATION_FACTORS, results):
+        latencies[factor] = job_result.average_latency
         result.rows.append(
             f"serialization x{factor}: {latencies[factor]:8.2f} cycles "
-            f"(delivered {report.delivered_ratio * 100:.1f}%)"
+            f"(delivered {job_result.delivered_ratio * 100:.1f}%)"
         )
     result.data = {str(k): v for k, v in latencies.items()}
     factors = list(SERIALIZATION_FACTORS)
@@ -237,7 +278,11 @@ def serialization_sweep(scale: float | None = None, seed: int = 23) -> Experimen
     return result
 
 
-def wear_balance(scale: float | None = None, seed: int = 29) -> ExperimentResult:
+def wear_balance(
+    scale: float | None = None,
+    seed: int = 29,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """VL wear under a fault: balanced selection extends the weakest bump.
 
     Quantifies Section III-B's reliability argument ("over-utilization of
@@ -246,26 +291,32 @@ def wear_balance(scale: float | None = None, seed: int = 29) -> ExperimentResult
     selection against the distance-based selection whose 8/4/4 split
     (Fig. 3(b)) concentrates current density on one VL.
     """
-    from ..analysis.wear import vl_wear_report, wear_summary_row
+    from ..analysis.wear import wear_report_from_loads, wear_summary_row
     from .fig8 import fault_pattern_12p5
 
     system = baseline_4_chiplets()
     config = default_config(scale, seed=seed)
-    state = fault_pattern_12p5(system)
+    faults = faults_to_spec(fault_pattern_12p5(system))
     result = ExperimentResult(
         experiment_id="ablation-wear",
         title="Ablation: VL wear balance under 12.5% faults (reliability)",
     )
+    strategies = (("deft", "optimized"), ("deft-dis", "distance-based"))
+    jobs = [
+        Job.make(
+            SystemRef.baseline4(),
+            algorithm,
+            TrafficSpec.make("uniform", rate=0.006),
+            config,
+            faults=faults,
+            seed=seed,
+        )
+        for algorithm, _label in strategies
+    ]
+    results = run_jobs(jobs, runner, name="ablation-wear")
     reports = {}
-    for strategy, label in (
-        (VlSelectionStrategy.OPTIMIZED, "optimized"),
-        (VlSelectionStrategy.DISTANCE, "distance-based"),
-    ):
-        algorithm = DeftRouting(system, strategy)
-        algorithm.set_fault_state(state)
-        traffic = UniformTraffic(system, 0.006, seed)
-        sim_report = Simulator(system, algorithm, traffic, config).run()
-        wear = vl_wear_report(system, sim_report.stats)
+    for (_algorithm, label), job_result in zip(strategies, results):
+        wear = wear_report_from_loads(system, job_result.vl_loads, job_result.cycles)
         reports[label] = wear
         result.rows.append(wear_summary_row(label, wear))
     result.data = {
@@ -287,12 +338,14 @@ def wear_balance(scale: float | None = None, seed: int = 29) -> ExperimentResult
     return result
 
 
-def run(scale: float | None = None) -> list[ExperimentResult]:
+def run(
+    scale: float | None = None, runner: CampaignRunner | None = None
+) -> list[ExperimentResult]:
     """All five ablation studies."""
     return [
-        rho_sweep(scale),
+        rho_sweep(scale, runner=runner),
         traffic_aware_tables(scale),
-        adaptive_selection(scale),
-        serialization_sweep(scale),
-        wear_balance(scale),
+        adaptive_selection(scale, runner=runner),
+        serialization_sweep(scale, runner=runner),
+        wear_balance(scale, runner=runner),
     ]

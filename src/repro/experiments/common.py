@@ -1,16 +1,22 @@
-"""Shared experiment infrastructure: sweeps, results, scaling."""
+"""Shared experiment infrastructure: sweeps, results, scaling.
+
+Since the campaign-runner refactor, experiments *emit jobs* and *consume
+results*: sweeps declare their (system x algorithm x traffic x rate x
+seed) grid as :class:`~repro.runner.spec.Job` values and submit the whole
+grid to a :class:`~repro.runner.CampaignRunner` in one batch. The default
+runner is serial and uncached (exactly the old inline behaviour); passing
+``runner=`` — as ``deft experiment --workers N`` does — parallelizes and
+caches every figure without touching the figure code.
+"""
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..config import SimulationConfig
-from ..network.simulator import Simulator
-from ..routing.registry import make_algorithm
-from ..topology.builder import System
-from ..traffic.base import TrafficGenerator
+from ..runner import CampaignRunner, Job, JobResult, SystemRef, TrafficSpec
 
 #: Environment variable multiplying every experiment's simulated cycles.
 SCALE_ENV = "REPRO_EXPERIMENT_SCALE"
@@ -92,32 +98,116 @@ def format_report(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def default_runner(runner: CampaignRunner | None) -> CampaignRunner:
+    """Resolve the experiment's runner: serial and uncached by default."""
+    return runner if runner is not None else CampaignRunner()
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    runner: CampaignRunner | None = None,
+    name: str = "experiment",
+) -> list[JobResult]:
+    """Submit a job batch and return results aligned with ``jobs``.
+
+    Raises ``RuntimeError`` if any job failed — a silently missing point
+    would corrupt the figure it belongs to.
+    """
+    from ..runner import Campaign
+
+    report = default_runner(runner).run(Campaign(name=name, jobs=tuple(jobs)))
+    report.raise_if_failed()
+    return report.results
+
+
+def sweep_jobs(
+    system: SystemRef,
+    algorithm_names: Sequence[str],
+    traffic_name: str,
+    rates: Sequence[float],
+    config: SimulationConfig,
+    seeds: Sequence[int] = (1,),
+    *,
+    traffic_params: Mapping[str, Any] | None = None,
+    faults: Iterable[tuple[int, str]] = (),
+) -> list[Job]:
+    """The declarative (algorithm x rate x seed) grid of one sweep."""
+    extra = dict(traffic_params or {})
+    fault_tuple = tuple(faults)
+    return [
+        Job.make(
+            system=system,
+            algorithm=name,
+            traffic=TrafficSpec.make(traffic_name, rate=rate, **extra),
+            config=config,
+            faults=fault_tuple,
+            seed=seed,
+        )
+        for name in algorithm_names
+        for rate in rates
+        for seed in seeds
+    ]
+
+
 def run_sweep(
-    system: System,
+    system: SystemRef,
     algorithm_names: tuple[str, ...],
-    traffic_factory: Callable[[System, float, int], TrafficGenerator],
+    traffic_name: str,
     rates: tuple[float, ...],
     config: SimulationConfig,
     seeds: tuple[int, ...] = (1,),
+    *,
+    traffic_params: Mapping[str, Any] | None = None,
+    faults: Iterable[tuple[int, str]] = (),
+    runner: CampaignRunner | None = None,
 ) -> dict[str, SweepSeries]:
-    """Latency sweep: every algorithm at every rate, averaged over seeds."""
+    """Latency sweep: every algorithm at every rate, averaged over seeds.
+
+    The whole grid is emitted as one campaign, so a parallel runner
+    overlaps every point and a caching runner makes re-sweeps incremental.
+    """
+    jobs = sweep_jobs(
+        system, algorithm_names, traffic_name, rates, config, seeds,
+        traffic_params=traffic_params, faults=faults,
+    )
+    results = run_jobs(jobs, runner, name=f"sweep-{traffic_name}")
+    return series_from_results(results, algorithm_names, rates, seeds)
+
+
+def series_from_results(
+    results: Sequence[JobResult],
+    algorithm_names: Sequence[str],
+    rates: Sequence[float],
+    seeds: Sequence[int],
+    *,
+    skip_failed: bool = False,
+) -> dict[str, SweepSeries]:
+    """Group a :func:`sweep_jobs`-ordered result list into sweep series.
+
+    The single aggregation point for the (algorithm x rate x seed) grid
+    order that :func:`sweep_jobs` emits. With ``skip_failed``, failed
+    points are dropped from per-point averages (NaN if every seed
+    failed) instead of poisoning them.
+    """
+    by_job = iter(results)
     series: dict[str, SweepSeries] = {}
     for name in algorithm_names:
         line = SweepSeries(label=name)
         for rate in rates:
-            latencies: list[float] = []
-            delivered: list[float] = []
-            for seed in seeds:
-                algorithm = make_algorithm(name, system)
-                traffic = traffic_factory(system, rate, seed)
-                report = Simulator(
-                    system, algorithm, traffic, config.replace(seed=seed)
-                ).run()
-                latencies.append(report.stats.average_latency)
-                delivered.append(report.stats.delivered_ratio)
+            points = [next(by_job) for _seed in seeds]
+            if skip_failed:
+                points = [p for p in points if p.ok]
             line.rates.append(rate)
-            line.latency.append(sum(latencies) / len(latencies))
-            line.delivered_ratio.append(sum(delivered) / len(delivered))
+            line.latency.append(
+                sum(p.average_latency for p in points) / len(points)
+                if points
+                else float("nan")
+            )
+            line.delivered_ratio.append(
+                sum(p.delivered_ratio for p in points) / len(points)
+                if points
+                else float("nan")
+            )
         series[name] = line
     return series
 

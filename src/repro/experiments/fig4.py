@@ -14,8 +14,7 @@ first, and the advantage persists for 6 chiplets.
 
 from __future__ import annotations
 
-from ..topology.presets import baseline_4_chiplets, baseline_6_chiplets
-from ..traffic.synthetic import HotspotTraffic, LocalizedTraffic, UniformTraffic
+from ..runner import CampaignRunner, SystemRef
 from .common import (
     ExperimentResult,
     default_config,
@@ -35,14 +34,17 @@ RATES_UNIFORM_6 = (0.002, 0.004, 0.006, 0.008, 0.010)
 def _sweep_experiment(
     experiment_id: str,
     title: str,
-    system,
-    traffic_factory,
+    system: SystemRef,
+    traffic_name: str,
     rates,
     scale: float | None,
     seeds: tuple[int, ...],
+    runner: CampaignRunner | None = None,
 ) -> ExperimentResult:
     config = default_config(scale)
-    series = run_sweep(system, ALGORITHMS, traffic_factory, rates, config, seeds)
+    series = run_sweep(
+        system, ALGORITHMS, traffic_name, rates, config, seeds, runner=runner
+    )
     result = ExperimentResult(experiment_id=experiment_id, title=title)
     result.rows = series_rows(series)
     result.rows.append("")
@@ -84,58 +86,85 @@ def _sweep_experiment(
     return result
 
 
-def fig4a(scale: float | None = None, seeds: tuple[int, ...] = (1,)) -> ExperimentResult:
+def fig4a(
+    scale: float | None = None,
+    seeds: tuple[int, ...] = (1,),
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Uniform traffic, 4 chiplets."""
     return _sweep_experiment(
         "fig4a",
         "Fig. 4(a) Uniform - 4 chiplets",
-        baseline_4_chiplets(),
-        lambda system, rate, seed: UniformTraffic(system, rate, seed),
+        SystemRef.baseline4(),
+        "uniform",
         RATES_UNIFORM_4,
         scale,
         seeds,
+        runner,
     )
 
 
-def fig4b(scale: float | None = None, seeds: tuple[int, ...] = (1,)) -> ExperimentResult:
+def fig4b(
+    scale: float | None = None,
+    seeds: tuple[int, ...] = (1,),
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Localized traffic (40% intra-chiplet), 4 chiplets."""
     return _sweep_experiment(
         "fig4b",
         "Fig. 4(b) Localized - 4 chiplets",
-        baseline_4_chiplets(),
-        lambda system, rate, seed: LocalizedTraffic(system, rate, seed),
+        SystemRef.baseline4(),
+        "localized",
         RATES_LOCALIZED_4,
         scale,
         seeds,
+        runner,
     )
 
 
-def fig4c(scale: float | None = None, seeds: tuple[int, ...] = (1,)) -> ExperimentResult:
+def fig4c(
+    scale: float | None = None,
+    seeds: tuple[int, ...] = (1,),
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Hotspot traffic (3 hotspots at 10% each), 4 chiplets."""
     return _sweep_experiment(
         "fig4c",
         "Fig. 4(c) Hotspot - 4 chiplets",
-        baseline_4_chiplets(),
-        lambda system, rate, seed: HotspotTraffic(system, rate, seed),
+        SystemRef.baseline4(),
+        "hotspot",
         RATES_HOTSPOT_4,
         scale,
         seeds,
+        runner,
     )
 
 
-def fig4d(scale: float | None = None, seeds: tuple[int, ...] = (1,)) -> ExperimentResult:
+def fig4d(
+    scale: float | None = None,
+    seeds: tuple[int, ...] = (1,),
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Uniform traffic, 6 chiplets (scaling study)."""
     return _sweep_experiment(
         "fig4d",
         "Fig. 4(d) Uniform - 6 chiplets",
-        baseline_6_chiplets(),
-        lambda system, rate, seed: UniformTraffic(system, rate, seed),
+        SystemRef.baseline6(),
+        "uniform",
         RATES_UNIFORM_6,
         scale,
         seeds,
+        runner,
     )
 
 
-def run(scale: float | None = None) -> list[ExperimentResult]:
+def run(
+    scale: float | None = None, runner: CampaignRunner | None = None
+) -> list[ExperimentResult]:
     """All four sub-figures."""
-    return [fig4a(scale), fig4b(scale), fig4c(scale), fig4d(scale)]
+    return [
+        fig4a(scale, runner=runner),
+        fig4b(scale, runner=runner),
+        fig4c(scale, runner=runner),
+        fig4d(scale, runner=runner),
+    ]

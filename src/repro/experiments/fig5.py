@@ -8,17 +8,15 @@ traffic (three hotspots at a relatively high 10% rate each).
 
 from __future__ import annotations
 
-from ..network.simulator import Simulator
-from ..routing.deft import DeftRouting
+from ..runner import CampaignRunner, Job, SystemRef, TrafficSpec
 from ..topology.presets import baseline_4_chiplets
-from ..traffic.synthetic import HotspotTraffic, LocalizedTraffic, UniformTraffic
-from .common import ExperimentResult, default_config
+from .common import ExperimentResult, default_config, run_jobs
 
-#: (pattern label, traffic class, rate) — moderate rates below saturation.
+#: (pattern name, rate) — moderate rates below saturation.
 _SCENARIOS = (
-    ("uniform", UniformTraffic, 0.006),
-    ("localized", LocalizedTraffic, 0.008),
-    ("hotspot", HotspotTraffic, 0.004),
+    ("uniform", 0.006),
+    ("localized", 0.008),
+    ("hotspot", 0.004),
 )
 
 #: Tolerated deviation from a perfect 50/50 split, in percentage points.
@@ -32,7 +30,11 @@ BALANCED_TOLERANCE_PP = 4.0
 HOTSPOT_TOLERANCE_PP = 9.0
 
 
-def run(scale: float | None = None, seed: int = 1) -> ExperimentResult:
+def run(
+    scale: float | None = None,
+    seed: int = 1,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     system = baseline_4_chiplets()
     config = default_config(scale, seed=seed)
     result = ExperimentResult(
@@ -45,12 +47,20 @@ def run(scale: float | None = None, seed: int = 1) -> ExperimentResult:
     result.rows.append(
         f"{'pattern':>10s}  " + "  ".join(f"{r:>12s}" for r in regions)
     )
+    jobs = [
+        Job.make(
+            SystemRef.baseline4(),
+            "deft",
+            TrafficSpec.make(label, rate=rate),
+            config,
+            seed=seed,
+        )
+        for label, rate in _SCENARIOS
+    ]
+    results = run_jobs(jobs, runner, name="fig5")
     utilizations: dict[str, dict[str, list[float]]] = {}
-    for label, traffic_cls, rate in _SCENARIOS:
-        algorithm = DeftRouting(system)
-        traffic = traffic_cls(system, rate, seed)
-        report = Simulator(system, algorithm, traffic, config).run()
-        util = report.stats.vc_utilization_report()
+    for (label, _rate), job_result in zip(_SCENARIOS, results):
+        util = job_result.vc_utilization
         utilizations[label] = util
         cells = [
             f"{util[r][0] * 100:5.1f}/{util[r][1] * 100:4.1f}" for r in regions

@@ -12,18 +12,9 @@ baseline in {MTR, RC}.
 
 from __future__ import annotations
 
-from ..network.simulator import Simulator
-from ..routing.registry import make_algorithm
-from ..topology.presets import baseline_4_chiplets
-from ..traffic.parsec import (
-    APP_PROFILES,
-    FIG6A_APPS,
-    FIG6B_PAIRS,
-    ParsecLikeTraffic,
-    app_pair_load,
-    two_app_workload,
-)
-from .common import ExperimentResult, default_config
+from ..runner import CampaignRunner, Job, SystemRef, TrafficSpec
+from ..traffic.parsec import FIG6A_APPS, FIG6B_PAIRS, app_pair_load
+from .common import ExperimentResult, default_config, run_jobs
 from .charts import bar_rows
 
 #: Load multiplier keeping the heaviest pair near (not past) saturation,
@@ -34,14 +25,24 @@ SINGLE_APP_LOAD_SCALE = 1.0
 ALGORITHMS = ("deft", "mtr", "rc")
 
 
-def _latencies(system, traffic_factory, config, seed: int) -> dict[str, float]:
-    out: dict[str, float] = {}
-    for name in ALGORITHMS:
-        algorithm = make_algorithm(name, system)
-        traffic = traffic_factory(seed)
-        report = Simulator(system, algorithm, traffic, config.replace(seed=seed)).run()
-        out[name] = report.stats.average_latency
-    return out
+def _workload_latencies(
+    traffic_specs: list[TrafficSpec],
+    config,
+    seed: int,
+    runner: CampaignRunner | None,
+    name: str,
+) -> list[dict[str, float]]:
+    """Per-workload {algorithm: latency}, all workloads in one campaign."""
+    jobs = [
+        Job.make(SystemRef.baseline4(), algorithm, spec, config, seed=seed)
+        for spec in traffic_specs
+        for algorithm in ALGORITHMS
+    ]
+    results = iter(run_jobs(jobs, runner, name=name))
+    return [
+        {algorithm: next(results).average_latency for algorithm in ALGORITHMS}
+        for _spec in traffic_specs
+    ]
 
 
 def _improvements(latencies: dict[str, float]) -> tuple[float, float]:
@@ -52,26 +53,26 @@ def _improvements(latencies: dict[str, float]) -> tuple[float, float]:
     return vs_mtr, vs_rc
 
 
-def fig6a(scale: float | None = None, seed: int = 3) -> ExperimentResult:
+def fig6a(
+    scale: float | None = None,
+    seed: int = 3,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Single application on all 64 cores."""
-    system = baseline_4_chiplets()
     config = default_config(scale, seed=seed)
     result = ExperimentResult(
         experiment_id="fig6a",
         title="Fig. 6(a) latency improvement, single application",
     )
-    improvements: dict[str, tuple[float, float]] = {}
-    for app in FIG6A_APPS:
-        latencies = _latencies(
-            system,
-            lambda s, app=app: ParsecLikeTraffic(
-                system, APP_PROFILES[app], seed=s,
-                load_scale=SINGLE_APP_LOAD_SCALE,
-            ),
-            config,
-            seed,
-        )
-        improvements[app] = _improvements(latencies)
+    specs = [
+        TrafficSpec.make("parsec", app=app, load_scale=SINGLE_APP_LOAD_SCALE)
+        for app in FIG6A_APPS
+    ]
+    latencies_per_app = _workload_latencies(specs, config, seed, runner, "fig6a")
+    improvements: dict[str, tuple[float, float]] = {
+        app: _improvements(latencies)
+        for app, latencies in zip(FIG6A_APPS, latencies_per_app)
+    }
     result.rows.append(f"{'app':>10s} {'vs MTR %':>10s} {'vs RC %':>10s}")
     for app, (vs_mtr, vs_rc) in improvements.items():
         result.rows.append(f"{app:>10s} {vs_mtr:10.1f} {vs_rc:10.1f}")
@@ -91,28 +92,29 @@ def fig6a(scale: float | None = None, seed: int = 3) -> ExperimentResult:
     return result
 
 
-def fig6b(scale: float | None = None, seed: int = 3) -> ExperimentResult:
+def fig6b(
+    scale: float | None = None,
+    seed: int = 3,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """Two applications on 32 cores each, pairs sorted by load."""
-    system = baseline_4_chiplets()
     config = default_config(scale, seed=seed)
     result = ExperimentResult(
         experiment_id="fig6b",
         title="Fig. 6(b) latency improvement, two applications",
     )
-    improvements: dict[str, tuple[float, float]] = {}
-    loads: list[float] = []
-    for app_a, app_b in FIG6B_PAIRS:
-        label = f"{app_a}+{app_b}"
-        loads.append(app_pair_load(app_a, app_b))
-        latencies = _latencies(
-            system,
-            lambda s, a=app_a, b=app_b: two_app_workload(
-                system, a, b, seed=s, load_scale=TWO_APP_LOAD_SCALE
-            ),
-            config,
-            seed,
+    specs = [
+        TrafficSpec.make(
+            "parsec-pair", app_a=app_a, app_b=app_b, load_scale=TWO_APP_LOAD_SCALE
         )
-        improvements[label] = _improvements(latencies)
+        for app_a, app_b in FIG6B_PAIRS
+    ]
+    latencies_per_pair = _workload_latencies(specs, config, seed, runner, "fig6b")
+    loads: list[float] = [app_pair_load(a, b) for a, b in FIG6B_PAIRS]
+    improvements: dict[str, tuple[float, float]] = {
+        f"{app_a}+{app_b}": _improvements(latencies)
+        for (app_a, app_b), latencies in zip(FIG6B_PAIRS, latencies_per_pair)
+    }
     result.rows.append(f"{'pair':>10s} {'load':>7s} {'vs MTR %':>10s} {'vs RC %':>10s}")
     for (label, (vs_mtr, vs_rc)), load in zip(improvements.items(), loads):
         result.rows.append(f"{label:>10s} {load:7.3f} {vs_mtr:10.1f} {vs_rc:10.1f}")
@@ -139,9 +141,11 @@ def fig6b(scale: float | None = None, seed: int = 3) -> ExperimentResult:
     return result
 
 
-def run(scale: float | None = None) -> list[ExperimentResult]:
-    a = fig6a(scale)
-    b = fig6b(scale)
+def run(
+    scale: float | None = None, runner: CampaignRunner | None = None
+) -> list[ExperimentResult]:
+    a = fig6a(scale, runner=runner)
+    b = fig6b(scale, runner=runner)
     # The paper's headline: more improvement with multiple applications.
     b.check(
         "two-application average improvement exceeds single-application",

@@ -87,7 +87,7 @@ def fig7b() -> ExperimentResult:
     )
 
 
-def run(scale: float | None = None) -> list[ExperimentResult]:
-    """Both reachability sub-figures (analytical; scale unused)."""
-    del scale  # analytical: no simulated cycles to scale
+def run(scale: float | None = None, runner=None) -> list[ExperimentResult]:
+    """Both reachability sub-figures (analytical; scale/runner unused)."""
+    del scale, runner  # analytical: no simulated cycles to scale or batch
     return [fig7a(), fig7b()]

@@ -18,11 +18,9 @@ both fault rates; random selection is relatively better at 25% than at
 from __future__ import annotations
 
 from ..fault.model import DirectedVL, FaultState, VLDirection
-from ..network.simulator import Simulator
-from ..routing.registry import make_algorithm
+from ..runner import CampaignRunner, SystemRef, faults_to_spec
 from ..topology.presets import baseline_4_chiplets
-from ..traffic.synthetic import UniformTraffic
-from .common import ExperimentResult, SweepSeries, default_config, series_rows
+from .common import ExperimentResult, default_config, run_sweep, series_rows
 from .charts import ascii_chart
 
 STRATEGIES = ("deft", "deft-dis", "deft-ran")
@@ -59,22 +57,24 @@ def _faulted_sweep(
     rates,
     scale: float | None,
     seed: int,
+    runner: CampaignRunner | None = None,
 ) -> ExperimentResult:
-    system = baseline_4_chiplets()
+    # The fault pattern is a deterministic function of the topology; it is
+    # materialized once here and shipped in every job as its canonical
+    # (vl_index, direction) form.
+    faults = faults_to_spec(fault_state_factory(baseline_4_chiplets()))
     config = default_config(scale, seed=seed)
     result = ExperimentResult(experiment_id=experiment_id, title=title)
-    series: dict[str, SweepSeries] = {}
-    for name in STRATEGIES:
-        line = SweepSeries(label=name)
-        for rate in rates:
-            algorithm = make_algorithm(name, system)
-            algorithm.set_fault_state(fault_state_factory(system))
-            traffic = UniformTraffic(system, rate, seed)
-            report = Simulator(system, algorithm, traffic, config).run()
-            line.rates.append(rate)
-            line.latency.append(report.stats.average_latency)
-            line.delivered_ratio.append(report.stats.delivered_ratio)
-        series[name] = line
+    series = run_sweep(
+        SystemRef.baseline4(),
+        STRATEGIES,
+        "uniform",
+        tuple(rates),
+        config,
+        seeds=(seed,),
+        faults=faults,
+        runner=runner,
+    )
     result.rows = series_rows(series)
     result.rows.append("")
     result.rows.append(
@@ -102,7 +102,11 @@ def _faulted_sweep(
     return result
 
 
-def fig8a(scale: float | None = None, seed: int = 5) -> ExperimentResult:
+def fig8a(
+    scale: float | None = None,
+    seed: int = 5,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """12.5% VL fault rate (4 faulty directed channels)."""
     return _faulted_sweep(
         "fig8a",
@@ -111,10 +115,15 @@ def fig8a(scale: float | None = None, seed: int = 5) -> ExperimentResult:
         RATES_A,
         scale,
         seed,
+        runner,
     )
 
 
-def fig8b(scale: float | None = None, seed: int = 5) -> ExperimentResult:
+def fig8b(
+    scale: float | None = None,
+    seed: int = 5,
+    runner: CampaignRunner | None = None,
+) -> ExperimentResult:
     """25% VL fault rate (8 faulty directed channels)."""
     return _faulted_sweep(
         "fig8b",
@@ -123,12 +132,15 @@ def fig8b(scale: float | None = None, seed: int = 5) -> ExperimentResult:
         RATES_B,
         scale,
         seed,
+        runner,
     )
 
 
-def run(scale: float | None = None) -> list[ExperimentResult]:
-    a = fig8a(scale)
-    b = fig8b(scale)
+def run(
+    scale: float | None = None, runner: CampaignRunner | None = None
+) -> list[ExperimentResult]:
+    a = fig8a(scale, runner=runner)
+    b = fig8b(scale, runner=runner)
     # Relative standing of random selection across fault rates (paper:
     # random is competitive at 25% faults, overhead-prone at 12.5%).
     try:

@@ -1,0 +1,40 @@
+"""Parallel campaign runner with content-addressed result caching.
+
+The subsystem that turns the repo's embarrassingly-parallel evaluation
+grids (topology x algorithm x traffic x fault scenario x seed) into
+batched, cached, multi-worker pipelines:
+
+* :mod:`repro.runner.spec` — declarative :class:`Job`/:class:`Campaign`
+  descriptions with a canonical hashable form;
+* :mod:`repro.runner.execute` — the pure job executor;
+* :mod:`repro.runner.backends` — :class:`SerialBackend` and the
+  multiprocessing :class:`ProcessPoolBackend`;
+* :mod:`repro.runner.cache` — the on-disk content-addressed result cache;
+* :mod:`repro.runner.runner` — :class:`CampaignRunner`, tying the three
+  together (dedup -> cache lookup -> backend execution -> write-back).
+"""
+
+from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .execute import execute_job
+from .result import JobResult
+from .runner import CampaignReport, CampaignRunner
+from .spec import SPEC_VERSION, Campaign, Job, SystemRef, TrafficSpec, faults_to_spec
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "CampaignRunner",
+    "DEFAULT_CACHE_DIR",
+    "ExecutionBackend",
+    "Job",
+    "JobResult",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "SPEC_VERSION",
+    "SerialBackend",
+    "SystemRef",
+    "TrafficSpec",
+    "execute_job",
+    "faults_to_spec",
+]

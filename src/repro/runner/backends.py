@@ -1,0 +1,161 @@
+"""Pluggable execution backends.
+
+A backend turns a list of jobs into a list of results, in order. Because
+:func:`~repro.runner.execute.execute_job` is a pure function of the job
+(each job carries its own seed), every backend produces *identical*
+results for the same jobs — parallelism changes wall-clock, never
+numbers.
+
+* :class:`SerialBackend` — in-process loop; zero overhead, the default.
+* :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool with
+  per-job timeout and crash capture. Simulation points are embarrassingly
+  parallel (no shared state), so this scales with cores.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+import os
+import signal
+from typing import Callable, Sequence
+
+from .execute import execute_job
+from .result import JobResult
+from .spec import Job
+
+#: Progress callback: (completed_count, total, job, result).
+ProgressFn = Callable[[int, int, Job, JobResult], None]
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock budget."""
+
+
+def _execute_with_timeout(job: Job, timeout: float | None) -> JobResult:
+    """Worker entry point: run a job under an optional SIGALRM deadline.
+
+    Enforcing the timeout *inside* the worker (POSIX interval timer)
+    frees the worker the moment a job overruns, so queued jobs behind a
+    stuck one still run and the pool always shuts down cleanly. The
+    simulator is pure Python, so the signal handler is guaranteed to
+    interrupt it between bytecodes.
+    """
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return execute_job(job)
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job timed out after {timeout}s ({job.label})")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        # A firing alarm raises JobTimeout inside execute_job's try block,
+        # which captures it as a failed JobResult like any other error.
+        return execute_job(job)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes a batch of jobs and reports per-job completion."""
+
+    @abc.abstractmethod
+    def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
+        """Execute ``jobs``; the result list is aligned with the input."""
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+
+class SerialBackend(ExecutionBackend):
+    """Run jobs one after another in the calling process."""
+
+    def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
+        results: list[JobResult] = []
+        for index, job in enumerate(jobs):
+            result = execute_job(job)
+            results.append(result)
+            if on_result is not None:
+                on_result(index + 1, len(jobs), job, result)
+        return results
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan jobs out over a ``ProcessPoolExecutor``.
+
+    Args:
+        workers: pool size; defaults to the machine's CPU count.
+        timeout: per-job wall-clock ceiling in seconds, enforced inside
+            each worker via SIGALRM (see :func:`_execute_with_timeout`).
+            A timed-out job yields a failed :class:`JobResult` whose
+            ``error`` mentions the timeout; the worker is freed
+            immediately and the campaign continues. On platforms without
+            SIGALRM the ceiling is enforced while collecting the result
+            instead, which cannot reclaim the worker.
+        start_method: multiprocessing start method (``fork`` on Linux by
+            default; ``spawn`` works everywhere the package is importable).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        timeout: float | None = None,
+        start_method: str | None = None,
+    ):
+        self._workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.timeout = timeout
+        self._context = None
+        if start_method is not None:
+            import multiprocessing
+
+            self._context = multiprocessing.get_context(start_method)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
+        if not jobs:
+            return []
+        # Fallback wait ceiling for platforms without SIGALRM, where the
+        # worker cannot interrupt itself.
+        collect_timeout = None if hasattr(signal, "SIGALRM") else self.timeout
+        timed_out = False
+        results: list[JobResult] = []
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self._workers, len(jobs)), mp_context=self._context
+        )
+        try:
+            futures = [
+                executor.submit(_execute_with_timeout, job, self.timeout)
+                for job in jobs
+            ]
+            for index, (job, future) in enumerate(zip(jobs, futures)):
+                try:
+                    result = future.result(timeout=collect_timeout)
+                except concurrent.futures.TimeoutError:
+                    timed_out = True
+                    future.cancel()
+                    result = JobResult(
+                        job_key=job.key(),
+                        ok=False,
+                        error=f"job timed out after {self.timeout}s ({job.label})",
+                    )
+                except Exception as exc:  # e.g. BrokenProcessPool, pickling
+                    result = JobResult(
+                        job_key=job.key(),
+                        ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                results.append(result)
+                if on_result is not None:
+                    on_result(index + 1, len(jobs), job, result)
+        finally:
+            # A parent-side timeout (no-SIGALRM platforms) means a worker
+            # may genuinely be stuck; abandon it instead of blocking the
+            # campaign on a shutdown join it can never finish.
+            executor.shutdown(wait=not timed_out, cancel_futures=timed_out)
+        return results

@@ -1,0 +1,92 @@
+"""Content-addressed on-disk JSON result cache.
+
+A job's cache path is derived from ``job.key()`` — a SHA-256 over the
+canonical job spec (including the spec version) — so repeated or
+overlapping campaigns are incremental: any point already simulated under
+the same spec is served from disk. Files are sharded by the first two
+hex digits (``<root>/ab/abcdef....json``) to keep directories small, and
+written atomically (temp file + rename) so a killed run never leaves a
+truncated entry behind.
+
+Only successful results are persisted: errors and timeouts are
+environment artefacts, not properties of the spec, and must be retried
+on the next campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .result import JobResult
+from .spec import SPEC_VERSION, Job
+
+#: Default cache directory (relative to the working directory) used by
+#: the ``deft campaign`` CLI when ``--cache-dir`` is not given.
+DEFAULT_CACHE_DIR = ".deft-cache"
+
+
+class ResultCache:
+    """Maps canonical job specs to stored :class:`JobResult` JSON files."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, job: Job) -> Path:
+        key = job.key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, job: Job) -> JobResult | None:
+        """The cached result for a job, or None (corrupt entries = miss)."""
+        path = self.path_for(job)
+        try:
+            payload = json.loads(path.read_text())
+            result = JobResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # A truncated/garbled entry is treated as a miss and will be
+            # overwritten by the fresh result.
+            self.misses += 1
+            return None
+        if payload.get("version") != SPEC_VERSION or not result.ok:
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cached = True
+        return result
+
+    def put(self, job: Job, result: JobResult) -> None:
+        """Persist a successful result; failed results are never cached."""
+        if not result.ok:
+            return
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": SPEC_VERSION,
+            "job": job.canonical(),
+            "result": result.to_dict(),
+        }
+        # Atomic publish: concurrent writers of the same key race benignly
+        # (identical content), and readers never observe partial files.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,94 @@
+"""Job materialization and execution.
+
+:func:`execute_job` is a *pure function* of its :class:`Job`: it builds
+the system, algorithm, fault state and traffic from the declarative spec
+and runs the simulator with the job's seed. Purity is what makes the
+content-addressed cache sound and guarantees serial/parallel result
+equivalence — backends may execute jobs in any order, on any worker.
+
+Every exception (configuration errors, deadlock-watchdog trips, ...) is
+captured into the returned :class:`JobResult` so one bad point never
+aborts a campaign; the traceback is preserved in ``result.error``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..fault.model import DirectedVL, FaultState, VLDirection
+from ..network.simulator import Simulator
+from ..routing.base import RoutingAlgorithm
+from ..routing.registry import make_algorithm
+from ..topology.builder import System
+from .result import JobResult
+from .spec import Job
+
+_DIRECTIONS = {"down": VLDirection.DOWN, "up": VLDirection.UP}
+
+
+def _build_algorithm(job: Job, system: System) -> RoutingAlgorithm:
+    params = dict(job.algorithm_params)
+    if not params:
+        return make_algorithm(job.algorithm, system)
+    unknown = set(params) - {"rho"}
+    if unknown:
+        raise ConfigurationError(
+            f"unsupported algorithm parameters {sorted(unknown)} for {job.algorithm!r}"
+        )
+    if job.algorithm != "deft":
+        raise ConfigurationError(
+            f"'rho' only parameterizes the 'deft' tables, not {job.algorithm!r}"
+        )
+    from ..routing.deft import DeftRouting
+
+    return DeftRouting(system, rho=float(params["rho"]))
+
+
+def _build_fault_state(job: Job, system: System) -> FaultState:
+    return FaultState(
+        system,
+        [DirectedVL(index, _DIRECTIONS[direction]) for index, direction in job.faults],
+    )
+
+
+def execute_job(job: Job) -> JobResult:
+    """Run one job to completion, capturing any failure into the result."""
+    start = time.perf_counter()
+    key = job.key()
+    try:
+        system = job.system.build()
+        algorithm = _build_algorithm(job, system)
+        if job.faults:
+            algorithm.set_fault_state(_build_fault_state(job, system))
+        traffic = job.traffic.build(system, seed=job.seed)
+        config: SimulationConfig = job.config.replace(seed=job.seed)
+        report = Simulator(system, algorithm, traffic, config).run()
+    except Exception:
+        return JobResult(
+            job_key=key,
+            ok=False,
+            error=traceback.format_exc(limit=20),
+            duration_s=time.perf_counter() - start,
+        )
+    stats = report.stats
+    return JobResult(
+        job_key=key,
+        ok=True,
+        average_latency=stats.average_latency,
+        p50_latency=stats.latency.p50,
+        p95_latency=stats.latency.p95,
+        p99_latency=stats.latency.p99,
+        delivered_ratio=stats.delivered_ratio,
+        average_hops=stats.hops.average,
+        packets_measured=stats.packets_measured,
+        packets_delivered_measured=stats.packets_delivered_measured,
+        packets_dropped_measured=stats.packets_dropped_measured,
+        cycles=report.cycles,
+        deadlocked=report.deadlocked,
+        vc_utilization=stats.vc_utilization_report(),
+        vl_loads=stats.vl_load_report(),
+        duration_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,310 @@
+"""Declarative simulation-point specifications.
+
+A :class:`Job` is a *canonical, hashable description* of one simulation:
+which system, which routing algorithm, which traffic (name + parameters),
+which fault scenario, and which :class:`~repro.config.SimulationConfig`.
+Nothing in a job references live objects — systems are named by
+:class:`SystemRef`, traffic by :class:`TrafficSpec` — so jobs can be
+serialized to JSON, shipped to worker processes, and content-addressed
+for the on-disk result cache.
+
+Two jobs with the same canonical form are the same simulation: the
+executor (:mod:`repro.runner.execute`) is a pure function of the job, so
+``job.key()`` (a SHA-256 of the canonical JSON) is a safe cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fault.model import FaultState
+    from ..topology.builder import System
+
+#: Bumped whenever the canonical job form or the executor's semantics
+#: change incompatibly; part of every cache key so stale on-disk results
+#: from older schema versions are never returned.
+SPEC_VERSION = 1
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _canonical_params(params: Mapping[str, Any] | Iterable[tuple[str, Any]],
+                      what: str) -> tuple[tuple[str, Any], ...]:
+    """Sort parameters by key and reject non-JSON-scalar values."""
+    items = dict(params).items()
+    for key, value in items:
+        if not isinstance(value, _SCALARS):
+            raise ConfigurationError(
+                f"{what} parameter {key!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+    return tuple(sorted(items))
+
+
+@dataclass(frozen=True)
+class SystemRef:
+    """A buildable reference to a :class:`~repro.topology.builder.System`.
+
+    Either a named preset (``baseline-4-chiplets``, ``baseline-6-chiplets``,
+    ``single-chiplet``) or a regular chiplet grid given as
+    ``(cols, rows, chiplet_width, chiplet_height)``.
+    """
+
+    preset: str | None = None
+    grid: tuple[int, int, int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.preset is None) == (self.grid is None):
+            raise ConfigurationError("SystemRef needs exactly one of preset/grid")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def baseline4(cls) -> "SystemRef":
+        return cls(preset="baseline-4-chiplets")
+
+    @classmethod
+    def baseline6(cls) -> "SystemRef":
+        return cls(preset="baseline-6-chiplets")
+
+    @classmethod
+    def from_grid(cls, cols: int, rows: int, width: int = 4, height: int = 4) -> "SystemRef":
+        return cls(grid=(cols, rows, width, height))
+
+    @classmethod
+    def from_cli(cls, text: str) -> "SystemRef":
+        """Parse the CLI's ``--system`` syntax: '4', '6', or 'COLSxROWS'."""
+        if text == "4":
+            return cls.baseline4()
+        if text == "6":
+            return cls.baseline6()
+        cols, rows = (int(part) for part in text.split("x"))
+        return cls.from_grid(cols, rows)
+
+    # -- materialization ------------------------------------------------
+
+    def build(self) -> "System":
+        from ..topology import presets
+
+        if self.preset is not None:
+            factories = {
+                "baseline-4-chiplets": presets.baseline_4_chiplets,
+                "baseline-6-chiplets": presets.baseline_6_chiplets,
+                "single-chiplet": presets.single_chiplet,
+            }
+            try:
+                return factories[self.preset]()
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown system preset {self.preset!r}; "
+                    f"available: {sorted(factories)}"
+                ) from None
+        cols, rows, width, height = self.grid  # type: ignore[misc]
+        return presets.chiplet_grid(cols, rows, width, height)
+
+    @property
+    def label(self) -> str:
+        if self.preset is not None:
+            return self.preset
+        cols, rows, width, height = self.grid  # type: ignore[misc]
+        return f"{cols}x{rows}-grid-{width}x{height}"
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.preset is not None:
+            return {"preset": self.preset}
+        return {"grid": list(self.grid)}  # type: ignore[arg-type]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SystemRef":
+        if "preset" in data:
+            return cls(preset=data["preset"])
+        return cls(grid=tuple(data["grid"]))
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A traffic generator by registry name + canonical parameters.
+
+    Parameters are stored as a sorted tuple of ``(key, value)`` pairs so
+    two specs built with differently-ordered keyword arguments hash
+    identically.
+    """
+
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, **params: Any) -> "TrafficSpec":
+        return cls(name=name, params=_canonical_params(params, "traffic"))
+
+    def build(self, system: "System", seed: int):
+        from ..traffic.registry import make_traffic
+
+        return make_traffic(self.name, system, seed=seed, **dict(self.params))
+
+    @property
+    def label(self) -> str:
+        rate = dict(self.params).get("rate")
+        return f"{self.name}@{rate}" if rate is not None else self.name
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "params": {k: v for k, v in self.params}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficSpec":
+        return cls.make(data["name"], **data.get("params", {}))
+
+
+def faults_to_spec(state: "FaultState") -> tuple[tuple[int, str], ...]:
+    """Canonical fault tuple for a :class:`~repro.fault.model.FaultState`."""
+    return tuple(
+        sorted((fault.vl_index, fault.direction.name.lower()) for fault in state.faults)
+    )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation point, fully described by value.
+
+    Attributes:
+        system: the topology to build.
+        algorithm: routing-algorithm registry name (e.g. ``deft``, ``mtr``).
+        traffic: traffic spec (registry name + parameters).
+        config: simulation configuration; its ``seed`` field is ignored in
+            favour of :attr:`seed` so sweeps over seeds share one config.
+        faults: sorted ``(vl_index, "down"|"up")`` pairs of faulty directed
+            VL channels.
+        seed: the job's master seed, applied to both the traffic generator
+            and the simulation config. Making the seed part of the spec is
+            what gives parallel backends deterministic per-job seeding
+            regardless of scheduling order.
+        algorithm_params: extra canonical algorithm parameters (currently
+            ``rho`` for DeFT's offline table construction).
+    """
+
+    system: SystemRef
+    algorithm: str
+    traffic: TrafficSpec
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    faults: tuple[tuple[int, str], ...] = ()
+    seed: int = 1
+    algorithm_params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        for vl_index, direction in self.faults:
+            if direction not in ("down", "up"):
+                raise ConfigurationError(
+                    f"fault direction must be 'down' or 'up', got {direction!r}"
+                )
+            if vl_index < 0:
+                raise ConfigurationError(f"fault VL index must be >= 0, got {vl_index}")
+        object.__setattr__(self, "faults", tuple(sorted(self.faults)))
+        object.__setattr__(
+            self,
+            "algorithm_params",
+            _canonical_params(self.algorithm_params, "algorithm"),
+        )
+
+    @classmethod
+    def make(
+        cls,
+        system: SystemRef,
+        algorithm: str,
+        traffic: TrafficSpec,
+        config: SimulationConfig,
+        *,
+        faults: Iterable[tuple[int, str]] = (),
+        seed: int = 1,
+        algorithm_params: Mapping[str, Any] | None = None,
+    ) -> "Job":
+        return cls(
+            system=system,
+            algorithm=algorithm,
+            traffic=traffic,
+            config=config,
+            faults=tuple(faults),
+            seed=seed,
+            algorithm_params=tuple((algorithm_params or {}).items()),
+        )
+
+    # -- canonical form & content address -------------------------------
+
+    def canonical(self) -> dict[str, Any]:
+        """The canonical JSON-compatible description hashed for caching.
+
+        The config is normalized with the job seed applied, so a job is
+        identified by exactly what the executor will simulate.
+        """
+        return {
+            "version": SPEC_VERSION,
+            "system": self.system.to_dict(),
+            "algorithm": self.algorithm,
+            "algorithm_params": {k: v for k, v in self.algorithm_params},
+            "traffic": self.traffic.to_dict(),
+            "faults": [list(fault) for fault in self.faults],
+            "config": self.config.replace(seed=self.seed).to_dict(),
+            "seed": self.seed,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """Content address: SHA-256 of the canonical JSON.
+
+        Memoized — the runner, cache and executor each ask for the key,
+        and the job is immutable.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    @property
+    def label(self) -> str:
+        """Short human-readable description for progress lines."""
+        parts = [self.algorithm, self.traffic.label, f"seed={self.seed}"]
+        if self.faults:
+            parts.append(f"{len(self.faults)}-faults")
+        return " ".join(parts)
+
+    @classmethod
+    def from_canonical(cls, data: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from :meth:`canonical` output."""
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ConfigurationError(
+                f"job spec version {version} not supported (current {SPEC_VERSION})"
+            )
+        return cls.make(
+            system=SystemRef.from_dict(data["system"]),
+            algorithm=data["algorithm"],
+            traffic=TrafficSpec.from_dict(data["traffic"]),
+            config=SimulationConfig.from_dict(data["config"]),
+            faults=tuple((int(i), str(d)) for i, d in data.get("faults", ())),
+            seed=int(data["seed"]),
+            algorithm_params=data.get("algorithm_params") or {},
+        )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named batch of jobs submitted to the runner together."""
+
+    name: str
+    jobs: tuple[Job, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+
+    def __len__(self) -> int:
+        return len(self.jobs)

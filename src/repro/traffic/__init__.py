@@ -26,6 +26,7 @@ from .parsec import (
     shared_l2_nodes,
     two_app_workload,
 )
+from .registry import RATE_PATTERNS, available_traffic, make_traffic
 
 __all__ = [
     "TrafficGenerator",
@@ -46,4 +47,7 @@ __all__ = [
     "directory_nodes",
     "shared_l2_nodes",
     "two_app_workload",
+    "RATE_PATTERNS",
+    "available_traffic",
+    "make_traffic",
 ]

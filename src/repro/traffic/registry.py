@@ -1,0 +1,94 @@
+"""Traffic-generator registry (string names + parameters -> instances).
+
+The runner's :class:`~repro.runner.spec.TrafficSpec` and the CLI both
+build traffic through this registry, so every pattern a campaign can
+reference has a canonical name and a flat, JSON-scalar parameter set.
+
+Rate-based synthetic patterns take ``rate`` (packets/cycle/core);
+PARSEC-like application traffic takes application codes + ``load_scale``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..topology.builder import System
+from .base import TrafficGenerator
+from .parsec import APP_PROFILES, ParsecLikeTraffic, two_app_workload
+from .synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    LocalizedTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+)
+
+
+def _parsec(system: System, seed: int, app: str, load_scale: float = 1.0) -> TrafficGenerator:
+    try:
+        profile = APP_PROFILES[app]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown PARSEC application {app!r}; available: {sorted(APP_PROFILES)}"
+        ) from None
+    return ParsecLikeTraffic(system, profile, seed=seed, load_scale=load_scale)
+
+
+def _parsec_pair(
+    system: System, seed: int, app_a: str, app_b: str, load_scale: float = 1.0
+) -> TrafficGenerator:
+    for app in (app_a, app_b):
+        if app not in APP_PROFILES:
+            raise ConfigurationError(
+                f"unknown PARSEC application {app!r}; available: {sorted(APP_PROFILES)}"
+            )
+    return two_app_workload(system, app_a, app_b, seed=seed, load_scale=load_scale)
+
+
+_FACTORIES: dict[str, Callable[..., TrafficGenerator]] = {
+    "uniform": lambda system, seed, rate: UniformTraffic(system, rate, seed),
+    "localized": lambda system, seed, rate, local_fraction=0.4: LocalizedTraffic(
+        system, rate, seed, local_fraction=local_fraction
+    ),
+    "hotspot": lambda system, seed, rate, hotspot_rate=0.1: HotspotTraffic(
+        system, rate, seed, hotspot_rate=hotspot_rate
+    ),
+    "transpose": lambda system, seed, rate: TransposeTraffic(system, rate, seed),
+    "bit-complement": lambda system, seed, rate: BitComplementTraffic(system, rate, seed),
+    "parsec": _parsec,
+    "parsec-pair": _parsec_pair,
+}
+
+#: Patterns parameterized by a single injection ``rate`` — the ones the
+#: CLI's sweep/campaign grids iterate over.
+RATE_PATTERNS: tuple[str, ...] = (
+    "bit-complement",
+    "hotspot",
+    "localized",
+    "transpose",
+    "uniform",
+)
+
+
+def available_traffic() -> tuple[str, ...]:
+    """Registered traffic-pattern names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_traffic(name: str, system: System, seed: int = 1, **params) -> TrafficGenerator:
+    """Instantiate a traffic generator by name.
+
+    Raises:
+        ConfigurationError: unknown name or invalid parameter set.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown traffic pattern {name!r}; available: {available_traffic()}"
+        ) from None
+    try:
+        return factory(system, seed, **params)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad parameters for traffic {name!r}: {exc}") from None

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Makes ``tests`` importable as a package so intra-suite helpers
+(``tests/routing_helpers.py``) can be imported relatively from test
+modules regardless of pytest's import mode.
+"""

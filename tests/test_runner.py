@@ -1,0 +1,281 @@
+"""Campaign runner: job hashing, cache semantics, campaign plumbing."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.runner import (
+    Campaign,
+    CampaignRunner,
+    Job,
+    JobResult,
+    ResultCache,
+    SerialBackend,
+    SystemRef,
+    TrafficSpec,
+    execute_job,
+    faults_to_spec,
+)
+
+
+@pytest.fixture()
+def tiny_config():
+    return SimulationConfig(
+        warmup_cycles=30, measure_cycles=120, drain_cycles=1_500, watchdog_cycles=2_000
+    )
+
+
+def tiny_job(tiny_config, *, algorithm="deft", rate=0.004, seed=1, **kwargs):
+    return Job.make(
+        SystemRef.baseline4(),
+        algorithm,
+        TrafficSpec.make("uniform", rate=rate),
+        tiny_config,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestSystemRef:
+    def test_presets_build(self):
+        assert SystemRef.baseline4().build().spec.num_chiplets == 4
+        assert SystemRef.baseline6().build().spec.num_chiplets == 6
+
+    def test_grid_builds(self):
+        system = SystemRef.from_grid(2, 1).build()
+        assert system.spec.num_chiplets == 2
+
+    def test_cli_syntax(self):
+        assert SystemRef.from_cli("4").preset == "baseline-4-chiplets"
+        assert SystemRef.from_cli("6").preset == "baseline-6-chiplets"
+        assert SystemRef.from_cli("3x2").grid == (3, 2, 4, 4)
+
+    def test_needs_exactly_one_form(self):
+        with pytest.raises(ConfigurationError):
+            SystemRef()
+        with pytest.raises(ConfigurationError):
+            SystemRef(preset="baseline-4-chiplets", grid=(2, 2, 4, 4))
+
+    def test_round_trips(self):
+        for ref in (SystemRef.baseline4(), SystemRef.from_grid(3, 2)):
+            assert SystemRef.from_dict(ref.to_dict()) == ref
+
+
+class TestJobHashing:
+    def test_key_stable_across_param_ordering(self, tiny_config):
+        a = Job.make(
+            SystemRef.baseline4(),
+            "deft",
+            TrafficSpec.make("hotspot", rate=0.004, hotspot_rate=0.1),
+            tiny_config,
+            faults=((3, "down"), (1, "up")),
+        )
+        b = Job.make(
+            SystemRef.baseline4(),
+            "deft",
+            TrafficSpec.make("hotspot", hotspot_rate=0.1, rate=0.004),
+            tiny_config,
+            faults=((1, "up"), (3, "down")),
+        )
+        assert a.key() == b.key()
+
+    def test_key_depends_on_every_field(self, tiny_config):
+        base = tiny_job(tiny_config)
+        variants = [
+            tiny_job(tiny_config, algorithm="mtr"),
+            tiny_job(tiny_config, rate=0.005),
+            tiny_job(tiny_config, seed=2),
+            tiny_job(tiny_config, faults=((0, "down"),)),
+            Job.make(
+                SystemRef.baseline6(),
+                "deft",
+                TrafficSpec.make("uniform", rate=0.004),
+                tiny_config,
+            ),
+            Job.make(
+                SystemRef.baseline4(),
+                "deft",
+                TrafficSpec.make("uniform", rate=0.004),
+                tiny_config.replace(measure_cycles=121),
+            ),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_config_seed_is_normalized_into_job_seed(self, tiny_config):
+        """Two configs differing only in their (overridden) seed hash equal."""
+        a = Job.make(
+            SystemRef.baseline4(), "deft",
+            TrafficSpec.make("uniform", rate=0.004),
+            tiny_config.replace(seed=999), seed=5,
+        )
+        b = Job.make(
+            SystemRef.baseline4(), "deft",
+            TrafficSpec.make("uniform", rate=0.004),
+            tiny_config.replace(seed=111), seed=5,
+        )
+        assert a.key() == b.key()
+
+    def test_canonical_round_trip(self, tiny_config):
+        job = tiny_job(tiny_config, faults=((2, "up"),), algorithm_params={"rho": 0.5})
+        rebuilt = Job.from_canonical(json.loads(job.canonical_json()))
+        assert rebuilt.key() == job.key()
+
+    def test_rejects_bad_fault_direction(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            tiny_job(tiny_config, faults=((2, "sideways"),))
+
+    def test_rejects_non_scalar_params(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            TrafficSpec.make("uniform", rate=[0.1])
+
+    def test_faults_to_spec_is_sorted_canonical(self, system4):
+        from repro.experiments.fig8 import fault_pattern_25
+
+        spec = faults_to_spec(fault_pattern_25(system4))
+        assert spec == tuple(sorted(spec))
+        assert all(direction in ("down", "up") for _, direction in spec)
+
+
+class TestExecuteJob:
+    def test_success_metrics(self, tiny_config):
+        result = execute_job(tiny_job(tiny_config))
+        assert result.ok and result.error is None
+        assert result.average_latency > 0
+        assert result.delivered_ratio == pytest.approx(1.0)
+        assert result.cycles > 0
+        assert "interposer" in result.vc_utilization
+        assert any(down + up > 0 for down, up in result.vl_loads.values())
+
+    def test_error_capture(self, tiny_config):
+        result = execute_job(tiny_job(tiny_config, algorithm="bogus"))
+        assert not result.ok
+        assert "ConfigurationError" in result.error
+
+    def test_rho_param_changes_tables_not_crash(self, tiny_config):
+        result = execute_job(
+            tiny_job(tiny_config, algorithm_params={"rho": 10.0},
+                     faults=((0, "down"),))
+        )
+        assert result.ok
+
+    def test_rho_rejected_for_non_deft(self, tiny_config):
+        result = execute_job(
+            tiny_job(tiny_config, algorithm="mtr", algorithm_params={"rho": 1.0})
+        )
+        assert not result.ok and "rho" in result.error
+
+    def test_result_round_trip(self, tiny_config):
+        result = execute_job(tiny_job(tiny_config))
+        rebuilt = JobResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+        assert rebuilt.vl_loads == result.vl_loads
+
+    def test_nan_metrics_survive_round_trip_equality(self, tiny_config):
+        """A packet-less run (rate 0) has NaN latency; a serialized copy
+        must still compare equal or cache hits would look nondeterministic."""
+        result = execute_job(tiny_job(tiny_config, rate=0.0))
+        assert result.ok and result.average_latency != result.average_latency
+        rebuilt = JobResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        assert cache.get(job) is None
+        result = execute_job(job)
+        cache.put(job, result)
+        hit = cache.get(job)
+        assert hit == result and hit.cached
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_failed_results_never_cached(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config, algorithm="bogus")
+        cache.put(job, execute_job(job))
+        assert cache.get(job) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        cache.put(job, execute_job(job))
+        cache.path_for(job).write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_len_counts_entries(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        job = tiny_job(tiny_config)
+        cache.put(job, execute_job(job))
+        assert len(cache) == 1
+
+
+class TestCampaignRunner:
+    def test_dedup_and_alignment(self, tiny_config):
+        job = tiny_job(tiny_config)
+        twin = tiny_job(tiny_config)
+        other = tiny_job(tiny_config, seed=2)
+        report = CampaignRunner().run([job, other, twin])
+        assert report.deduplicated == 1
+        assert report.executed == 2
+        assert report.results[0] == report.results[2]
+        assert report.results[0] != report.results[1]
+        assert report.result_for(other) is report.results[1]
+
+    def test_second_run_served_from_cache(self, tmp_path, tiny_config):
+        jobs = [tiny_job(tiny_config, rate=rate) for rate in (0.003, 0.004)]
+        first = CampaignRunner(cache=ResultCache(tmp_path)).run(
+            Campaign(name="warmup", jobs=tuple(jobs))
+        )
+        second = CampaignRunner(cache=ResultCache(tmp_path)).run(
+            Campaign(name="rerun", jobs=tuple(jobs))
+        )
+        assert first.cache_hits == 0 and first.executed == 2
+        assert second.cache_hits == 2 and second.executed == 0
+        assert second.hit_ratio == 1.0
+        assert second.results == first.results
+
+    def test_overlapping_campaign_is_incremental(self, tmp_path, tiny_config):
+        cache_a = ResultCache(tmp_path)
+        CampaignRunner(cache=cache_a).run([tiny_job(tiny_config, rate=0.003)])
+        report = CampaignRunner(cache=ResultCache(tmp_path)).run(
+            [tiny_job(tiny_config, rate=0.003), tiny_job(tiny_config, rate=0.004)]
+        )
+        assert report.cache_hits == 1 and report.executed == 1
+
+    def test_progress_covers_hits_and_executions(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        CampaignRunner(cache=cache).run([job])
+        seen: list[tuple[int, int, bool]] = []
+        CampaignRunner(cache=cache).run(
+            [job, tiny_job(tiny_config, seed=3)],
+            progress=lambda done, total, _job, result: seen.append(
+                (done, total, result.cached)
+            ),
+        )
+        assert seen == [(1, 2, True), (2, 2, False)]
+
+    def test_hit_ratio_ignores_duplicates(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        CampaignRunner(cache=cache).run([job])
+        report = CampaignRunner(cache=cache).run([job, tiny_job(tiny_config)])
+        assert report.deduplicated == 1
+        assert report.hit_ratio == 1.0
+
+    def test_raise_if_failed(self, tiny_config):
+        report = CampaignRunner().run([tiny_job(tiny_config, algorithm="bogus")])
+        assert len(report.errors) == 1
+        with pytest.raises(RuntimeError):
+            report.raise_if_failed()
+
+    def test_serial_backend_reports_progress_in_order(self, tiny_config):
+        jobs = [tiny_job(tiny_config, seed=s) for s in (1, 2)]
+        order: list[int] = []
+        SerialBackend().run(jobs, on_result=lambda done, total, j, r: order.append(done))
+        assert order == [1, 2]

@@ -1,0 +1,130 @@
+"""Parallel backend: serial equivalence, timeout and crash capture.
+
+These tests spawn real worker processes; job windows are kept tiny so
+the whole module stays in CI budget even on one core.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.common import sweep_jobs
+from repro.runner import (
+    CampaignRunner,
+    Job,
+    ProcessPoolBackend,
+    SerialBackend,
+    SystemRef,
+    TrafficSpec,
+)
+
+TINY = SimulationConfig(
+    warmup_cycles=30, measure_cycles=100, drain_cycles=1_200, watchdog_cycles=2_000
+)
+
+
+def small_grid() -> list[Job]:
+    """A miniature fig4-style grid: 2 algorithms x 2 rates x 2 seeds."""
+    return sweep_jobs(
+        SystemRef.baseline4(), ("deft", "rc"), "uniform",
+        (0.003, 0.004), TINY, seeds=(1, 2),
+    )
+
+
+class TestProcessPoolBackend:
+    def test_serial_parallel_equivalence(self):
+        jobs = small_grid()
+        serial = SerialBackend().run(jobs)
+        parallel = ProcessPoolBackend(workers=2).run(jobs)
+        assert [r.job_key for r in parallel] == [r.job_key for r in serial]
+        for s, p in zip(serial, parallel):
+            assert p == s  # identical metrics, field by field
+            assert p.average_latency == s.average_latency
+
+    def test_runner_equivalence_through_campaign(self):
+        jobs = small_grid()[:2]
+        serial = CampaignRunner(backend=SerialBackend()).run(jobs)
+        parallel = CampaignRunner(backend=ProcessPoolBackend(workers=2)).run(jobs)
+        assert parallel.results == serial.results
+
+    def test_error_capture_in_worker(self):
+        bad = Job.make(
+            SystemRef.baseline4(), "bogus",
+            TrafficSpec.make("uniform", rate=0.004), TINY,
+        )
+        good = small_grid()[0]
+        results = ProcessPoolBackend(workers=2).run([bad, good])
+        assert not results[0].ok and "ConfigurationError" in results[0].error
+        assert results[1].ok
+
+    def test_timeout_capture(self):
+        # A full-scale window takes far longer than the 1 ms budget.
+        slow = Job.make(
+            SystemRef.baseline4(), "deft",
+            TrafficSpec.make("uniform", rate=0.006),
+            SimulationConfig(warmup_cycles=2_000, measure_cycles=8_000,
+                             drain_cycles=20_000),
+        )
+        backend = ProcessPoolBackend(workers=1, timeout=0.001)
+        results = backend.run([slow])
+        assert not results[0].ok
+        assert "timed out" in results[0].error
+
+    def test_queued_job_behind_timeout_still_runs(self):
+        """The in-worker alarm frees the worker: no timeout cascade."""
+        slow = Job.make(
+            SystemRef.baseline4(), "deft",
+            TrafficSpec.make("uniform", rate=0.006),
+            SimulationConfig(warmup_cycles=2_000, measure_cycles=8_000,
+                             drain_cycles=20_000),
+        )
+        # Budget sits between the tiny job (~0.2s) and the full-scale one
+        # (many seconds).
+        quick = small_grid()[0]
+        results = ProcessPoolBackend(workers=1, timeout=1.0).run([slow, quick])
+        assert not results[0].ok and "timed out" in results[0].error
+        assert results[1].ok and results[1].average_latency > 0
+
+    def test_timed_out_job_is_not_cached(self, tmp_path):
+        from repro.runner import ResultCache
+
+        slow = Job.make(
+            SystemRef.baseline4(), "deft",
+            TrafficSpec.make("uniform", rate=0.006),
+            SimulationConfig(warmup_cycles=2_000, measure_cycles=8_000,
+                             drain_cycles=20_000),
+        )
+        cache = ResultCache(tmp_path)
+        runner = CampaignRunner(
+            backend=ProcessPoolBackend(workers=1, timeout=0.001), cache=cache
+        )
+        report = runner.run([slow])
+        assert report.errors
+        assert cache.get(slow) is None
+
+    def test_progress_callback_fires_per_job(self):
+        jobs = small_grid()[:3]
+        seen = []
+        ProcessPoolBackend(workers=2).run(
+            jobs, on_result=lambda done, total, job, result: seen.append((done, total))
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_workers_clamped_to_at_least_one(self):
+        assert ProcessPoolBackend(workers=0).workers == 1
+
+    def test_empty_job_list(self):
+        assert ProcessPoolBackend(workers=2).run([]) == []
+
+
+class TestExperimentEquivalence:
+    """`deft experiment --workers N` must reproduce the serial figures."""
+
+    def test_fig8a_parallel_matches_serial(self):
+        from repro.experiments import fig8
+
+        serial = fig8.fig8a(scale=0.05)
+        parallel = fig8.fig8a(
+            scale=0.05,
+            runner=CampaignRunner(backend=ProcessPoolBackend(workers=2)),
+        )
+        assert parallel.data == serial.data
