@@ -12,6 +12,9 @@ Runs a fig4-sized grid (3 algorithms x 6 rates, uniform traffic on the
 
 ``REPRO_EXPERIMENT_SCALE`` scales the simulated windows as in every
 other bench module.
+
+``test_montecarlo_campaign`` additionally benchmarks the Monte Carlo
+fault-campaign path: sampling throughput cold vs fully cache-served warm.
 """
 
 import os
@@ -106,3 +109,53 @@ def test_campaign_serial_vs_parallel_vs_cache(tmp_path_factory):
             f"expected parallel speedup on {cores} cores: "
             f"{parallel_s:.2f}s vs serial {serial_s:.2f}s"
         )
+
+
+def test_montecarlo_campaign(tmp_path_factory):
+    """Monte Carlo fault campaign: sampling throughput and cache reuse.
+
+    A fig7mc-sized reachability campaign (3 algorithms x k in {2, 8} x
+    100 samples) run cold then warm: the warm pass must be served >= 95%
+    from the content-addressed cache with identical estimates.
+    """
+    from repro.montecarlo import run_montecarlo
+
+    cache_dir = tmp_path_factory.mktemp("mc-cache")
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+    args = (SystemRef.baseline4(), ("deft", "mtr", "rc"), (2, 8), 100)
+
+    start = time.perf_counter()
+    cold = run_montecarlo(
+        *args, seed=0,
+        runner=CampaignRunner(
+            backend=ProcessPoolBackend(workers=workers),
+            cache=ResultCache(cache_dir),
+        ),
+    )
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_montecarlo(
+        *args, seed=0,
+        runner=CampaignRunner(backend=SerialBackend(), cache=ResultCache(cache_dir)),
+    )
+    warm_s = time.perf_counter() - start
+
+    jobs = cold.campaign.total
+    lines = [
+        f"== bench_campaign: montecarlo reachability ({jobs} samples, "
+        f"{workers} workers) ==",
+        f"  cold (populate):  {cold_s:7.2f}s ({jobs / max(cold_s, 1e-9):6.0f} samples/s)",
+        f"  warm (cache):     {warm_s:7.2f}s "
+        f"({warm.campaign.cache_hits}/{warm.campaign.total} hits)",
+    ]
+    for point in cold.results:
+        lines.append("  " + point.row())
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+
+    assert warm.campaign.hit_ratio >= 0.95
+    assert warm.campaign.executed == 0
+    assert [p.values for p in warm.results] == [p.values for p in cold.results]

@@ -9,6 +9,12 @@ Subcommands:
   through the campaign runner: multi-worker (``--workers``) and served
   incrementally from the content-addressed result cache (``--cache-dir``).
 * ``deft reachability`` — exact Fig. 7-style reachability numbers.
+* ``deft montecarlo`` — sampled fault-injection campaigns: reachability
+  or latency/delivery statistics over seeded random k-fault scenarios,
+  with confidence intervals — the statistical Fig. 7 for large k and
+  large systems.
+* ``deft cache`` — inspect (``stats``) and clean (``prune``) the
+  content-addressed result cache.
 * ``deft optimize`` — run the offline VL-selection optimization and print
   the per-router selection map (the Fig. 3 visualization).
 * ``deft area`` — the Table I area/power model.
@@ -25,7 +31,7 @@ import sys
 from .analysis.reachability import average_reachability, worst_reachability
 from .config import SimulationConfig
 from .core.tables import build_selection_tables
-from .experiments import ablations, fig4, fig5, fig6, fig7, fig8, table1
+from .experiments import ablations, fig4, fig5, fig6, fig7, fig7mc, fig8, table1
 from .experiments.common import ExperimentResult, format_report
 from .fault.model import DirectedVL, FaultState, VLDirection
 from .network.simulator import Simulator
@@ -58,6 +64,9 @@ _EXPERIMENTS = {
     "fig7a": lambda scale, runner: [fig7.fig7a()],
     "fig7b": lambda scale, runner: [fig7.fig7b()],
     "fig7": fig7.run,
+    "fig7mc-a": lambda scale, runner: [fig7mc.fig7mc_validation(scale, runner)],
+    "fig7mc-b": lambda scale, runner: [fig7mc.fig7mc_scale(scale, runner)],
+    "fig7mc": fig7mc.run,
     "fig8a": lambda scale, runner: [fig8.fig8a(scale, runner=runner)],
     "fig8b": lambda scale, runner: [fig8.fig8b(scale, runner=runner)],
     "fig8": fig8.run,
@@ -87,18 +96,37 @@ def _parse_fault_spec(spec: str) -> tuple[int, str]:
     """Parse one ``VL[:down|up]`` flag into ``(vl_index, direction)``.
 
     The single home of the flag grammar, shared by ``simulate``,
-    ``deadlock`` and ``campaign``. Directions other than ``up`` keep
-    their historical down-default.
+    ``deadlock`` and ``campaign`` as an argparse ``type=`` converter.
+    A bare ``VL`` defaults to ``down``; anything else must spell the
+    direction exactly — ``3:upp`` used to silently inject a *down*
+    fault, and a non-integer VL tracebacked instead of erroring.
     """
-    vl_text, _, direction_text = spec.partition(":")
-    direction = "up" if direction_text.lower() == "up" else "down"
-    return int(vl_text), direction
+    vl_text, sep, direction_text = spec.partition(":")
+    if not sep:
+        direction = "down"
+    else:
+        direction = direction_text.strip().lower()
+        if direction not in ("down", "up"):
+            raise argparse.ArgumentTypeError(
+                f"fault direction must be 'down' or 'up', got {direction_text!r} "
+                f"in {spec!r}"
+            )
+    try:
+        vl_index = int(vl_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"fault VL index must be an integer, got {vl_text!r} in {spec!r}"
+        ) from None
+    if vl_index < 0:
+        raise argparse.ArgumentTypeError(
+            f"fault VL index must be >= 0, got {vl_index} in {spec!r}"
+        )
+    return vl_index, direction
 
 
 def _fault_state_from_args(system: System, args: argparse.Namespace) -> FaultState:
     faults = []
-    for spec in args.fault or []:
-        vl_index, direction = _parse_fault_spec(spec)
+    for vl_index, direction in args.fault or []:
         vl_direction = VLDirection.UP if direction == "up" else VLDirection.DOWN
         faults.append(DirectedVL(vl_index, vl_direction))
     return FaultState(system, faults)
@@ -209,7 +237,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         drain_cycles=args.drain,
     )
-    faults = tuple(_parse_fault_spec(spec) for spec in args.fault or [])
+    faults = tuple(args.fault or [])
     jobs = sweep_jobs(
         system, tuple(args.algo), args.traffic, rates, config, seeds, faults=faults
     )
@@ -254,6 +282,97 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for failed in report.errors:
         print(f"FAILED {failed.job_key[:12]}: {failed.error}", file=sys.stderr)
     return 1 if report.errors else 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from .montecarlo import run_montecarlo
+    from .runner import TrafficSpec
+
+    fault_counts = tuple(int(k) for k in args.k.split(","))
+    config = SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        drain_cycles=args.drain,
+    )
+    traffic = TrafficSpec.make(args.traffic, rate=args.rate)
+
+    def progress(done: int, total: int, job, result) -> None:
+        if args.quiet or done % 50 and done != total:
+            return
+        print(f"  [{done}/{total}] sampled", file=sys.stderr)
+
+    report = run_montecarlo(
+        SystemRef.from_cli(args.system),
+        tuple(args.algo),
+        fault_counts,
+        args.samples,
+        seed=args.seed,
+        metric=args.metric,
+        traffic=traffic,
+        config=config,
+        runner=_runner_from_args(args),
+        confidence=args.confidence,
+        progress=progress,
+    )
+    unit = "reachable core-pair fraction" if args.metric == "reachability" \
+        else "average packet latency (cycles)"
+    print(
+        f"Monte Carlo {args.metric} on {SystemRef.from_cli(args.system).label}: "
+        f"{args.samples} samples/point, seed {args.seed}, "
+        f"{int(args.confidence * 100)}% CI ({unit})"
+    )
+    for point in report.results:
+        print(point.row())
+        if point.delivered_pool is not None:
+            pool = point.delivered_pool
+            print(
+                f"       pooled delivery {pool.center:.4f} "
+                f"[{pool.low:.4f}, {pool.high:.4f}] (Wilson)"
+            )
+    print(report.campaign.summary())
+    if args.json:
+        payload = {
+            "metric": args.metric,
+            "system": SystemRef.from_cli(args.system).to_dict(),
+            "samples": args.samples,
+            "seed": args.seed,
+            "confidence": args.confidence,
+            "points": [
+                {
+                    "algorithm": p.algorithm,
+                    "k": p.k,
+                    "completed": p.completed,
+                    "failed": p.failed,
+                    "dropped": p.dropped,
+                    "mean": p.primary.mean if p.primary else None,
+                    "std": p.primary.std if p.primary else None,
+                    "worst": p.primary.worst if p.primary else None,
+                    "ci": [p.primary.interval.low, p.primary.interval.high]
+                    if p.primary else None,
+                }
+                for p in report.results
+            ],
+            "cache_hits": report.campaign.cache_hits,
+            "executed": report.campaign.executed,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(_without_nan(payload), handle, indent=2, allow_nan=False)
+        print(f"wrote {args.json}")
+    for failed in report.campaign.errors:
+        print(f"FAILED {failed.job_key[:12]}: {failed.error}", file=sys.stderr)
+    return 1 if report.campaign.errors else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(f"cache {cache.root}: {cache.stats().summary()}")
+        return 0
+    removed = cache.prune(remove_all=args.all)
+    what = "everything" if args.all else "stale/corrupt entries and tmp files"
+    print(f"cache {cache.root}: pruned {what} — removed {removed.summary()}")
+    print(f"now: {cache.stats().summary()}")
+    return 0
 
 
 def _cmd_reachability(args: argparse.Namespace) -> int:
@@ -381,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fault",
         action="append",
+        type=_parse_fault_spec,
         metavar="VL[:down|up]",
         help="inject a directed VL fault (repeatable), e.g. --fault 3:down",
     )
@@ -410,7 +530,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rates", default="0.002,0.004,0.006,0.008,0.010")
     p.add_argument("--seeds", type=int, default=1,
                    help="seeds 1..N averaged per grid point")
-    p.add_argument("--fault", action="append", metavar="VL[:down|up]",
+    p.add_argument("--fault", action="append", type=_parse_fault_spec,
+                   metavar="VL[:down|up]",
                    help="inject a directed VL fault into every job (repeatable)")
     p.add_argument("--warmup", type=int, default=600)
     p.add_argument("--cycles", type=int, default=3000)
@@ -434,6 +555,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-faults", type=int, default=8)
     p.set_defaults(func=_cmd_reachability)
 
+    p = sub.add_parser(
+        "montecarlo",
+        help="sampled fault-injection campaign (statistical Fig. 7 at scale)",
+    )
+    _add_system_arg(p)
+    p.add_argument("--algo", nargs="+", default=["deft", "mtr", "rc"])
+    p.add_argument("--k", default="2",
+                   help="comma-separated fault counts to sample, e.g. 2 or 4,8,12")
+    p.add_argument("--samples", type=int, default=200,
+                   help="random fault scenarios per (algorithm, k) point")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign master seed; sample i draws from RNG(seed, k, i)")
+    p.add_argument("--metric", choices=["reachability", "latency"],
+                   default="reachability",
+                   help="analytic reachability per pattern, or simulated "
+                        "latency/delivery under each pattern")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   choices=[0.90, 0.95, 0.99],
+                   help="confidence level for the reported intervals")
+    p.add_argument("--traffic", default="uniform", choices=RATE_PATTERNS,
+                   help="traffic pattern (latency metric only)")
+    p.add_argument("--rate", type=float, default=0.005,
+                   help="injection rate (latency metric only)")
+    p.add_argument("--warmup", type=int, default=600)
+    p.add_argument("--cycles", type=int, default=3000)
+    p.add_argument("--drain", type=int, default=20000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool workers (1 = in-process serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds (parallel backend only)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help=f"content-addressed result cache (default {DEFAULT_CACHE_DIR})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache entirely")
+    p.add_argument("--quiet", action="store_true", help="suppress progress")
+    p.add_argument("--json", metavar="PATH", help="also dump estimates as JSON")
+    p.set_defaults(func=_cmd_montecarlo)
+
+    p = sub.add_parser("cache", help="inspect or clean the result cache")
+    p.add_argument("action", choices=["stats", "prune"])
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    p.add_argument("--all", action="store_true",
+                   help="prune: remove every entry, not just stale/orphaned ones")
+    p.set_defaults(func=_cmd_cache)
+
     p = sub.add_parser("optimize", help="offline VL-selection optimization map")
     _add_system_arg(p)
     p.add_argument("--chiplet", type=int, default=0)
@@ -452,7 +619,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=tuple(available_algorithms()) + ("naive",),
         help="'naive' is the unprotected Fig. 1 configuration",
     )
-    p.add_argument("--fault", action="append", metavar="VL[:down|up]")
+    p.add_argument("--fault", action="append", type=_parse_fault_spec,
+                   metavar="VL[:down|up]")
     p.set_defaults(func=_cmd_deadlock)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")

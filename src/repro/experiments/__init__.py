@@ -14,6 +14,8 @@ simulation grid behind each figure.
 | fig5      | VC utilization per region (DeFT)                  |
 | fig6      | PARSEC-like latency improvements                  |
 | fig7      | reachability under VL faults                      |
+| fig7mc    | Monte Carlo reachability: exact cross-check +     |
+|           | large-k / COLSxROWS extension                     |
 | fig8      | latency under faults, VL-selection strategies     |
 | table1    | router area/power                                 |
 | ablations | extensions: rho sweep, traffic-aware tables,      |
@@ -28,7 +30,7 @@ from .common import (
     run_sweep,
     sweep_jobs,
 )
-from . import ablations, fig4, fig5, fig6, fig7, fig8, table1
+from . import ablations, fig4, fig5, fig6, fig7, fig7mc, fig8, table1
 
 __all__ = [
     "ExperimentResult",
@@ -42,6 +44,7 @@ __all__ = [
     "fig5",
     "fig6",
     "fig7",
+    "fig7mc",
     "fig8",
     "table1",
 ]

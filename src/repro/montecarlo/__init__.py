@@ -1,0 +1,43 @@
+"""Monte Carlo fault-injection campaigns (statistical Fig. 7 at scale).
+
+Complements the exact reachability decomposition with seeded random
+k-fault sampling through the campaign runner — the scale layer for
+large k and COLSxROWS systems where enumeration (and the decomposition's
+per-chiplet profiles) stop being feasible, and the only way to estimate
+simulation-based metrics (latency, delivery) under fault populations.
+
+* :mod:`repro.montecarlo.stats` — confidence-interval estimators;
+* :mod:`repro.montecarlo.campaign` — job emission and aggregation.
+"""
+
+from .campaign import (
+    MC_METRICS,
+    MonteCarloReport,
+    MonteCarloResult,
+    SampleSummary,
+    montecarlo_jobs,
+    run_montecarlo,
+    summarize,
+)
+from .stats import (
+    ConfidenceInterval,
+    normal_mean_interval,
+    sample_mean_std,
+    wilson_interval,
+    z_value,
+)
+
+__all__ = [
+    "MC_METRICS",
+    "ConfidenceInterval",
+    "MonteCarloReport",
+    "MonteCarloResult",
+    "SampleSummary",
+    "montecarlo_jobs",
+    "normal_mean_interval",
+    "run_montecarlo",
+    "sample_mean_std",
+    "summarize",
+    "wilson_interval",
+    "z_value",
+]

@@ -1,0 +1,268 @@
+"""Monte Carlo fault-injection campaigns through the campaign runner.
+
+Where :mod:`repro.analysis.reachability` computes Fig. 7 *exactly* by
+per-chiplet decomposition, this module estimates the same quantities —
+and simulation-only metrics the decomposition cannot provide (latency,
+delivery under faults) — by sampling seeded random k-fault scenarios.
+Each sample is one :class:`~repro.runner.spec.Job` with
+``faults_mode="sample"``, emitted through the :class:`CampaignRunner`,
+so Monte Carlo campaigns inherit the runner's parallel backends,
+deterministic per-job seeding and the content-addressed result cache:
+re-running a campaign with the same spec is served from disk, and
+growing ``--samples`` only draws the new indices.
+
+The estimators report sample means, worst observed values and confidence
+intervals (normal for means, Wilson for pooled delivery proportions);
+``fig7mc`` cross-validates them against the exact curves at small k.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import SimulationConfig
+from ..runner import Campaign, CampaignReport, CampaignRunner, Job, SystemRef, TrafficSpec
+from ..runner.backends import ProgressFn
+from .stats import ConfidenceInterval, normal_mean_interval, sample_mean_std, wilson_interval
+
+#: Metrics a Monte Carlo campaign can estimate: ``reachability`` scores
+#: each sampled pattern analytically (no simulation), ``latency`` runs
+#: the cycle-accurate simulator under each sampled pattern.
+MC_METRICS = ("reachability", "latency")
+
+#: Traffic/config placeholders pinning the canonical form of analytic
+#: reachability jobs, so their cache keys never depend on simulation
+#: parameters they do not use.
+_REACHABILITY_TRAFFIC = ("uniform", 0.0)
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Aggregate of one (algorithm, k) group's per-sample values."""
+
+    n: int
+    mean: float
+    std: float
+    worst: float
+    interval: ConfidenceInterval
+
+
+def summarize(
+    values: Sequence[float], *, worst: str = "min", confidence: float = 0.95,
+    clamp: tuple[float, float] | None = None,
+) -> SampleSummary:
+    """Mean/std/worst/CI of a sample; ``worst`` picks min or max."""
+    mean, std = sample_mean_std(values)
+    return SampleSummary(
+        n=len(values),
+        mean=mean,
+        std=std,
+        worst=min(values) if worst == "min" else max(values),
+        interval=normal_mean_interval(values, confidence, clamp=clamp),
+    )
+
+
+@dataclass
+class MonteCarloResult:
+    """Estimates for one (algorithm, k) point of a campaign.
+
+    ``primary`` summarizes the campaign's metric (reachability fraction
+    or average packet latency). For the latency metric, ``delivery``
+    summarizes per-sample delivered ratios and ``delivered_pool`` is the
+    Wilson binomial interval over the pooled delivered/measured packet
+    counts of every sample.
+    """
+
+    algorithm: str
+    k: int
+    metric: str
+    requested: int
+    failed: int
+    #: Samples that executed OK but whose metric is undefined (e.g. a
+    #: latency sample where the fault pattern let no packet through) —
+    #: excluded from the estimates but reported, since a latency mean is
+    #: conditioned on delivery and silence here would bias the reading.
+    dropped: int = 0
+    values: list[float] = field(default_factory=list)
+    primary: SampleSummary | None = None
+    delivery: SampleSummary | None = None
+    delivered_pool: ConfidenceInterval | None = None
+
+    @property
+    def completed(self) -> int:
+        return len(self.values)
+
+    def row(self) -> str:
+        """One human-readable table line for CLI/experiment output."""
+        if self.primary is None:
+            return (
+                f"{self.algorithm:>6s} k={self.k:<3d} no usable samples "
+                f"({self.failed} failed, {self.dropped} without metric "
+                f"of {self.requested})"
+            )
+        ci = self.primary.interval
+        line = (
+            f"{self.algorithm:>6s} k={self.k:<3d} n={self.completed:<5d} "
+            f"mean={self.primary.mean:8.4f} "
+            f"ci=[{ci.low:8.4f}, {ci.high:8.4f}] "
+            f"worst={self.primary.worst:8.4f}"
+        )
+        if self.delivery is not None:
+            line += f" delivered={self.delivery.mean:6.4f}"
+        if self.failed or self.dropped:
+            parts = []
+            if self.failed:
+                parts.append(f"{self.failed} failed")
+            if self.dropped:
+                parts.append(f"{self.dropped} without metric")
+            line += " (" + ", ".join(parts) + ")"
+        return line
+
+
+@dataclass
+class MonteCarloReport:
+    """Outcome of :func:`run_montecarlo`: per-point estimates + provenance."""
+
+    metric: str
+    samples: int
+    seed: int
+    confidence: float
+    results: list[MonteCarloResult]
+    campaign: CampaignReport
+
+    def result_for(self, algorithm: str, k: int) -> MonteCarloResult:
+        for result in self.results:
+            if result.algorithm == algorithm and result.k == k:
+                return result
+        raise KeyError(f"no Monte Carlo point for ({algorithm!r}, k={k})")
+
+
+def montecarlo_jobs(
+    system: SystemRef,
+    algorithm: str,
+    fault_count: int,
+    samples: int,
+    *,
+    seed: int = 0,
+    metric: str = "reachability",
+    traffic: TrafficSpec | None = None,
+    config: SimulationConfig | None = None,
+) -> list[Job]:
+    """The job list of one (algorithm, k) Monte Carlo group.
+
+    Sample ``i`` is a ``faults_mode="sample"`` job with
+    ``fault_sample=i`` and the campaign's master ``seed``; the executor
+    derives the pattern RNG from ``(seed, k, i)``, so the job's canonical
+    form — and cache key — fully determines the drawn scenario.
+    """
+    if metric not in MC_METRICS:
+        raise ValueError(f"metric must be one of {MC_METRICS}, got {metric!r}")
+    if samples < 1:
+        raise ValueError(f"need at least one sample, got {samples}")
+    if metric == "reachability":
+        # Pinned placeholders: analytic jobs never build traffic or run
+        # the simulator, so identical estimates must share cache keys.
+        traffic = TrafficSpec.make(
+            _REACHABILITY_TRAFFIC[0], rate=_REACHABILITY_TRAFFIC[1]
+        )
+        config = SimulationConfig()
+        kind = "reachability"
+    else:
+        traffic = traffic or TrafficSpec.make("uniform", rate=0.005)
+        config = config or SimulationConfig()
+        kind = "simulate"
+    return [
+        Job.make(
+            system=system,
+            algorithm=algorithm,
+            traffic=traffic,
+            config=config,
+            seed=seed,
+            faults_mode="sample",
+            fault_k=fault_count,
+            fault_sample=index,
+            kind=kind,
+        )
+        for index in range(samples)
+    ]
+
+
+def run_montecarlo(
+    system: SystemRef,
+    algorithms: Sequence[str],
+    fault_counts: Sequence[int],
+    samples: int,
+    *,
+    seed: int = 0,
+    metric: str = "reachability",
+    traffic: TrafficSpec | None = None,
+    config: SimulationConfig | None = None,
+    runner: CampaignRunner | None = None,
+    confidence: float = 0.95,
+    progress: ProgressFn | None = None,
+) -> MonteCarloReport:
+    """Run a full (algorithm x k x sample) Monte Carlo campaign.
+
+    The whole grid is submitted as *one* campaign so a parallel backend
+    overlaps every sample and a caching runner serves repeats from disk.
+    Failed samples (e.g. no admissible pattern at an extreme k) are
+    excluded from the estimates and counted per point.
+    """
+    groups: list[tuple[str, int, list[Job]]] = []
+    jobs: list[Job] = []
+    for algorithm in algorithms:
+        for k in fault_counts:
+            group = montecarlo_jobs(
+                system, algorithm, k, samples,
+                seed=seed, metric=metric, traffic=traffic, config=config,
+            )
+            groups.append((algorithm, k, group))
+            jobs.extend(group)
+    campaign = Campaign(
+        name=f"montecarlo-{metric}-{system.label}", jobs=tuple(jobs)
+    )
+    report = (runner or CampaignRunner()).run(campaign, progress=progress)
+
+    results: list[MonteCarloResult] = []
+    for algorithm, k, group in groups:
+        outcomes = [report.result_for(job) for job in group]
+        point = MonteCarloResult(
+            algorithm=algorithm, k=k, metric=metric,
+            requested=samples, failed=sum(1 for r in outcomes if not r.ok),
+        )
+        ok_results = [r for r in outcomes if r.ok]
+        if metric == "reachability":
+            point.values = [r.reachability for r in ok_results
+                            if math.isfinite(r.reachability)]
+            point.dropped = len(ok_results) - len(point.values)
+            if point.values:
+                point.primary = summarize(
+                    point.values, worst="min", confidence=confidence, clamp=(0.0, 1.0)
+                )
+        else:
+            kept = [r for r in ok_results if math.isfinite(r.average_latency)]
+            point.dropped = len(ok_results) - len(kept)
+            point.values = [r.average_latency for r in kept]
+            if point.values:
+                point.primary = summarize(
+                    point.values, worst="max", confidence=confidence
+                )
+                ratios = [r.delivered_ratio for r in kept
+                          if math.isfinite(r.delivered_ratio)]
+                if ratios:
+                    point.delivery = summarize(
+                        ratios, worst="min", confidence=confidence, clamp=(0.0, 1.0)
+                    )
+                measured = sum(r.packets_measured for r in kept)
+                delivered = sum(r.packets_delivered_measured for r in kept)
+                if measured:
+                    point.delivered_pool = wilson_interval(
+                        delivered, measured, confidence
+                    )
+        results.append(point)
+    return MonteCarloReport(
+        metric=metric, samples=samples, seed=seed, confidence=confidence,
+        results=results, campaign=report,
+    )

@@ -15,18 +15,30 @@ batched, cached, multi-worker pipelines:
 """
 
 from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
-from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .execute import execute_job
+from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from .execute import execute_job, sample_rng
 from .result import JobResult
 from .runner import CampaignReport, CampaignRunner
-from .spec import SPEC_VERSION, Campaign, Job, SystemRef, TrafficSpec, faults_to_spec
+from .spec import (
+    FAULTS_MODES,
+    JOB_KINDS,
+    SPEC_VERSION,
+    Campaign,
+    Job,
+    SystemRef,
+    TrafficSpec,
+    faults_to_spec,
+)
 
 __all__ = [
+    "CacheStats",
     "Campaign",
     "CampaignReport",
     "CampaignRunner",
     "DEFAULT_CACHE_DIR",
     "ExecutionBackend",
+    "FAULTS_MODES",
+    "JOB_KINDS",
     "Job",
     "JobResult",
     "ProcessPoolBackend",
@@ -37,4 +49,5 @@ __all__ = [
     "TrafficSpec",
     "execute_job",
     "faults_to_spec",
+    "sample_rng",
 ]

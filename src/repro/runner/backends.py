@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import abc
 import concurrent.futures
+import math
 import os
 import signal
+import time
 from typing import Callable, Sequence
 
 from .execute import execute_job
@@ -93,8 +95,12 @@ class ProcessPoolBackend(ExecutionBackend):
             A timed-out job yields a failed :class:`JobResult` whose
             ``error`` mentions the timeout; the worker is freed
             immediately and the campaign continues. On platforms without
-            SIGALRM the ceiling is enforced while collecting the result
-            instead, which cannot reclaim the worker.
+            SIGALRM the ceiling is enforced while collecting results
+            instead, against a *shared wall-clock deadline* for the whole
+            batch (``timeout`` x the number of serial waves the pool
+            needs) — one slow early job spends from the same budget as
+            every later job rather than granting them fresh time. This
+            fallback cannot reclaim a stuck worker.
         start_method: multiprocessing start method (``fork`` on Linux by
             default; ``spawn`` works everywhere the package is importable).
     """
@@ -120,13 +126,21 @@ class ProcessPoolBackend(ExecutionBackend):
     def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
         if not jobs:
             return []
-        # Fallback wait ceiling for platforms without SIGALRM, where the
-        # worker cannot interrupt itself.
-        collect_timeout = None if hasattr(signal, "SIGALRM") else self.timeout
+        # Fallback ceiling for platforms without SIGALRM, where a worker
+        # cannot interrupt itself: one shared wall-clock deadline sized
+        # for the whole batch (per-job budget x serial waves), consumed
+        # by every result collection. Measuring each job's wait from its
+        # own collection time would let a slow early job silently grant
+        # later jobs extra budget.
+        pool_size = min(self._workers, len(jobs))
+        deadline: float | None = None
+        if self.timeout is not None and not hasattr(signal, "SIGALRM"):
+            waves = math.ceil(len(jobs) / pool_size)
+            deadline = time.monotonic() + self.timeout * waves
         timed_out = False
         results: list[JobResult] = []
         executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self._workers, len(jobs)), mp_context=self._context
+            max_workers=pool_size, mp_context=self._context
         )
         try:
             futures = [
@@ -135,6 +149,10 @@ class ProcessPoolBackend(ExecutionBackend):
             ]
             for index, (job, future) in enumerate(zip(jobs, futures)):
                 try:
+                    collect_timeout = (
+                        None if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
                     result = future.result(timeout=collect_timeout)
                 except concurrent.futures.TimeoutError:
                     timed_out = True

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 from .result import JobResult
@@ -26,6 +27,32 @@ from .spec import SPEC_VERSION, Job
 #: Default cache directory (relative to the working directory) used by
 #: the ``deft campaign`` CLI when ``--cache-dir`` is not given.
 DEFAULT_CACHE_DIR = ".deft-cache"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """On-disk census of a cache directory (``deft cache stats``)."""
+
+    entries: int      #: servable entries written under the current SPEC_VERSION
+    stale: int        #: entries from other spec versions — never served
+    corrupt: int      #: unreadable/garbled entries — treated as misses
+    tmp_files: int    #: orphaned ``.tmp`` files left behind by killed runs
+    total_bytes: int  #: bytes across everything counted above
+
+    def summary(self) -> str:
+        line = (
+            f"{self.entries} cached result(s), {self.total_bytes / 1024:.1f} KiB"
+        )
+        extras = []
+        if self.stale:
+            extras.append(f"{self.stale} stale")
+        if self.corrupt:
+            extras.append(f"{self.corrupt} corrupt")
+        if self.tmp_files:
+            extras.append(f"{self.tmp_files} orphaned tmp")
+        if extras:
+            line += " (" + ", ".join(extras) + ")"
+        return line
 
 
 class ResultCache:
@@ -86,7 +113,112 @@ class ResultCache:
                 pass
             raise
 
-    def __len__(self) -> int:
+    # -- census & maintenance --------------------------------------------
+
+    def _classify(self, path: Path) -> str | None:
+        """One entry's census bucket: 'entries', 'stale' or 'corrupt'.
+
+        ``None`` means the file vanished between glob and read (a
+        concurrent writer renaming a ``.tmp``, or another prune) — the
+        census simply skips it rather than miscounting or crashing.
+        """
+        try:
+            payload = json.loads(path.read_text())
+            version = payload["version"]
+            JobResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return "corrupt"
+        return "entries" if version == SPEC_VERSION else "stale"
+
+    @staticmethod
+    def _size(path: Path) -> int | None:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return None
+
+    def stats(self) -> CacheStats:
+        """Walk the cache directory and classify everything in it.
+
+        Unlike the old ``len(cache)`` (which blindly counted ``*.json``
+        files), entries written under a different ``SPEC_VERSION`` — which
+        :meth:`get` will never serve — are reported separately, and
+        orphaned ``.tmp`` files from killed runs are surfaced instead of
+        silently accumulating.
+        """
+        counts = {"entries": 0, "stale": 0, "corrupt": 0}
+        tmp_files = 0
+        total_bytes = 0
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+            return CacheStats(0, 0, 0, 0, 0)
+        for path in self.root.glob("*/*.json"):
+            bucket = self._classify(path)
+            if bucket is None:
+                continue
+            counts[bucket] += 1
+            total_bytes += self._size(path) or 0
+        for path in self.root.glob("*/*.tmp"):
+            size = self._size(path)
+            if size is None:
+                continue
+            tmp_files += 1
+            total_bytes += size
+        return CacheStats(
+            entries=counts["entries"],
+            stale=counts["stale"],
+            corrupt=counts["corrupt"],
+            tmp_files=tmp_files,
+            total_bytes=total_bytes,
+        )
+
+    def prune(self, remove_all: bool = False) -> CacheStats:
+        """Delete dead weight; returns a census of what was removed.
+
+        By default removes stale-version entries, corrupt entries and
+        orphaned ``.tmp`` files while keeping every servable result;
+        ``remove_all`` empties the cache entirely. Assumes no campaign is
+        concurrently writing to this cache directory.
+        """
+        removed = {"entries": 0, "stale": 0, "corrupt": 0}
+        tmp_removed = 0
+        bytes_removed = 0
+        if not self.root.is_dir():
+            return CacheStats(0, 0, 0, 0, 0)
+        for path in self.root.glob("*/*.json"):
+            bucket = self._classify(path)
+            if bucket is None or (bucket == "entries" and not remove_all):
+                continue
+            size = self._size(path)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed[bucket] += 1
+            bytes_removed += size or 0
+        for path in self.root.glob("*/*.tmp"):
+            size = self._size(path)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            tmp_removed += 1
+            bytes_removed += size or 0
+        for shard in self.root.iterdir():
+            try:
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+            except OSError:
+                pass
+        return CacheStats(
+            entries=removed["entries"],
+            stale=removed["stale"],
+            corrupt=removed["corrupt"],
+            tmp_files=tmp_removed,
+            total_bytes=bytes_removed,
+        )
+
+    def __len__(self) -> int:
+        """Number of *servable* entries (current spec version only)."""
+        return self.stats().entries

@@ -13,20 +13,35 @@ aborts a campaign; the traceback is preserved in ``result.error``.
 
 from __future__ import annotations
 
+import hashlib
+import random
 import time
 import traceback
 
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
-from ..fault.model import DirectedVL, FaultState, VLDirection
+from ..fault.model import DirectedVL, FaultState, VLDirection, random_fault_state
 from ..network.simulator import Simulator
 from ..routing.base import RoutingAlgorithm
 from ..routing.registry import make_algorithm
 from ..topology.builder import System
 from .result import JobResult
-from .spec import Job
+from .spec import Job, faults_to_spec
 
 _DIRECTIONS = {"down": VLDirection.DOWN, "up": VLDirection.UP}
+
+
+def sample_rng(seed: int, fault_k: int, fault_sample: int) -> random.Random:
+    """The deterministic RNG of one Monte Carlo sample.
+
+    Derived by hashing the (seed, k, sample index) triple so every sample
+    of a campaign draws an independent stream, identical across backends,
+    platforms and scheduling orders.
+    """
+    digest = hashlib.sha256(
+        f"deft-mc:{seed}:{fault_k}:{fault_sample}".encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 def _build_algorithm(job: Job, system: System) -> RoutingAlgorithm:
@@ -48,6 +63,9 @@ def _build_algorithm(job: Job, system: System) -> RoutingAlgorithm:
 
 
 def _build_fault_state(job: Job, system: System) -> FaultState:
+    if job.faults_mode == "sample":
+        rng = sample_rng(job.seed, job.fault_k, job.fault_sample)
+        return random_fault_state(system, job.fault_k, rng)
     return FaultState(
         system,
         [DirectedVL(index, _DIRECTIONS[direction]) for index, direction in job.faults],
@@ -61,8 +79,28 @@ def execute_job(job: Job) -> JobResult:
     try:
         system = job.system.build()
         algorithm = _build_algorithm(job, system)
-        if job.faults:
-            algorithm.set_fault_state(_build_fault_state(job, system))
+        fault_state: FaultState | None = None
+        if job.faults or job.faults_mode == "sample":
+            fault_state = _build_fault_state(job, system)
+            algorithm.set_fault_state(fault_state)
+        sampled = (
+            faults_to_spec(fault_state)
+            if job.faults_mode == "sample" and fault_state is not None
+            else ()
+        )
+        if job.kind == "reachability":
+            from ..analysis.reachability import reachability_of_state
+
+            value = reachability_of_state(
+                system, algorithm, fault_state or FaultState(system)
+            )
+            return JobResult(
+                job_key=key,
+                ok=True,
+                reachability=value,
+                sampled_faults=sampled,
+                duration_s=time.perf_counter() - start,
+            )
         traffic = job.traffic.build(system, seed=job.seed)
         config: SimulationConfig = job.config.replace(seed=job.seed)
         report = Simulator(system, algorithm, traffic, config).run()
@@ -90,5 +128,6 @@ def execute_job(job: Job) -> JobResult:
         deadlocked=report.deadlocked,
         vc_utilization=stats.vc_utilization_report(),
         vl_loads=stats.vl_load_report(),
+        sampled_faults=sampled,
         duration_s=time.perf_counter() - start,
     )

@@ -46,6 +46,13 @@ class JobResult:
     deadlocked: bool = False
     vc_utilization: dict[str, list[float]] = field(default_factory=dict)
     vl_loads: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: Analytic reachable core-pair fraction (``kind="reachability"``
+    #: jobs only; NaN for simulation jobs).
+    reachability: float = math.nan
+    #: The concrete fault pattern a sample-mode job drew — provenance for
+    #: Monte Carlo campaigns, in the same ``(vl_index, direction)`` form
+    #: as :attr:`repro.runner.spec.Job.faults`.
+    sampled_faults: tuple[tuple[int, str], ...] = ()
     duration_s: float = field(default=0.0, compare=False)
     cached: bool = field(default=False, compare=False)
 
@@ -101,6 +108,8 @@ class JobResult:
             "vc_utilization": self.vc_utilization,
             # JSON objects require string keys; inverted in from_dict.
             "vl_loads": {str(k): list(v) for k, v in self.vl_loads.items()},
+            "reachability": self.reachability,
+            "sampled_faults": [list(fault) for fault in self.sampled_faults],
             "duration_s": self.duration_s,
         }
 
@@ -129,5 +138,9 @@ class JobResult:
                 int(index): (int(loads[0]), int(loads[1]))
                 for index, loads in data.get("vl_loads", {}).items()
             },
+            reachability=float(data.get("reachability", math.nan)),
+            sampled_faults=tuple(
+                (int(i), str(d)) for i, d in data.get("sampled_faults", ())
+            ),
             duration_s=float(data.get("duration_s", 0.0)),
         )

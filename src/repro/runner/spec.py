@@ -32,6 +32,16 @@ if TYPE_CHECKING:  # pragma: no cover
 #: from older schema versions are never returned.
 SPEC_VERSION = 1
 
+#: How a job obtains its fault scenario: ``explicit`` uses the literal
+#: :attr:`Job.faults` tuple; ``sample`` draws a seeded random pattern of
+#: :attr:`Job.fault_k` directed-VL faults (Monte Carlo campaigns).
+FAULTS_MODES = ("explicit", "sample")
+
+#: What the executor computes: ``simulate`` runs the cycle-accurate
+#: simulator; ``reachability`` analytically scores the fault scenario via
+#: :func:`repro.analysis.reachability.reachability_of_state` (no traffic).
+JOB_KINDS = ("simulate", "reachability")
+
 _SCALARS = (str, int, float, bool, type(None))
 
 
@@ -188,6 +198,19 @@ class Job:
             regardless of scheduling order.
         algorithm_params: extra canonical algorithm parameters (currently
             ``rho`` for DeFT's offline table construction).
+        faults_mode: ``explicit`` (default) or ``sample``. In sample mode
+            the executor draws a random admissible ``fault_k``-fault
+            pattern from a deterministic RNG seeded by
+            ``(seed, fault_k, fault_sample)``, so each sample index is a
+            distinct, reproducible, cacheable simulation point.
+        fault_k: number of sampled faulty directed channels (sample mode).
+        fault_sample: the sample index within a Monte Carlo campaign
+            (sample mode). Part of the canonical form — and therefore the
+            cache key — so re-running a campaign with the same seed and
+            sample count is served from cache.
+        kind: ``simulate`` (default) or ``reachability`` — the latter
+            skips the simulator and analytically scores the fault
+            scenario's reachable core-pair fraction.
     """
 
     system: SystemRef
@@ -197,6 +220,10 @@ class Job:
     faults: tuple[tuple[int, str], ...] = ()
     seed: int = 1
     algorithm_params: tuple[tuple[str, Any], ...] = ()
+    faults_mode: str = "explicit"
+    fault_k: int = 0
+    fault_sample: int = 0
+    kind: str = "simulate"
 
     def __post_init__(self) -> None:
         for vl_index, direction in self.faults:
@@ -206,6 +233,31 @@ class Job:
                 )
             if vl_index < 0:
                 raise ConfigurationError(f"fault VL index must be >= 0, got {vl_index}")
+        if self.faults_mode not in FAULTS_MODES:
+            raise ConfigurationError(
+                f"faults_mode must be one of {FAULTS_MODES}, got {self.faults_mode!r}"
+            )
+        if self.kind not in JOB_KINDS:
+            raise ConfigurationError(
+                f"job kind must be one of {JOB_KINDS}, got {self.kind!r}"
+            )
+        if self.faults_mode == "sample":
+            if self.faults:
+                raise ConfigurationError(
+                    "sampled-fault jobs must not also carry explicit faults"
+                )
+            if self.fault_k < 1:
+                raise ConfigurationError(
+                    f"sample mode needs fault_k >= 1, got {self.fault_k}"
+                )
+            if self.fault_sample < 0:
+                raise ConfigurationError(
+                    f"fault_sample must be >= 0, got {self.fault_sample}"
+                )
+        elif self.fault_k or self.fault_sample:
+            raise ConfigurationError(
+                "fault_k/fault_sample only apply to faults_mode='sample'"
+            )
         object.__setattr__(self, "faults", tuple(sorted(self.faults)))
         object.__setattr__(
             self,
@@ -224,6 +276,10 @@ class Job:
         faults: Iterable[tuple[int, str]] = (),
         seed: int = 1,
         algorithm_params: Mapping[str, Any] | None = None,
+        faults_mode: str = "explicit",
+        fault_k: int = 0,
+        fault_sample: int = 0,
+        kind: str = "simulate",
     ) -> "Job":
         return cls(
             system=system,
@@ -233,6 +289,10 @@ class Job:
             faults=tuple(faults),
             seed=seed,
             algorithm_params=tuple((algorithm_params or {}).items()),
+            faults_mode=faults_mode,
+            fault_k=fault_k,
+            fault_sample=fault_sample,
+            kind=kind,
         )
 
     # -- canonical form & content address -------------------------------
@@ -242,8 +302,12 @@ class Job:
 
         The config is normalized with the job seed applied, so a job is
         identified by exactly what the executor will simulate.
+
+        Sample-mode and non-simulate fields are only present when they
+        deviate from the defaults, so every pre-existing explicit
+        ``simulate`` job keeps its original key and stays cache-valid.
         """
-        return {
+        data: dict[str, Any] = {
             "version": SPEC_VERSION,
             "system": self.system.to_dict(),
             "algorithm": self.algorithm,
@@ -253,6 +317,13 @@ class Job:
             "config": self.config.replace(seed=self.seed).to_dict(),
             "seed": self.seed,
         }
+        if self.faults_mode != "explicit":
+            data["faults_mode"] = self.faults_mode
+            data["fault_k"] = self.fault_k
+            data["fault_sample"] = self.fault_sample
+        if self.kind != "simulate":
+            data["kind"] = self.kind
+        return data
 
     def canonical_json(self) -> str:
         return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
@@ -272,8 +343,15 @@ class Job:
     @property
     def label(self) -> str:
         """Short human-readable description for progress lines."""
-        parts = [self.algorithm, self.traffic.label, f"seed={self.seed}"]
-        if self.faults:
+        parts = [self.algorithm]
+        if self.kind != "simulate":
+            parts.append(self.kind)
+        else:
+            parts.append(self.traffic.label)
+        parts.append(f"seed={self.seed}")
+        if self.faults_mode == "sample":
+            parts.append(f"k={self.fault_k}#{self.fault_sample}")
+        elif self.faults:
             parts.append(f"{len(self.faults)}-faults")
         return " ".join(parts)
 
@@ -293,6 +371,10 @@ class Job:
             faults=tuple((int(i), str(d)) for i, d in data.get("faults", ())),
             seed=int(data["seed"]),
             algorithm_params=data.get("algorithm_params") or {},
+            faults_mode=str(data.get("faults_mode", "explicit")),
+            fault_k=int(data.get("fault_k", 0)),
+            fault_sample=int(data.get("fault_sample", 0)),
+            kind=str(data.get("kind", "simulate")),
         )
 
 

@@ -17,6 +17,7 @@ from repro.routing.mtr import MtrRouting
 from repro.routing.rc import RcRouting
 
 
+@pytest.mark.slow
 class TestExactMatchesBruteForce:
     @pytest.mark.parametrize("factory", [DeftRouting, MtrRouting, RcRouting])
     @pytest.mark.parametrize("k", [1, 2])

@@ -21,6 +21,41 @@ class TestParser:
         assert args.name == "table1"
 
 
+class TestFaultSpecParsing:
+    """Regression: the fault-spec grammar must validate, not coerce."""
+
+    def test_bare_vl_defaults_to_down(self):
+        args = build_parser().parse_args(["simulate", "--fault", "3"])
+        assert args.fault == [(3, "down")]
+
+    def test_explicit_directions(self):
+        args = build_parser().parse_args(
+            ["simulate", "--fault", "3:down", "--fault", "5:UP"]
+        )
+        assert args.fault == [(3, "down"), (5, "up")]
+
+    def test_misspelled_direction_is_an_error_not_down(self, capsys):
+        """`--fault 3:upp` used to silently inject a *down* fault."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--fault", "3:upp"])
+        assert "fault direction must be 'down' or 'up'" in capsys.readouterr().err
+
+    def test_empty_direction_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--fault", "3:"])
+        assert "fault direction" in capsys.readouterr().err
+
+    def test_non_integer_vl_is_an_error_not_a_traceback(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deadlock", "--fault", "abc"])
+        assert "must be an integer" in capsys.readouterr().err
+
+    def test_negative_vl_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--fault=-3:down"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0
@@ -149,6 +184,84 @@ class TestCampaignCommand:
         ) == 0
         out = capsys.readouterr().out
         assert "4 executed" in out
+
+
+class TestMonteCarloCommand:
+    ARGS = ["montecarlo", "--algo", "rc", "--k", "1,2", "--samples", "10",
+            "--seed", "0", "--quiet"]
+
+    def test_reachability_output_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "mc.json"
+        code = main(self.ARGS + ["--no-cache", "--json", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Monte Carlo reachability" in out
+        assert "rc k=1" in out and "rc k=2" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["points"]) == 2
+        point = payload["points"][0]
+        assert point["completed"] == 10
+        assert point["ci"][0] <= point["mean"] <= point["ci"][1]
+
+    def test_second_run_served_from_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert "20 executed" in cold
+        assert main(self.ARGS + ["--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr().out
+        assert "20 cached, 0 executed" in warm
+        table = lambda text: [l for l in text.splitlines() if "rc k=" in l]
+        assert table(warm) == table(cold)
+
+    def test_latency_metric(self, capsys):
+        code = main([
+            "montecarlo", "--algo", "deft", "--k", "1", "--samples", "3",
+            "--metric", "latency", "--rate", "0.004", "--warmup", "50",
+            "--cycles", "150", "--drain", "2000", "--no-cache", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average packet latency" in out
+        assert "pooled delivery" in out
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        from repro.config import SimulationConfig
+        from repro.runner import Job, ResultCache, SystemRef, TrafficSpec, execute_job
+
+        cache = ResultCache(tmp_path)
+        job = Job.make(
+            SystemRef.baseline4(), "rc",
+            TrafficSpec.make("uniform", rate=0.004),
+            SimulationConfig(warmup_cycles=30, measure_cycles=100,
+                             drain_cycles=1_200),
+        )
+        cache.put(job, execute_job(job))
+        return cache
+
+    def test_stats_and_prune(self, capsys, tmp_path):
+        cache = self._populate(tmp_path)
+        (tmp_path / "ab").mkdir(exist_ok=True)
+        (tmp_path / "ab" / "tmpdead.tmp").write_text("partial")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 cached result(s)" in out and "1 orphaned tmp" in out
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert len(cache) == 1  # servable entry kept
+        assert not list(tmp_path.glob("*/*.tmp"))
+
+    def test_prune_all_empties_the_cache(self, capsys, tmp_path):
+        cache = self._populate(tmp_path)
+        assert main(["cache", "prune", "--all", "--cache-dir", str(tmp_path)]) == 0
+        assert len(cache) == 0
+
+    def test_stats_on_missing_directory(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "0 cached result(s)" in capsys.readouterr().out
 
 
 class TestExperimentRunnerFlags:

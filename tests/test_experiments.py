@@ -59,6 +59,7 @@ class TestAnalyticalExperiments:
             assert result.all_checks_pass, result.failed_checks()
 
 
+@pytest.mark.slow
 class TestSimulationExperimentsSmoke:
     """Tiny-scale smoke runs: structure + data plumbing, not statistics."""
 

@@ -90,6 +90,7 @@ class TestSelectionTables:
         # 15 entries x 2 address bits for 4 VLs.
         assert tables[0].table_bits(num_vls=4) == 30
 
+    @pytest.mark.slow
     def test_traffic_aware_tables_differ(self, system4):
         heavy_router = system4.chiplet_routers(0)[0].id
 

@@ -99,6 +99,7 @@ class TestParsecWorkloads:
 
 
 class TestLatencyOrderingUnderLoad:
+    @pytest.mark.slow
     def test_deft_beats_baselines_at_high_uniform_load(self, system4):
         """The headline of Fig. 4 at a single high-load point."""
         config = SimulationConfig(

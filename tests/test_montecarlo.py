@@ -1,0 +1,329 @@
+"""Monte Carlo fault campaigns: spec, sampling, statistics, cross-checks."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.reachability import average_reachability
+from repro.errors import ConfigurationError
+from repro.montecarlo import (
+    montecarlo_jobs,
+    normal_mean_interval,
+    run_montecarlo,
+    sample_mean_std,
+    wilson_interval,
+    z_value,
+)
+from repro.routing.registry import make_algorithm
+from repro.runner import (
+    CampaignRunner,
+    Job,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SystemRef,
+    TrafficSpec,
+    execute_job,
+    sample_rng,
+)
+from repro.config import SimulationConfig
+
+TINY = SimulationConfig(
+    warmup_cycles=30, measure_cycles=120, drain_cycles=1_500, watchdog_cycles=2_000
+)
+
+
+def sample_job(k=2, index=0, seed=0, algorithm="rc", kind="reachability"):
+    return Job.make(
+        SystemRef.baseline4(),
+        algorithm,
+        TrafficSpec.make("uniform", rate=0.0 if kind == "reachability" else 0.004),
+        TINY,
+        seed=seed,
+        faults_mode="sample",
+        fault_k=k,
+        fault_sample=index,
+        kind=kind,
+    )
+
+
+class TestSampleSpec:
+    def test_canonical_carries_sample_fields(self):
+        data = sample_job(k=3, index=7).canonical()
+        assert data["faults_mode"] == "sample"
+        assert data["fault_k"] == 3
+        assert data["fault_sample"] == 7
+        assert data["kind"] == "reachability"
+
+    def test_explicit_jobs_keep_their_legacy_canonical_form(self):
+        """Pre-existing cache keys must survive the sample-mode extension."""
+        data = Job.make(
+            SystemRef.baseline4(), "deft",
+            TrafficSpec.make("uniform", rate=0.004), TINY,
+        ).canonical()
+        assert "faults_mode" not in data
+        assert "fault_k" not in data
+        assert "kind" not in data
+
+    def test_each_sample_index_is_a_distinct_key(self):
+        keys = {sample_job(index=i).key() for i in range(5)}
+        assert len(keys) == 5
+
+    def test_seed_and_k_enter_the_key(self):
+        assert sample_job(seed=0).key() != sample_job(seed=1).key()
+        assert sample_job(k=2).key() != sample_job(k=3).key()
+
+    def test_canonical_round_trip(self):
+        job = sample_job(k=4, index=11)
+        rebuilt = Job.from_canonical(json.loads(job.canonical_json()))
+        assert rebuilt.key() == job.key()
+        assert (rebuilt.faults_mode, rebuilt.fault_k, rebuilt.fault_sample,
+                rebuilt.kind) == ("sample", 4, 11, "reachability")
+
+    def test_sample_mode_rejects_explicit_faults(self):
+        with pytest.raises(ConfigurationError):
+            Job.make(
+                SystemRef.baseline4(), "deft",
+                TrafficSpec.make("uniform", rate=0.004), TINY,
+                faults=((0, "down"),), faults_mode="sample", fault_k=2,
+            )
+
+    def test_sample_mode_needs_positive_k(self):
+        with pytest.raises(ConfigurationError):
+            Job.make(
+                SystemRef.baseline4(), "deft",
+                TrafficSpec.make("uniform", rate=0.004), TINY,
+                faults_mode="sample", fault_k=0,
+            )
+
+    def test_sample_fields_rejected_in_explicit_mode(self):
+        with pytest.raises(ConfigurationError):
+            Job.make(
+                SystemRef.baseline4(), "deft",
+                TrafficSpec.make("uniform", rate=0.004), TINY, fault_k=2,
+            )
+
+    def test_unknown_mode_and_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job.make(
+                SystemRef.baseline4(), "deft",
+                TrafficSpec.make("uniform", rate=0.004), TINY,
+                faults_mode="exhaustive",
+            )
+        with pytest.raises(ConfigurationError):
+            Job.make(
+                SystemRef.baseline4(), "deft",
+                TrafficSpec.make("uniform", rate=0.004), TINY, kind="magic",
+            )
+
+
+class TestSampledExecution:
+    def test_sample_rng_is_deterministic(self):
+        a = sample_rng(0, 2, 5)
+        b = sample_rng(0, 2, 5)
+        assert [a.random() for _ in range(3)] == [b.random() for _ in range(3)]
+        assert sample_rng(0, 2, 5).random() != sample_rng(0, 2, 6).random()
+
+    def test_reachability_kind_is_deterministic_and_analytic(self):
+        job = sample_job(k=2, index=3)
+        first, second = execute_job(job), execute_job(job)
+        assert first.ok and second.ok
+        assert 0.0 <= first.reachability <= 1.0
+        assert first == second
+        assert first.sampled_faults == second.sampled_faults
+        assert len(first.sampled_faults) == 2
+        assert first.packets_measured == 0  # no simulation ran
+
+    def test_different_samples_draw_different_patterns(self):
+        patterns = {
+            execute_job(sample_job(index=i)).sampled_faults for i in range(6)
+        }
+        assert len(patterns) > 1
+
+    def test_simulate_kind_records_sampled_pattern(self):
+        result = execute_job(sample_job(k=1, kind="simulate", algorithm="deft"))
+        assert result.ok
+        assert len(result.sampled_faults) == 1
+        assert result.average_latency > 0
+        assert math.isnan(result.reachability)
+
+    def test_infeasible_k_is_captured_not_raised(self):
+        # 32 faults on 32 directed channels always disconnects a chiplet.
+        result = execute_job(sample_job(k=32))
+        assert not result.ok and "FaultModelError" in result.error
+
+
+class TestStatistics:
+    def test_sample_mean_std(self):
+        mean, std = sample_mean_std([1.0, 2.0, 3.0, 4.0])
+        assert mean == pytest.approx(2.5)
+        assert std == pytest.approx(1.2909944, rel=1e-6)
+        assert sample_mean_std([5.0]) == (5.0, 0.0)
+        with pytest.raises(ValueError):
+            sample_mean_std([])
+
+    def test_normal_interval_shrinks_with_n(self):
+        narrow = normal_mean_interval([0.4, 0.6] * 50)
+        wide = normal_mean_interval([0.4, 0.6] * 2)
+        assert narrow.half_width < wide.half_width
+        assert narrow.contains(0.5) and narrow.center == pytest.approx(0.5)
+
+    def test_normal_interval_clamps_to_support(self):
+        ci = normal_mean_interval([1.0, 1.0, 0.0], clamp=(0.0, 1.0))
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_wilson_interval_known_value(self):
+        ci = wilson_interval(8, 10)
+        assert ci.center == pytest.approx(0.8)
+        assert ci.low == pytest.approx(0.4901, abs=1e-3)
+        assert ci.high == pytest.approx(0.9433, abs=1e-3)
+
+    def test_wilson_edge_cases_stay_in_unit_interval(self):
+        assert wilson_interval(0, 20).low == 0.0
+        assert wilson_interval(20, 20).high == 1.0
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_unsupported_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            z_value(0.80)
+
+
+class TestMonteCarloCampaign:
+    def test_jobs_validate_inputs(self):
+        with pytest.raises(ValueError):
+            montecarlo_jobs(SystemRef.baseline4(), "deft", 2, 0)
+        with pytest.raises(ValueError):
+            montecarlo_jobs(SystemRef.baseline4(), "deft", 2, 5, metric="power")
+
+    def test_reachability_jobs_share_pinned_simulation_params(self):
+        """Analytic jobs must not key on simulation knobs they ignore."""
+        a = montecarlo_jobs(SystemRef.baseline4(), "rc", 2, 1, seed=0)[0]
+        b = montecarlo_jobs(
+            SystemRef.baseline4(), "rc", 2, 1, seed=0,
+            traffic=TrafficSpec.make("hotspot", rate=0.9), config=TINY,
+        )[0]
+        assert a.key() == b.key()
+
+    def test_sampled_mean_matches_exact_at_small_k(self, system4):
+        """Fig. 7 cross-check: exact average inside the sampled 99% CI."""
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("deft", "mtr", "rc"), (1, 2, 3), 60,
+            seed=0, metric="reachability", confidence=0.99,
+        )
+        for point in report.results:
+            exact = average_reachability(
+                system4, make_algorithm(point.algorithm, system4), point.k
+            )
+            assert point.failed == 0 and point.completed == 60
+            assert (
+                point.primary.interval.contains(exact)
+                or point.primary.mean == pytest.approx(exact, abs=1e-12)
+            ), f"{point.algorithm} k={point.k}: {point.primary} vs exact {exact}"
+
+    def test_deterministic_across_serial_and_process_backends(self):
+        serial = run_montecarlo(
+            SystemRef.baseline4(), ("rc",), (2,), 10, seed=3,
+            runner=CampaignRunner(backend=SerialBackend()),
+        )
+        parallel = run_montecarlo(
+            SystemRef.baseline4(), ("rc",), (2,), 10, seed=3,
+            runner=CampaignRunner(backend=ProcessPoolBackend(workers=2)),
+        )
+        assert serial.results[0].values == parallel.results[0].values
+        assert serial.results[0].primary == parallel.results[0].primary
+
+    def test_rerun_served_from_cache(self, tmp_path):
+        args = (SystemRef.baseline4(), ("rc", "mtr"), (2,), 25)
+        cold = run_montecarlo(
+            *args, seed=0, runner=CampaignRunner(cache=ResultCache(tmp_path))
+        )
+        warm = run_montecarlo(
+            *args, seed=0, runner=CampaignRunner(cache=ResultCache(tmp_path))
+        )
+        assert cold.campaign.executed == 50 and cold.campaign.cache_hits == 0
+        assert warm.campaign.executed == 0
+        assert warm.campaign.hit_ratio >= 0.95
+        assert [p.values for p in warm.results] == [p.values for p in cold.results]
+
+    def test_latency_metric_reports_delivery_statistics(self):
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("deft",), (1,), 4,
+            seed=1, metric="latency",
+            traffic=TrafficSpec.make("uniform", rate=0.004), config=TINY,
+        )
+        point = report.results[0]
+        assert point.completed == 4 and point.failed == 0
+        assert point.primary.mean > 0
+        assert point.primary.worst >= point.primary.mean  # worst = max latency
+        assert point.delivery is not None
+        assert 0.0 < point.delivery.mean <= 1.0
+        assert point.delivered_pool is not None
+        assert point.delivered_pool.low <= point.delivery.mean <= 1.0
+
+    def test_undelivered_latency_samples_counted_as_dropped(self):
+        """ok-but-NaN samples must be reported, not silently excluded."""
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("deft",), (1,), 2, seed=0, metric="latency",
+            traffic=TrafficSpec.make("uniform", rate=0.0), config=TINY,
+        )
+        point = report.results[0]
+        assert point.failed == 0
+        assert point.dropped == 2 and point.completed == 0
+        assert point.primary is None
+        assert "without metric" in point.row()
+
+    def test_all_samples_failed_yields_empty_point(self):
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("rc",), (32,), 3, seed=0
+        )
+        point = report.results[0]
+        assert point.failed == 3 and point.completed == 0
+        assert point.primary is None
+        assert "failed" in point.row()
+
+    def test_result_for_lookup(self):
+        report = run_montecarlo(SystemRef.baseline4(), ("rc",), (1,), 2, seed=0)
+        assert report.result_for("rc", 1).algorithm == "rc"
+        with pytest.raises(KeyError):
+            report.result_for("deft", 1)
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    """The ISSUE acceptance spec: 200 samples at k=2 track the exact curve."""
+
+    def test_k2_200_samples_within_ci_for_all_algorithms(self, system4):
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("deft", "mtr", "rc"), (2,), 200,
+            seed=0, metric="reachability",
+        )
+        for point in report.results:
+            exact = average_reachability(
+                system4, make_algorithm(point.algorithm, system4), 2
+            )
+            assert (
+                point.primary.interval.contains(exact)
+                or point.primary.mean == pytest.approx(exact, abs=1e-12)
+            )
+
+
+@pytest.mark.slow
+class TestFig7mcExperiment:
+    def test_validation_checks_pass(self):
+        from repro.experiments import fig7mc
+
+        result = fig7mc.fig7mc_validation(scale=0.2)
+        assert result.all_checks_pass, result.failed_checks()
+        assert result.data["samples"] == 100  # floor keeps the check meaningful
+
+    def test_scale_extension_checks_pass(self):
+        from repro.experiments import fig7mc
+
+        result = fig7mc.fig7mc_scale(scale=0.35)
+        assert result.all_checks_pass, result.failed_checks()
+        ks = result.data["fault_counts"]
+        assert max(ks) > 8  # genuinely beyond Fig. 7's exact range

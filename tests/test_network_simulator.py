@@ -188,6 +188,7 @@ class TestWatchdog:
         with pytest.raises(DeadlockError):
             sim.run_cycles(cfg.measure_cycles)
 
+    @pytest.mark.slow
     def test_deft_survives_the_same_stress(self, system4):
         cfg = SimulationConfig(
             warmup_cycles=0,

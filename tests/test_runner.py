@@ -213,6 +213,66 @@ class TestResultCache:
         cache.put(job, execute_job(job))
         assert len(cache) == 1
 
+    def _spoil_version(self, cache, job, version=999):
+        path = cache.path_for(job)
+        payload = json.loads(path.read_text())
+        payload["version"] = version
+        path.write_text(json.dumps(payload))
+
+    def test_len_ignores_stale_version_entries(self, tmp_path, tiny_config):
+        """Regression: entries `get` will never serve must not be counted."""
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        cache.put(job, execute_job(job))
+        self._spoil_version(cache, job)
+        assert cache.get(job) is None  # unservable...
+        assert len(cache) == 0         # ...and now uncounted too
+
+    def test_stats_census(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        fresh, stale = tiny_job(tiny_config), tiny_job(tiny_config, seed=2)
+        cache.put(fresh, execute_job(fresh))
+        cache.put(stale, execute_job(stale))
+        self._spoil_version(cache, stale)
+        cache.path_for(fresh).parent.joinpath("tmpleft.tmp").write_text("x")
+        corrupt = tiny_job(tiny_config, seed=3)
+        cache.put(corrupt, execute_job(corrupt))
+        cache.path_for(corrupt).write_text("{not json")
+        stats = cache.stats()
+        assert (stats.entries, stats.stale, stats.corrupt, stats.tmp_files) \
+            == (1, 1, 1, 1)
+        assert stats.total_bytes > 0
+        assert "1 cached result(s)" in stats.summary()
+
+    def test_prune_sweeps_stale_corrupt_and_tmp(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        fresh, stale = tiny_job(tiny_config), tiny_job(tiny_config, seed=2)
+        cache.put(fresh, execute_job(fresh))
+        cache.put(stale, execute_job(stale))
+        self._spoil_version(cache, stale)
+        cache.path_for(fresh).parent.joinpath("tmpleft.tmp").write_text("x")
+        removed = cache.prune()
+        assert (removed.stale, removed.tmp_files) == (1, 1)
+        assert removed.entries == 0
+        stats = cache.stats()
+        assert (stats.entries, stats.stale, stats.tmp_files) == (1, 0, 0)
+        assert cache.get(fresh) is not None  # servable entry survived
+
+    def test_prune_all(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        cache.put(job, execute_job(job))
+        removed = cache.prune(remove_all=True)
+        assert removed.entries == 1
+        assert len(cache) == 0
+        # Empty shard directories are swept with their contents.
+        assert not any(p.is_dir() for p in cache.root.iterdir())
+
+    def test_stats_on_missing_root(self, tmp_path):
+        stats = ResultCache(tmp_path / "missing").stats()
+        assert stats == ResultCache(tmp_path / "missing").prune()
+        assert stats.entries == 0
+
 
 class TestCampaignRunner:
     def test_dedup_and_alignment(self, tiny_config):

@@ -116,9 +116,99 @@ class TestProcessPoolBackend:
         assert ProcessPoolBackend(workers=2).run([]) == []
 
 
+class TestNoSigalrmFallback:
+    """The parent-side timeout fallback must charge every job against one
+    shared wall-clock deadline, not restart the clock per collection."""
+
+    @staticmethod
+    def _fake_environment(monkeypatch, durations, timeout_log):
+        """No-SIGALRM platform with scripted future wait times.
+
+        ``durations[i]`` is how long future ``i`` keeps the parent
+        waiting after the previous future resolved (a virtual clock —
+        no real sleeping).
+        """
+        import types
+
+        from repro.runner import backends
+        from repro.runner.result import JobResult
+
+        clock = types.SimpleNamespace(now=0.0)
+        monkeypatch.setattr(
+            backends, "time", types.SimpleNamespace(monotonic=lambda: clock.now)
+        )
+        # A platform without SIGALRM (e.g. Windows).
+        monkeypatch.setattr(backends, "signal", types.SimpleNamespace())
+
+        class FakeFuture:
+            def __init__(self, job, duration):
+                self.job, self.duration = job, duration
+
+            def result(self, timeout=None):
+                timeout_log.append(timeout)
+                if timeout is None or self.duration <= timeout:
+                    clock.now += self.duration
+                    return JobResult(job_key=self.job.key(), ok=True)
+                clock.now += timeout
+                import concurrent.futures
+
+                raise concurrent.futures.TimeoutError()
+
+            def cancel(self):
+                return False
+
+        class FakeExecutor:
+            def __init__(self, *args, **kwargs):
+                self._durations = iter(durations)
+
+            def submit(self, fn, job, timeout):
+                return FakeFuture(job, next(self._durations))
+
+            def shutdown(self, **kwargs):
+                pass
+
+        monkeypatch.setattr(
+            backends.concurrent.futures, "ProcessPoolExecutor", FakeExecutor
+        )
+
+    def test_slow_early_job_consumes_the_shared_budget(self, monkeypatch):
+        """Regression: job 2 used to get a fresh per-collection budget
+        after job 1 had already burnt most of the wall clock."""
+        waits: list = []
+        self._fake_environment(monkeypatch, durations=[5.0, 5.0], timeout_log=waits)
+        jobs = small_grid()[:2]
+        results = ProcessPoolBackend(workers=2, timeout=6.0).run(jobs)
+        # One wave of 2 workers -> shared deadline at t=6. Job 1 resolves
+        # at t=5; job 2 only has 1s of budget left, not a fresh 6s.
+        assert results[0].ok
+        assert not results[1].ok and "timed out" in results[1].error
+        assert waits[0] == pytest.approx(6.0)
+        assert waits[1] == pytest.approx(1.0)
+
+    def test_budget_scales_with_serial_waves(self, monkeypatch):
+        """3 jobs on 1 worker legitimately need 3 per-job budgets."""
+        waits: list = []
+        self._fake_environment(
+            monkeypatch, durations=[5.0, 5.0, 5.0], timeout_log=waits
+        )
+        jobs = small_grid()[:3]
+        results = ProcessPoolBackend(workers=1, timeout=6.0).run(jobs)
+        assert all(r.ok for r in results)
+        assert waits == [pytest.approx(18.0), pytest.approx(13.0),
+                         pytest.approx(8.0)]
+
+    def test_no_timeout_means_no_deadline(self, monkeypatch):
+        waits: list = []
+        self._fake_environment(monkeypatch, durations=[5.0], timeout_log=waits)
+        results = ProcessPoolBackend(workers=1, timeout=None).run(small_grid()[:1])
+        assert results[0].ok
+        assert waits == [None]
+
+
 class TestExperimentEquivalence:
     """`deft experiment --workers N` must reproduce the serial figures."""
 
+    @pytest.mark.slow
     def test_fig8a_parallel_matches_serial(self):
         from repro.experiments import fig8
 
