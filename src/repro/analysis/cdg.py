@@ -31,6 +31,7 @@ import networkx as nx
 
 from ..network.flit import Packet
 from ..routing.base import Port, RoutingAlgorithm, opposite_port
+from ..routing.compiled import CompiledRoutes, compile_routes
 from ..errors import UnroutablePacketError
 from ..topology.builder import System
 
@@ -75,6 +76,7 @@ def _link_of(system: System, router_id: int, out_port: Port) -> tuple[int, int]:
 def _walk_pair(
     system: System,
     algorithm: RoutingAlgorithm,
+    route_fn,
     graph: nx.DiGraph,
     src: int,
     dst: int,
@@ -84,6 +86,9 @@ def _walk_pair(
 
     Walks a symbolic packet with a frontier of (router, in_port, vn,
     holding-channel) states, branching over each VN the algorithm allows.
+    ``route_fn`` is either the live ``algorithm.route`` or a compiled
+    table's lookup — pairs heading to the same chiplet share most of
+    their states, so the table turns repeated derivations into hits.
     """
     probe = Packet(0, src, dst, size=8, created_cycle=0)
     # Algorithm 1 round-robins the injection VN for several source kinds;
@@ -108,7 +113,7 @@ def _walk_pair(
         seen.add(state)
         router_id, in_port, vn, held = state
         probe.vn = vn
-        decision = algorithm.route(probe, router_id, in_port)
+        decision = route_fn(probe, router_id, in_port)
         if decision.out_port == Port.LOCAL:
             continue  # ejection consumes; no further dependency
         link = _link_of(system, router_id, decision.out_port)
@@ -144,6 +149,7 @@ def build_cdg(
     algorithm: RoutingAlgorithm,
     sources: tuple[int, ...] | None = None,
     destinations: tuple[int, ...] | None = None,
+    routes: CompiledRoutes | None | str = "auto",
 ) -> CdgReport:
     """Construct the CDG of an algorithm over all PE pairs.
 
@@ -153,11 +159,22 @@ def build_cdg(
             honoured, so the analysis can also verify faulted networks).
         sources / destinations: override the default of every PE
             (cores + DRAMs).
+        routes: route-decision source, as in
+            :class:`~repro.network.simulator.Simulator`: ``"auto"``
+            (default) compiles the algorithm when possible — the walk
+            revisits the same routing states across pairs, so the table
+            replaces re-derivation with lookups — ``None`` forces live
+            per-hop dispatch.
     """
     graph = nx.DiGraph()
     rc_breaks = any(algorithm.uses_rc_buffer(r.id) for r in system.routers)
     sources = sources if sources is not None else system.pes
     destinations = destinations if destinations is not None else system.pes
+    if routes == "auto":
+        routes = compile_routes(algorithm)
+    elif routes is not None and routes.algorithm is not algorithm:
+        raise ValueError("compiled routes were built for a different algorithm")
+    route_fn = routes.route if routes is not None else algorithm.route
     algorithm.reset_runtime_state()
     walked = 0
     unroutable = 0
@@ -169,7 +186,7 @@ def build_cdg(
                 unroutable += 1
                 continue
             try:
-                _walk_pair(system, algorithm, graph, src, dst, rc_breaks)
+                _walk_pair(system, algorithm, route_fn, graph, src, dst, rc_breaks)
             except UnroutablePacketError:
                 unroutable += 1
                 continue

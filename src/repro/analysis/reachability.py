@@ -32,11 +32,16 @@ import itertools
 import random
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..errors import FaultModelError
 from ..fault.model import DirectedVL, FaultState, VLDirection, all_fault_patterns
 from ..routing.base import RoutingAlgorithm
 from ..topology.builder import System
 from ..topology.geometry import INTERPOSER_LAYER
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..routing.compiled import CompiledRoutes
 
 
 @dataclass(frozen=True)
@@ -213,9 +218,25 @@ def worst_reachability(
 # ---------------------------------------------------------------------------
 
 def reachability_of_state(
-    system: System, algorithm: RoutingAlgorithm, state: FaultState
+    system: System,
+    algorithm: RoutingAlgorithm,
+    state: FaultState,
+    routes: "CompiledRoutes | None" = None,
 ) -> float:
-    """Reachable fraction of ordered core pairs for one concrete pattern."""
+    """Reachable fraction of ordered core pairs for one concrete pattern.
+
+    With ``routes`` (a :class:`~repro.routing.compiled.CompiledRoutes`
+    over the same algorithm), the fraction is read from the compiled
+    per-(chiplet, local-pattern) sender/receiver tables instead of
+    probing all ordered pairs — the same factorization the exact curves
+    use, O(cores) instead of O(cores²), with rows shared across every
+    pattern that repeats a local fault pattern (Monte Carlo campaigns).
+    Both paths produce bit-identical fractions.
+    """
+    if routes is not None:
+        if routes.algorithm is not algorithm:
+            raise FaultModelError("compiled routes belong to a different algorithm")
+        return routes.core_reachability(state)
     original = algorithm.fault_state
     algorithm.set_fault_state(state)
     try:

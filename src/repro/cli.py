@@ -124,6 +124,23 @@ def _parse_fault_spec(spec: str) -> tuple[int, str]:
     return vl_index, direction
 
 
+def _nonnegative_days(text: str) -> float:
+    """Argparse type for ``--older-than``: a finite, non-negative day count."""
+    import math
+
+    try:
+        days = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"age must be a number of days, got {text!r}"
+        ) from None
+    # NaN slips through a bare `days < 0` check and would make the prune
+    # cutoff comparison sweep every servable entry.
+    if not math.isfinite(days) or days < 0:
+        raise argparse.ArgumentTypeError(f"age must be a finite number >= 0, got {text}")
+    return days
+
+
 def _fault_state_from_args(system: System, args: argparse.Namespace) -> FaultState:
     faults = []
     for vl_index, direction in args.fault or []:
@@ -188,14 +205,18 @@ def _runner_from_args(args: argparse.Namespace) -> CampaignRunner:
 
     ``--workers N`` (N > 1) selects the process-pool backend; a cache is
     attached when ``--cache-dir`` is given (or defaulted) and not
-    disabled by ``--no-cache``.
+    disabled by ``--no-cache``; ``--no-session`` turns off the per-worker
+    reuse of built systems/algorithms/route tables (rebuild per job).
     """
     workers = getattr(args, "workers", 1) or 1
     timeout = getattr(args, "timeout", None)
+    use_session = not getattr(args, "no_session", False)
     if workers > 1:
-        backend = ProcessPoolBackend(workers=workers, timeout=timeout)
+        backend = ProcessPoolBackend(
+            workers=workers, timeout=timeout, use_session=use_session
+        )
     else:
-        backend = SerialBackend()
+        backend = SerialBackend(use_session=use_session)
     cache = None
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir and not getattr(args, "no_cache", False):
@@ -301,24 +322,38 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             return
         print(f"  [{done}/{total}] sampled", file=sys.stderr)
 
-    report = run_montecarlo(
-        SystemRef.from_cli(args.system),
-        tuple(args.algo),
-        fault_counts,
-        args.samples,
-        seed=args.seed,
-        metric=args.metric,
-        traffic=traffic,
-        config=config,
-        runner=_runner_from_args(args),
-        confidence=args.confidence,
-        progress=progress,
-    )
+    try:
+        report = run_montecarlo(
+            SystemRef.from_cli(args.system),
+            tuple(args.algo),
+            fault_counts,
+            args.samples,
+            seed=args.seed,
+            metric=args.metric,
+            traffic=traffic,
+            config=config,
+            runner=_runner_from_args(args),
+            confidence=args.confidence,
+            progress=progress,
+            target_ci_width=args.target_ci,
+            max_samples=args.max_samples,
+        )
+    except ValueError as error:
+        # Invalid sampling parameters (--target-ci 0, a cap below
+        # --samples, --max-samples without --target-ci): a clean
+        # message, not a traceback.
+        print(f"deft montecarlo: {error}", file=sys.stderr)
+        return 2
     unit = "reachable core-pair fraction" if args.metric == "reachability" \
         else "average packet latency (cycles)"
+    sampling = (
+        f"{args.samples} samples/point"
+        if args.target_ci is None
+        else f"adaptive sampling (start {args.samples}, Wilson CI <= {args.target_ci})"
+    )
     print(
         f"Monte Carlo {args.metric} on {SystemRef.from_cli(args.system).label}: "
-        f"{args.samples} samples/point, seed {args.seed}, "
+        f"{sampling}, seed {args.seed}, "
         f"{int(args.confidence * 100)}% CI ({unit})"
     )
     for point in report.results:
@@ -341,6 +376,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
                 {
                     "algorithm": p.algorithm,
                     "k": p.k,
+                    "requested": p.requested,
                     "completed": p.completed,
                     "failed": p.failed,
                     "dropped": p.dropped,
@@ -368,8 +404,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "stats":
         print(f"cache {cache.root}: {cache.stats().summary()}")
         return 0
-    removed = cache.prune(remove_all=args.all)
+    removed = cache.prune(remove_all=args.all, older_than_days=args.older_than)
     what = "everything" if args.all else "stale/corrupt entries and tmp files"
+    if args.older_than is not None and not args.all:
+        what += f" + results older than {args.older_than:g} day(s)"
     print(f"cache {cache.root}: pruned {what} — removed {removed.summary()}")
     print(f"now: {cache.stats().summary()}")
     return 0
@@ -518,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain", type=int, default=20000)
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool workers (1 = in-process serial)")
+    p.add_argument("--no-session", action="store_true",
+                   help="rebuild systems/algorithms per job instead of reusing "
+                        "each worker's warm session")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -538,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain", type=int, default=20000)
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool workers (1 = in-process serial)")
+    p.add_argument("--no-session", action="store_true",
+                   help="rebuild systems/algorithms per job instead of reusing "
+                        "each worker's warm session")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-job timeout in seconds (parallel backend only)")
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -564,7 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", default="2",
                    help="comma-separated fault counts to sample, e.g. 2 or 4,8,12")
     p.add_argument("--samples", type=int, default=200,
-                   help="random fault scenarios per (algorithm, k) point")
+                   help="random fault scenarios per (algorithm, k) point "
+                        "(the initial batch when --target-ci is set)")
+    p.add_argument("--target-ci", type=float, default=None, metavar="WIDTH",
+                   help="adaptive stopping: keep doubling each point's samples "
+                        "until its Wilson CI is no wider than WIDTH")
+    p.add_argument("--max-samples", type=int, default=None,
+                   help="adaptive-stopping cap per point (default 16 x --samples)")
     p.add_argument("--seed", type=int, default=0,
                    help="campaign master seed; sample i draws from RNG(seed, k, i)")
     p.add_argument("--metric", choices=["reachability", "latency"],
@@ -583,6 +633,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain", type=int, default=20000)
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool workers (1 = in-process serial)")
+    p.add_argument("--no-session", action="store_true",
+                   help="rebuild systems/algorithms per job instead of reusing "
+                        "each worker's warm session")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-job timeout in seconds (parallel backend only)")
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -599,6 +652,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"cache directory (default {DEFAULT_CACHE_DIR})")
     p.add_argument("--all", action="store_true",
                    help="prune: remove every entry, not just stale/orphaned ones")
+    p.add_argument("--older-than", type=_nonnegative_days, default=None,
+                   metavar="DAYS",
+                   help="prune: also remove servable results last written "
+                        "more than DAYS days ago")
     p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("optimize", help="offline VL-selection optimization map")
@@ -629,6 +686,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cycle-scale multiplier (default 1.0 or $REPRO_EXPERIMENT_SCALE)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool workers for the figure's simulation grid")
+    p.add_argument("--no-session", action="store_true",
+                   help="rebuild systems/algorithms per job instead of reusing "
+                        "each worker's warm session")
     p.add_argument("--cache-dir", default=None,
                    help="optional content-addressed result cache directory")
     p.add_argument("--no-cache", action="store_true",

@@ -152,6 +152,29 @@ def fault_free(system: System) -> FaultState:
     return FaultState(system)
 
 
+#: Canonical job-spec direction tokens (see ``repro.runner.spec``).
+_SPEC_DIRECTIONS = {"down": VLDirection.DOWN, "up": VLDirection.UP}
+
+
+def faults_from_spec(
+    system: System, faults: Iterable[tuple[int, str]]
+) -> FaultState:
+    """Build a fault state from canonical ``(vl_index, "down"|"up")`` pairs.
+
+    The inverse of :func:`repro.runner.spec.faults_to_spec` and the single
+    home of the spec -> :class:`FaultState` translation, shared by the
+    sessionless executor and the session memo so the two paths can never
+    diverge.
+    """
+    return FaultState(
+        system,
+        [
+            DirectedVL(index, _SPEC_DIRECTIONS[direction])
+            for index, direction in faults
+        ],
+    )
+
+
 def all_fault_patterns(
     system: System,
     num_faults: int,

@@ -14,6 +14,11 @@ growing ``--samples`` only draws the new indices.
 The estimators report sample means, worst observed values and confidence
 intervals (normal for means, Wilson for pooled delivery proportions);
 ``fig7mc`` cross-validates them against the exact curves at small k.
+
+Sampling can also be *adaptive* (``target_ci_width=``): each point keeps
+doubling its sample count until the pooled Wilson interval is no wider
+than the target (or a cap is hit), with monotonically growing sample
+indices so every round stays cache-incremental and deterministic.
 """
 
 from __future__ import annotations
@@ -123,7 +128,12 @@ class MonteCarloResult:
 
 @dataclass
 class MonteCarloReport:
-    """Outcome of :func:`run_montecarlo`: per-point estimates + provenance."""
+    """Outcome of :func:`run_montecarlo`: per-point estimates + provenance.
+
+    ``samples`` is the requested per-point count — the *initial batch*
+    under adaptive stopping, where each point's actually drawn count is
+    its :attr:`MonteCarloResult.requested`.
+    """
 
     metric: str
     samples: int
@@ -149,6 +159,7 @@ def montecarlo_jobs(
     metric: str = "reachability",
     traffic: TrafficSpec | None = None,
     config: SimulationConfig | None = None,
+    start: int = 0,
 ) -> list[Job]:
     """The job list of one (algorithm, k) Monte Carlo group.
 
@@ -156,11 +167,18 @@ def montecarlo_jobs(
     ``fault_sample=i`` and the campaign's master ``seed``; the executor
     derives the pattern RNG from ``(seed, k, i)``, so the job's canonical
     form — and cache key — fully determines the drawn scenario.
+
+    ``start`` offsets the drawn sample indices (``start .. start +
+    samples - 1``): the adaptive-stopping loop uses it to extend a group
+    without re-emitting — or re-simulating, thanks to the content
+    addresses — the samples it already holds.
     """
     if metric not in MC_METRICS:
         raise ValueError(f"metric must be one of {MC_METRICS}, got {metric!r}")
     if samples < 1:
         raise ValueError(f"need at least one sample, got {samples}")
+    if start < 0:
+        raise ValueError(f"sample start index must be >= 0, got {start}")
     if metric == "reachability":
         # Pinned placeholders: analytic jobs never build traffic or run
         # the simulator, so identical estimates must share cache keys.
@@ -185,8 +203,78 @@ def montecarlo_jobs(
             fault_sample=index,
             kind=kind,
         )
-        for index in range(samples)
+        for index in range(start, start + samples)
     ]
+
+
+def _estimate_point(
+    algorithm: str,
+    k: int,
+    metric: str,
+    outcomes: Sequence,
+    requested: int,
+    confidence: float,
+) -> MonteCarloResult:
+    """Aggregate one (algorithm, k) group's job outcomes into estimates."""
+    point = MonteCarloResult(
+        algorithm=algorithm, k=k, metric=metric,
+        requested=requested, failed=sum(1 for r in outcomes if not r.ok),
+    )
+    ok_results = [r for r in outcomes if r.ok]
+    if metric == "reachability":
+        point.values = [r.reachability for r in ok_results
+                        if math.isfinite(r.reachability)]
+        point.dropped = len(ok_results) - len(point.values)
+        if point.values:
+            point.primary = summarize(
+                point.values, worst="min", confidence=confidence, clamp=(0.0, 1.0)
+            )
+    else:
+        kept = [r for r in ok_results if math.isfinite(r.average_latency)]
+        point.dropped = len(ok_results) - len(kept)
+        point.values = [r.average_latency for r in kept]
+        if point.values:
+            point.primary = summarize(
+                point.values, worst="max", confidence=confidence
+            )
+            ratios = [r.delivered_ratio for r in kept
+                      if math.isfinite(r.delivered_ratio)]
+            if ratios:
+                point.delivery = summarize(
+                    ratios, worst="min", confidence=confidence, clamp=(0.0, 1.0)
+                )
+            measured = sum(r.packets_measured for r in kept)
+            delivered = sum(r.packets_delivered_measured for r in kept)
+            if measured:
+                point.delivered_pool = wilson_interval(
+                    delivered, measured, confidence
+                )
+    return point
+
+
+def _stopping_width(
+    point: MonteCarloResult, metric: str, total_pairs: int, confidence: float
+) -> float | None:
+    """Width of the point's Wilson stopping interval, or None if undefined.
+
+    Reachability pools the per-sample reachable-pair counts (each sample
+    fraction has denominator ``total_pairs``, so the counts are exact);
+    latency pools delivered/measured packets — the Wilson interval the
+    report already shows. ``None`` (no usable samples yet) never
+    satisfies a target, so sampling continues until the cap.
+    """
+    if metric == "reachability":
+        if not point.values or total_pairs <= 0:
+            return None
+        reachable = sum(round(value * total_pairs) for value in point.values)
+        interval = wilson_interval(
+            reachable, len(point.values) * total_pairs, confidence
+        )
+    else:
+        interval = point.delivered_pool
+        if interval is None:
+            return None
+    return interval.high - interval.low
 
 
 def run_montecarlo(
@@ -202,67 +290,109 @@ def run_montecarlo(
     runner: CampaignRunner | None = None,
     confidence: float = 0.95,
     progress: ProgressFn | None = None,
+    target_ci_width: float | None = None,
+    max_samples: int | None = None,
 ) -> MonteCarloReport:
     """Run a full (algorithm x k x sample) Monte Carlo campaign.
 
     The whole grid is submitted as *one* campaign so a parallel backend
-    overlaps every sample and a caching runner serves repeats from disk.
+    overlaps every sample and a caching runner serves repeats from disk
+    (the runner's backends keep per-worker sessions warm, so every sample
+    of a group reuses the same built system, algorithm and route tables).
     Failed samples (e.g. no admissible pattern at an extreme k) are
     excluded from the estimates and counted per point.
-    """
-    groups: list[tuple[str, int, list[Job]]] = []
-    jobs: list[Job] = []
-    for algorithm in algorithms:
-        for k in fault_counts:
-            group = montecarlo_jobs(
-                system, algorithm, k, samples,
-                seed=seed, metric=metric, traffic=traffic, config=config,
-            )
-            groups.append((algorithm, k, group))
-            jobs.extend(group)
-    campaign = Campaign(
-        name=f"montecarlo-{metric}-{system.label}", jobs=tuple(jobs)
-    )
-    report = (runner or CampaignRunner()).run(campaign, progress=progress)
 
-    results: list[MonteCarloResult] = []
-    for algorithm, k, group in groups:
-        outcomes = [report.result_for(job) for job in group]
-        point = MonteCarloResult(
-            algorithm=algorithm, k=k, metric=metric,
-            requested=samples, failed=sum(1 for r in outcomes if not r.ok),
-        )
-        ok_results = [r for r in outcomes if r.ok]
+    With ``target_ci_width``, sampling is *adaptive*: each (algorithm, k)
+    point starts with ``samples`` draws and keeps doubling until its
+    Wilson stopping interval (pooled reachable pairs for the reachability
+    metric, pooled delivered/measured packets for latency) is no wider
+    than the target, or ``max_samples`` (default ``16 * samples``) is
+    reached. Sample indices keep growing monotonically, so adaptive
+    rounds are served incrementally by the content-addressed cache and
+    re-runs are deterministic.
+    """
+    points = [(algorithm, k) for algorithm in algorithms for k in fault_counts]
+    name = f"montecarlo-{metric}-{system.label}"
+    campaign_runner = runner or CampaignRunner()
+
+    if target_ci_width is None:
+        if max_samples is not None:
+            raise ValueError(
+                "max_samples only applies to adaptive sampling; set "
+                "target_ci_width (or drop max_samples)"
+            )
+        rounds = None
+    else:
+        if target_ci_width <= 0:
+            raise ValueError(f"target_ci_width must be > 0, got {target_ci_width}")
+        max_samples = max_samples if max_samples is not None else samples * 16
+        if max_samples < samples:
+            raise ValueError(
+                f"max_samples ({max_samples}) must be >= samples ({samples})"
+            )
+        # Total ordered core pairs, for pooling reachability fractions
+        # back into exact counts — only that metric needs the built
+        # system (latency pools packet counts instead). Served from this
+        # process's session only when the backend opted into sessions —
+        # a --no-session run must not leave a memoized System in the
+        # process-global context.
+        total_pairs = 0
         if metric == "reachability":
-            point.values = [r.reachability for r in ok_results
-                            if math.isfinite(r.reachability)]
-            point.dropped = len(ok_results) - len(point.values)
-            if point.values:
-                point.primary = summarize(
-                    point.values, worst="min", confidence=confidence, clamp=(0.0, 1.0)
-                )
-        else:
-            kept = [r for r in ok_results if math.isfinite(r.average_latency)]
-            point.dropped = len(ok_results) - len(kept)
-            point.values = [r.average_latency for r in kept]
-            if point.values:
-                point.primary = summarize(
-                    point.values, worst="max", confidence=confidence
-                )
-                ratios = [r.delivered_ratio for r in kept
-                          if math.isfinite(r.delivered_ratio)]
-                if ratios:
-                    point.delivery = summarize(
-                        ratios, worst="min", confidence=confidence, clamp=(0.0, 1.0)
-                    )
-                measured = sum(r.packets_measured for r in kept)
-                delivered = sum(r.packets_delivered_measured for r in kept)
-                if measured:
-                    point.delivered_pool = wilson_interval(
-                        delivered, measured, confidence
-                    )
-        results.append(point)
+            if getattr(campaign_runner.backend, "use_session", False):
+                from ..runner.session import get_session
+
+                built = get_session().system(system)
+            else:
+                built = system.build()
+            cores = len(built.cores)
+            total_pairs = cores * (cores - 1)
+        rounds = (max_samples, total_pairs)
+
+    outcomes: dict[tuple[str, int], list] = {point: [] for point in points}
+    drawn: dict[tuple[str, int], int] = {point: 0 for point in points}
+    active = list(points)
+    reports: list[CampaignReport] = []
+    while active:
+        batches: list[tuple[tuple[str, int], list[Job]]] = []
+        for point in active:
+            already = drawn[point]
+            if rounds is None:
+                batch = samples
+            else:
+                batch = min(max(already, samples), rounds[0] - already)
+            batches.append((point, montecarlo_jobs(
+                system, point[0], point[1], batch,
+                seed=seed, metric=metric, traffic=traffic, config=config,
+                start=already,
+            )))
+        jobs = [job for _, group in batches for job in group]
+        report = campaign_runner.run(
+            Campaign(name=name, jobs=tuple(jobs)), progress=progress
+        )
+        reports.append(report)
+        still_active: list[tuple[str, int]] = []
+        for point, group in batches:
+            outcomes[point].extend(report.result_for(job) for job in group)
+            drawn[point] += len(group)
+        if rounds is None:
+            break
+        max_n, total_pairs = rounds
+        for point in active:
+            estimate = _estimate_point(
+                point[0], point[1], metric, outcomes[point], drawn[point], confidence
+            )
+            width = _stopping_width(estimate, metric, total_pairs, confidence)
+            if (width is None or width > target_ci_width) and drawn[point] < max_n:
+                still_active.append(point)
+        active = still_active
+
+    results = [
+        _estimate_point(
+            point[0], point[1], metric, outcomes[point], drawn[point], confidence
+        )
+        for point in points
+    ]
     return MonteCarloReport(
         metric=metric, samples=samples, seed=seed, confidence=confidence,
-        results=results, campaign=report,
+        results=results, campaign=CampaignReport.merge(name, reports),
     )

@@ -12,7 +12,9 @@ Per-cycle phases:
    LOCAL input VC (respecting buffer space, routability and the routing
    algorithm's injection-permission hook).
 3. **Router processing** — for every router with occupied input VCs:
-   route computation for fresh heads, output-VC allocation, switch
+   route computation for fresh heads (served from a compiled route table
+   when the algorithm is compilable — see
+   :mod:`repro.routing.compiled`), output-VC allocation, switch
    allocation (round-robin, one flit per output port and per input port),
    RC-buffer absorption/drain. Departing flits and credit returns are
    *staged*.
@@ -37,6 +39,7 @@ from ..errors import DeadlockError, UnroutablePacketError
 from ..topology.builder import System
 from ..topology.geometry import INTERPOSER_LAYER
 from ..routing.base import Port, RoutingAlgorithm, opposite_port
+from ..routing.compiled import CompiledRoutes, compile_routes
 from ..fault.model import VLDirection
 from .flit import Flit, Packet
 from .nic import Nic
@@ -145,7 +148,20 @@ class SimulationReport:
 
 
 class Simulator:
-    """Drives one network, one routing algorithm and one traffic source."""
+    """Drives one network, one routing algorithm and one traffic source.
+
+    Args:
+        system: the built 2.5D system.
+        algorithm: the routing algorithm (its current fault state is used).
+        traffic: the traffic generator.
+        config: simulation parameters.
+        routes: route-decision source. The default ``"auto"`` compiles the
+            algorithm into a :class:`~repro.routing.compiled.CompiledRoutes`
+            table when it declares itself compilable (bit-identical to live
+            dispatch — the table is filled through ``algorithm.route``);
+            pass an existing table to reuse one across runs (session
+            workers), or ``None`` to force per-hop live dispatch.
+    """
 
     def __init__(
         self,
@@ -153,11 +169,18 @@ class Simulator:
         algorithm: RoutingAlgorithm,
         traffic: "TrafficGenerator",
         config: SimulationConfig | None = None,
+        routes: CompiledRoutes | None | str = "auto",
     ):
         self.system = system
         self.algorithm = algorithm
         self.traffic = traffic
         self.config = config or SimulationConfig()
+        if routes == "auto":
+            routes = compile_routes(algorithm)
+        elif routes is not None and routes.algorithm is not algorithm:
+            raise ValueError("compiled routes were built for a different algorithm")
+        self.routes = routes
+        self._route = routes.route if routes is not None else algorithm.route
         self.stats = StatsCollector(system, self.config.num_vcs)
         self.cycle = 0
         self._packet_counter = 0
@@ -367,7 +390,7 @@ class Simulator:
                     continue  # waits for its head's allocation (cannot happen mid-packet)
                 decision = state.decision[port][vc]
                 if decision is None:
-                    decision = self.algorithm.route(flit.packet, rid, Port(port))
+                    decision = self._route(flit.packet, rid, Port(port))
                     state.decision[port][vc] = decision
                 out_port = int(decision.out_port)
                 if (

@@ -9,15 +9,22 @@
   baseline (Yin et al., ISCA 2018).
 * :class:`~repro.routing.rc.RcRouting` — remote-control baseline
   (Majumder et al., IEEE TC 2020).
+* :class:`~repro.routing.compiled.CompiledRoutes` — ahead-of-time route
+  and reachability tables over any compilable algorithm (the offline /
+  online split of the paper's Algorithm 2, applied to the whole
+  contract); consumed by the simulator and the analyses.
 """
 
 from .base import Port, RouteDecision, RoutingAlgorithm, PhasedRoutingMixin
+from .compiled import CompiledRoutes, compile_routes
 from .deft import DeftRouting, VlSelectionStrategy
 from .mtr import MtrRouting
 from .rc import RcRouting
 from .registry import available_algorithms, make_algorithm
 
 __all__ = [
+    "CompiledRoutes",
+    "compile_routes",
     "Port",
     "RouteDecision",
     "RoutingAlgorithm",

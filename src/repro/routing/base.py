@@ -101,6 +101,17 @@ class RoutingAlgorithm(abc.ABC):
 
     name: str = "base"
 
+    #: Whether :meth:`route` decisions may be memoized into a
+    #: :class:`~repro.routing.compiled.CompiledRoutes` table. A compilable
+    #: algorithm's decision for a hop must be a pure function of
+    #: ``(routing phase, bound intermediate target, router, input port,
+    #: virtual network)`` under a fixed fault state — except for hops the
+    #: algorithm flags through :meth:`route_is_stateful`, which the
+    #: compiled path always delegates to the live :meth:`route`. Strictly
+    #: opt-in (``False`` here): an algorithm whose ``route()`` reads
+    #: online state it did not flag must never be silently compiled.
+    compilable: bool = False
+
     def __init__(self, system: System):
         self.system = system
         self.fault_state = FaultState(system)
@@ -135,6 +146,16 @@ class RoutingAlgorithm(abc.ABC):
     @abc.abstractmethod
     def route(self, packet: "Packet", router_id: int, in_port: Port) -> RouteDecision:
         """Route the packet's head flit at ``router_id``."""
+
+    def route_is_stateful(self, packet: "Packet", router_id: int, in_port: Port) -> bool:
+        """Whether this hop's decision depends on online mutable state.
+
+        Stateful hops (e.g. DeFT's boundary-router VN round-robin) are
+        never served from a compiled table: the compiled path calls the
+        live :meth:`route` for them, exactly when the simulator would, so
+        online counters advance identically. Must be pure and cheap.
+        """
+        return False
 
     # -- optional hooks (overridden by RC) ---------------------------------
 
@@ -237,6 +258,18 @@ class PhasedRoutingMixin:
         return self._mesh_step(router, target)
 
     # - hooks ---------------------------------------------------------------
+
+    def ensure_up_binding(self, packet: "Packet") -> None:
+        """Bind the packet's up-VL if not already bound.
+
+        The live path binds lazily inside :meth:`_current_target` at the
+        packet's first interposer route computation; the compiled path
+        calls this at that same moment (it needs the binding as a table
+        key), so strategies with online selection state (RANDOM's RNG,
+        ADAPTIVE's load counters) observe an identical call sequence.
+        """
+        if packet.up_vl is None:
+            self._bind_up_vl(packet)
 
     def _bind_up_vl(self, packet: "Packet") -> None:  # pragma: no cover - abstract-ish
         raise NotImplementedError

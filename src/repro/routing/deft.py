@@ -71,6 +71,11 @@ class DeftRouting(PhasedRoutingMixin, RoutingAlgorithm):
     """
 
     name = "DeFT"
+    # Compilable: route() is pure given the packet's bindings, except the
+    # boundary down-traversal flagged by route_is_stateful below. The
+    # online selection state of RANDOM/ADAPTIVE lives in prepare_packet /
+    # _bind_up_vl, which the compiled path always runs live.
+    compilable = True
 
     def __init__(
         self,
@@ -236,6 +241,18 @@ class DeftRouting(PhasedRoutingMixin, RoutingAlgorithm):
         out_port = self._phased_out_port(packet, router)
         vns = self._vns_for_hop(packet, router, in_port, out_port)
         return RouteDecision(out_port, vns)
+
+    def route_is_stateful(self, packet: Packet, router_id: int, in_port: Port) -> bool:
+        """The boundary down-traversal is online state (Algorithm 1).
+
+        At the selected VL's boundary router the VN preference order comes
+        from per-router balance counters that every descending packet
+        advances — the one hop a compiled table cannot capture. The
+        selected VL's boundary router lives on the source chiplet, so the
+        check can never fire elsewhere along the three-phase route.
+        """
+        down_vl = packet.down_vl
+        return down_vl is not None and self.system.vls[down_vl].chiplet_router == router_id
 
     def _vns_for_hop(
         self, packet: Packet, router, in_port: Port, out_port: Port

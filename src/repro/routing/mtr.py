@@ -57,6 +57,9 @@ class MtrRouting(PhasedRoutingMixin, RoutingAlgorithm):
     """Modular turn-restriction baseline."""
 
     name = "MTR"
+    # route() is a pure function of the packet's bindings (the VL legality
+    # and re-binding logic runs in prepare_packet / _bind_up_vl).
+    compilable = True
 
     def __init__(self, system: System):
         super().__init__(system)

@@ -25,6 +25,7 @@ class NaiveRouting(PhasedRoutingMixin, RoutingAlgorithm):
     """Unprotected nearest-VL routing (deadlock-prone by design)."""
 
     name = "Naive"
+    compilable = True  # stateless single-VN routing; nothing online
 
     def __init__(self, system: System):
         super().__init__(system)

@@ -55,6 +55,9 @@ class RcRouting(PhasedRoutingMixin, RoutingAlgorithm):
     """Remote-control baseline."""
 
     name = "RC"
+    # route() is pure; the permission network and RC buffers live in
+    # may_inject / on_rc_buffer_drained, outside the compiled table.
+    compilable = True
 
     def __init__(self, system: System, grant_overhead: int = 2):
         super().__init__(system)

@@ -10,6 +10,9 @@ batched, cached, multi-worker pipelines:
 * :mod:`repro.runner.backends` — :class:`SerialBackend` and the
   multiprocessing :class:`ProcessPoolBackend`;
 * :mod:`repro.runner.cache` — the on-disk content-addressed result cache;
+* :mod:`repro.runner.session` — :class:`SessionContext`, the per-worker
+  memo of built systems, algorithms, fault states and compiled route
+  tables that repeated-topology campaigns reuse between jobs;
 * :mod:`repro.runner.runner` — :class:`CampaignRunner`, tying the three
   together (dedup -> cache lookup -> backend execution -> write-back).
 """
@@ -19,6 +22,7 @@ from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
 from .execute import execute_job, sample_rng
 from .result import JobResult
 from .runner import CampaignReport, CampaignRunner
+from .session import SessionContext, get_session, reset_session
 from .spec import (
     FAULTS_MODES,
     JOB_KINDS,
@@ -45,9 +49,12 @@ __all__ = [
     "ResultCache",
     "SPEC_VERSION",
     "SerialBackend",
+    "SessionContext",
     "SystemRef",
     "TrafficSpec",
     "execute_job",
     "faults_to_spec",
+    "get_session",
+    "reset_session",
     "sample_rng",
 ]

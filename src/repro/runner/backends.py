@@ -10,6 +10,13 @@ numbers.
 * :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool with
   per-job timeout and crash capture. Simulation points are embarrassingly
   parallel (no shared state), so this scales with cores.
+
+Both backends run jobs through their worker's
+:class:`~repro.runner.session.SessionContext` by default (serial: the
+calling process's; pool: one per worker process), so repeated-topology
+campaigns stop rebuilding systems, algorithms and route tables per job.
+``use_session=False`` restores the rebuild-everything path — results are
+identical either way; only wall-clock differs.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import Callable, Sequence
 
 from .execute import execute_job
 from .result import JobResult
+from .session import get_session
 from .spec import Job
 
 #: Progress callback: (completed_count, total, job, result).
@@ -34,7 +42,9 @@ class JobTimeout(Exception):
     """Raised inside a worker when a job exceeds its wall-clock budget."""
 
 
-def _execute_with_timeout(job: Job, timeout: float | None) -> JobResult:
+def _execute_with_timeout(
+    job: Job, timeout: float | None, use_session: bool = True
+) -> JobResult:
     """Worker entry point: run a job under an optional SIGALRM deadline.
 
     Enforcing the timeout *inside* the worker (POSIX interval timer)
@@ -42,9 +52,14 @@ def _execute_with_timeout(job: Job, timeout: float | None) -> JobResult:
     stuck one still run and the pool always shuts down cleanly. The
     simulator is pure Python, so the signal handler is guaranteed to
     interrupt it between bytecodes.
+
+    ``use_session`` reuses the worker process's
+    :class:`~repro.runner.session.SessionContext` across the jobs it is
+    handed — the warm state that makes repeated-topology campaigns cheap.
     """
+    session = get_session() if use_session else None
     if not timeout or not hasattr(signal, "SIGALRM"):
-        return execute_job(job)
+        return execute_job(job, session=session)
 
     def _on_alarm(signum, frame):
         raise JobTimeout(f"job timed out after {timeout}s ({job.label})")
@@ -54,7 +69,7 @@ def _execute_with_timeout(job: Job, timeout: float | None) -> JobResult:
     try:
         # A firing alarm raises JobTimeout inside execute_job's try block,
         # which captures it as a failed JobResult like any other error.
-        return execute_job(job)
+        return execute_job(job, session=session)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
@@ -73,12 +88,23 @@ class ExecutionBackend(abc.ABC):
 
 
 class SerialBackend(ExecutionBackend):
-    """Run jobs one after another in the calling process."""
+    """Run jobs one after another in the calling process.
+
+    Args:
+        use_session: reuse the calling process's session between jobs
+            (and between campaigns). ``False`` rebuilds every job's world
+            from its spec — the original seed behaviour, kept for
+            benchmarking and equivalence testing.
+    """
+
+    def __init__(self, use_session: bool = True):
+        self.use_session = use_session
 
     def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
+        session = get_session() if self.use_session else None
         results: list[JobResult] = []
         for index, job in enumerate(jobs):
-            result = execute_job(job)
+            result = execute_job(job, session=session)
             results.append(result)
             if on_result is not None:
                 on_result(index + 1, len(jobs), job, result)
@@ -103,6 +129,10 @@ class ProcessPoolBackend(ExecutionBackend):
             fallback cannot reclaim a stuck worker.
         start_method: multiprocessing start method (``fork`` on Linux by
             default; ``spawn`` works everywhere the package is importable).
+        use_session: let each worker process keep a
+            :class:`~repro.runner.session.SessionContext` warm across the
+            jobs it executes (systems, algorithms, compiled route
+            tables). ``False`` restores per-job rebuilds.
     """
 
     def __init__(
@@ -110,9 +140,11 @@ class ProcessPoolBackend(ExecutionBackend):
         workers: int | None = None,
         timeout: float | None = None,
         start_method: str | None = None,
+        use_session: bool = True,
     ):
         self._workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.timeout = timeout
+        self.use_session = use_session
         self._context = None
         if start_method is not None:
             import multiprocessing
@@ -144,7 +176,9 @@ class ProcessPoolBackend(ExecutionBackend):
         )
         try:
             futures = [
-                executor.submit(_execute_with_timeout, job, self.timeout)
+                executor.submit(
+                    _execute_with_timeout, job, self.timeout, self.use_session
+                )
                 for job in jobs
             ]
             for index, (job, future) in enumerate(zip(jobs, futures)):

@@ -139,6 +139,14 @@ class ResultCache:
         except OSError:
             return None
 
+    @staticmethod
+    def _mtime(path: Path) -> float:
+        """Last-modified time; a vanished file counts as brand new (kept)."""
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return float("inf")
+
     def stats(self) -> CacheStats:
         """Walk the cache directory and classify everything in it.
 
@@ -173,14 +181,35 @@ class ResultCache:
             total_bytes=total_bytes,
         )
 
-    def prune(self, remove_all: bool = False) -> CacheStats:
+    def prune(
+        self,
+        remove_all: bool = False,
+        older_than_days: float | None = None,
+        now: float | None = None,
+    ) -> CacheStats:
         """Delete dead weight; returns a census of what was removed.
 
         By default removes stale-version entries, corrupt entries and
         orphaned ``.tmp`` files while keeping every servable result;
-        ``remove_all`` empties the cache entirely. Assumes no campaign is
-        concurrently writing to this cache directory.
+        ``older_than_days`` additionally sweeps servable entries whose
+        file mtime is older than that many days (age-based retirement for
+        long-lived caches — results are reproducible from their specs, so
+        old entries only cost disk); ``remove_all`` empties the cache
+        entirely. ``now`` overrides the reference time (tests). Assumes
+        no campaign is concurrently writing to this cache directory.
         """
+        cutoff: float | None = None
+        if older_than_days is not None:
+            import math
+            import time
+
+            # NaN would make every mtime comparison False and silently
+            # sweep the whole cache — the loss --all is meant to gate.
+            if not math.isfinite(older_than_days) or older_than_days < 0:
+                raise ValueError(
+                    f"older_than_days must be a finite value >= 0, got {older_than_days}"
+                )
+            cutoff = (now if now is not None else time.time()) - older_than_days * 86_400
         removed = {"entries": 0, "stale": 0, "corrupt": 0}
         tmp_removed = 0
         bytes_removed = 0
@@ -188,8 +217,11 @@ class ResultCache:
             return CacheStats(0, 0, 0, 0, 0)
         for path in self.root.glob("*/*.json"):
             bucket = self._classify(path)
-            if bucket is None or (bucket == "entries" and not remove_all):
+            if bucket is None:
                 continue
+            if bucket == "entries" and not remove_all:
+                if cutoff is None or self._mtime(path) >= cutoff:
+                    continue
             size = self._size(path)
             try:
                 path.unlink()

@@ -6,6 +6,13 @@ and runs the simulator with the job's seed. Purity is what makes the
 content-addressed cache sound and guarantees serial/parallel result
 equivalence — backends may execute jobs in any order, on any worker.
 
+Passing a :class:`~repro.runner.session.SessionContext` serves the
+builds from the worker's warm memo instead of reconstructing them —
+results are identical by contract (the session memoizes only immutable
+or per-job-reset artifacts); only wall-clock changes. The fault state is
+(re)installed on the algorithm every job, empty state included, so a
+memoized algorithm never carries a previous job's faults.
+
 Every exception (configuration errors, deadlock-watchdog trips, ...) is
 captured into the returned :class:`JobResult` so one bad point never
 aborts a campaign; the traceback is preserved in ``result.error``.
@@ -20,15 +27,14 @@ import traceback
 
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
-from ..fault.model import DirectedVL, FaultState, VLDirection, random_fault_state
+from ..fault.model import FaultState, faults_from_spec, random_fault_state
 from ..network.simulator import Simulator
 from ..routing.base import RoutingAlgorithm
 from ..routing.registry import make_algorithm
 from ..topology.builder import System
 from .result import JobResult
+from .session import SessionContext
 from .spec import Job, faults_to_spec
-
-_DIRECTIONS = {"down": VLDirection.DOWN, "up": VLDirection.UP}
 
 
 def sample_rng(seed: int, fault_k: int, fault_sample: int) -> random.Random:
@@ -66,22 +72,47 @@ def _build_fault_state(job: Job, system: System) -> FaultState:
     if job.faults_mode == "sample":
         rng = sample_rng(job.seed, job.fault_k, job.fault_sample)
         return random_fault_state(system, job.fault_k, rng)
-    return FaultState(
-        system,
-        [DirectedVL(index, _DIRECTIONS[direction]) for index, direction in job.faults],
-    )
+    return faults_from_spec(system, job.faults)
 
 
-def execute_job(job: Job) -> JobResult:
-    """Run one job to completion, capturing any failure into the result."""
+def execute_job(job: Job, session: SessionContext | None = None) -> JobResult:
+    """Run one job to completion, capturing any failure into the result.
+
+    ``session`` (a worker's :class:`~repro.runner.session.SessionContext`)
+    reuses previously built systems, algorithms, fault states and
+    compiled route tables across same-spec jobs; ``None`` rebuilds
+    everything, exactly as the runner's original per-job path did.
+    """
     start = time.perf_counter()
     key = job.key()
     try:
-        system = job.system.build()
-        algorithm = _build_algorithm(job, system)
+        if session is not None:
+            system = session.system(job.system)
+            algorithm = session.algorithm(
+                job.system, system, job.algorithm, job.algorithm_params,
+                build=lambda: _build_algorithm(job, system),
+            )
+            routes = session.routes(
+                job.system, job.algorithm, job.algorithm_params, algorithm
+            )
+        else:
+            # The sessionless path is the pre-session seed behaviour in
+            # full: per-job rebuilds AND live per-hop dispatch (no
+            # compiled tables), so `--no-session` isolates the entire
+            # new machinery for debugging and honest benchmarking.
+            system = job.system.build()
+            algorithm = _build_algorithm(job, system)
+            routes = None
         fault_state: FaultState | None = None
-        if job.faults or job.faults_mode == "sample":
+        if job.faults_mode == "sample":
             fault_state = _build_fault_state(job, system)
+        elif session is not None:
+            # Memoized algorithms must not carry a previous job's faults:
+            # install this job's state unconditionally (empty included).
+            fault_state = session.fault_state(job.system, system, job)
+        elif job.faults:
+            fault_state = _build_fault_state(job, system)
+        if fault_state is not None:
             algorithm.set_fault_state(fault_state)
         sampled = (
             faults_to_spec(fault_state)
@@ -92,7 +123,8 @@ def execute_job(job: Job) -> JobResult:
             from ..analysis.reachability import reachability_of_state
 
             value = reachability_of_state(
-                system, algorithm, fault_state or FaultState(system)
+                system, algorithm, fault_state or FaultState(system),
+                routes=routes,
             )
             return JobResult(
                 job_key=key,
@@ -103,7 +135,7 @@ def execute_job(job: Job) -> JobResult:
             )
         traffic = job.traffic.build(system, seed=job.seed)
         config: SimulationConfig = job.config.replace(seed=job.seed)
-        report = Simulator(system, algorithm, traffic, config).run()
+        report = Simulator(system, algorithm, traffic, config, routes=routes).run()
     except Exception:
         return JobResult(
             job_key=key,

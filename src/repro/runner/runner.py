@@ -64,6 +64,25 @@ class CampaignReport:
     def result_for(self, job: Job) -> JobResult:
         return self._by_key[job.key()]
 
+    @classmethod
+    def merge(cls, name: str, reports: Sequence["CampaignReport"]) -> "CampaignReport":
+        """Fold several runs into one provenance record (adaptive rounds)."""
+        if len(reports) == 1:
+            return reports[0]
+        by_key: dict[str, JobResult] = {}
+        for report in reports:
+            by_key.update(report._by_key)
+        return cls(
+            name=name,
+            jobs=tuple(job for report in reports for job in report.jobs),
+            results=[result for report in reports for result in report.results],
+            cache_hits=sum(report.cache_hits for report in reports),
+            executed=sum(report.executed for report in reports),
+            deduplicated=sum(report.deduplicated for report in reports),
+            duration_s=sum(report.duration_s for report in reports),
+            _by_key=by_key,
+        )
+
     def raise_if_failed(self) -> "CampaignReport":
         failed = self.errors
         if failed:

@@ -1,0 +1,185 @@
+"""Reusable per-worker simulation sessions.
+
+Every campaign job used to rebuild the world from scratch: the
+:class:`~repro.topology.builder.System`, the routing algorithm (for DeFT
+that means re-running the Algorithm 2 offline optimization over every
+fault scenario), the fault state and — since the compiled-routes
+refactor — the route tables. For the Monte Carlo subsystem, which fires
+thousands of same-topology jobs per campaign, that rebuild dominated the
+hot path.
+
+A :class:`SessionContext` is the warm state one worker keeps between
+jobs: memoized Systems, algorithms, explicit fault states and compiled
+route tables, keyed by their canonical spec forms (the same canonical
+dictionaries the content-addressed result cache hashes). Reuse is sound
+because jobs already guarantee run isolation by contract:
+
+* built Systems are immutable in practice (nothing in the library
+  mutates one);
+* the executor installs the job's fault state on the memoized algorithm
+  *every* job (including the empty state), so nothing leaks between
+  fault scenarios;
+* the simulator calls ``reset_runtime_state()`` at construction, which
+  restores round-robin counters, RC tokens and strategy RNGs to their
+  constructor values — exactly the state a freshly built algorithm has;
+* compiled route tables auto-invalidate when the installed fault state
+  changes, while their per-pattern reachability rows are keyed by fault
+  pattern and survive (Monte Carlo samples share them).
+
+Each process owns one implicit session (:func:`get_session`):
+``SerialBackend`` uses the caller's, every ``ProcessPoolBackend`` worker
+uses its own. Sessions are also exactly the unit a remote worker would
+keep warm — the ROADMAP's sharded mega-grids hand a key range to a
+machine and let its session amortize the builds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..fault.model import FaultState, faults_from_spec
+from .spec import Job, SystemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..routing.base import RoutingAlgorithm
+    from ..routing.compiled import CompiledRoutes
+    from ..topology.builder import System
+
+
+class SessionContext:
+    """Memoized build artifacts shared by the jobs of one worker.
+
+    All getters are keyed by canonical spec forms and build through the
+    same constructors the sessionless executor uses, so a session changes
+    wall-clock only — never results.
+    """
+
+    def __init__(self) -> None:
+        self._systems: dict[str, "System"] = {}
+        self._algorithms: dict[tuple[str, str, tuple], "RoutingAlgorithm"] = {}
+        self._routes: dict[tuple[str, str, tuple], "CompiledRoutes | None"] = {}
+        self._fault_states: dict[tuple[str, tuple], FaultState] = {}
+        #: (category, "hit"|"miss") -> count, for tests and benchmarks.
+        self.stats: dict[tuple[str, str], int] = {}
+
+    def _count(self, category: str, hit: bool) -> None:
+        key = (category, "hit" if hit else "miss")
+        self.stats[key] = self.stats.get(key, 0) + 1
+
+    # -- systems ---------------------------------------------------------
+
+    @staticmethod
+    def system_key(ref: SystemRef) -> str:
+        return json.dumps(ref.to_dict(), sort_keys=True)
+
+    def system(self, ref: SystemRef) -> "System":
+        """The built system for a reference, constructed at most once."""
+        key = self.system_key(ref)
+        system = self._systems.get(key)
+        self._count("system", system is not None)
+        if system is None:
+            system = ref.build()
+            self._systems[key] = system
+        return system
+
+    # -- algorithms + compiled tables ------------------------------------
+
+    def algorithm(
+        self,
+        ref: SystemRef,
+        system: "System",
+        name: str,
+        params: tuple[tuple[str, Any], ...],
+        build: Callable[[], "RoutingAlgorithm"],
+    ) -> "RoutingAlgorithm":
+        """The memoized algorithm instance for (system, name, params).
+
+        ``build`` runs on a miss only — for DeFT it carries the offline
+        selection-table optimization, the single most expensive per-job
+        build the session removes. Build errors are never cached, so
+        invalid specs keep failing per job.
+        """
+        key = (self.system_key(ref), name, params)
+        algorithm = self._algorithms.get(key)
+        self._count("algorithm", algorithm is not None)
+        if algorithm is None:
+            algorithm = build()
+            self._algorithms[key] = algorithm
+        return algorithm
+
+    def routes(
+        self, ref: SystemRef, name: str, params: tuple[tuple[str, Any], ...],
+        algorithm: "RoutingAlgorithm",
+    ) -> "CompiledRoutes | None":
+        """The compiled route table bound to a memoized algorithm.
+
+        One table per algorithm instance: same-fault jobs share its rows,
+        fault changes invalidate only the route rows (the per-pattern
+        reachability rows survive by design).
+        """
+        key = (self.system_key(ref), name, params)
+        if key not in self._routes:
+            from ..routing.compiled import compile_routes
+
+            self._routes[key] = compile_routes(algorithm)
+            self._count("routes", False)
+        else:
+            self._count("routes", True)
+        return self._routes[key]
+
+    # -- fault states ----------------------------------------------------
+
+    def fault_state(self, ref: SystemRef, system: "System", job: Job) -> FaultState | None:
+        """The job's fault state; explicit (and empty) states are memoized.
+
+        Sampled states are *not* memoized — every (seed, k, sample) triple
+        is unique within a campaign, so caching them would only grow the
+        session; the executor derives them per job exactly as before.
+        Returns ``None`` for sample mode to signal "derive it yourself".
+        """
+        if job.faults_mode == "sample":
+            return None
+        key = (self.system_key(ref), job.faults)
+        state = self._fault_states.get(key)
+        self._count("fault_state", state is not None)
+        if state is None:
+            state = faults_from_spec(system, job.faults)
+            self._fault_states[key] = state
+        return state
+
+    # -- maintenance -----------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every memoized artifact (tests, long-lived daemons)."""
+        self._systems.clear()
+        self._algorithms.clear()
+        self._routes.clear()
+        self._fault_states.clear()
+
+    def __len__(self) -> int:
+        """Total number of memoized artifacts (introspection)."""
+        return (
+            len(self._systems)
+            + len(self._algorithms)
+            + len(self._routes)
+            + len(self._fault_states)
+        )
+
+
+#: The process-wide session used by the backends; created on first use.
+_PROCESS_SESSION: SessionContext | None = None
+
+
+def get_session() -> SessionContext:
+    """The calling process's session (one per worker, created lazily)."""
+    global _PROCESS_SESSION
+    if _PROCESS_SESSION is None:
+        _PROCESS_SESSION = SessionContext()
+    return _PROCESS_SESSION
+
+
+def reset_session() -> None:
+    """Discard the process session (tests; workers never need this)."""
+    global _PROCESS_SESSION
+    _PROCESS_SESSION = None

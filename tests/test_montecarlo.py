@@ -292,6 +292,82 @@ class TestMonteCarloCampaign:
             report.result_for("deft", 1)
 
 
+class TestAdaptiveStopping:
+    def test_start_offset_extends_without_rekeying(self):
+        """Sample i's cache key is the same whether drawn eagerly or lazily."""
+        eager = montecarlo_jobs(SystemRef.baseline4(), "rc", 2, 10, seed=0)
+        lazy = montecarlo_jobs(SystemRef.baseline4(), "rc", 2, 4, seed=0, start=6)
+        assert [job.key() for job in lazy] == [job.key() for job in eager[6:]]
+        with pytest.raises(ValueError):
+            montecarlo_jobs(SystemRef.baseline4(), "rc", 2, 4, start=-1)
+
+    def test_loose_target_stops_after_initial_batch(self):
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("rc",), (2,), 8, seed=0,
+            target_ci_width=0.9,
+        )
+        point = report.results[0]
+        assert point.requested == 8 and point.completed == 8
+        assert report.campaign.total == 8
+
+    def test_tight_target_doubles_to_the_cap(self):
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("mtr",), (4,), 6, seed=0,
+            target_ci_width=1e-9, max_samples=20,
+        )
+        point = report.results[0]
+        assert point.requested == 20  # 6 -> 12 -> 20 (capped)
+        # Sample indices cover 0..19 exactly once across the rounds.
+        indices = sorted(job.fault_sample for job in report.campaign.jobs)
+        assert indices == list(range(20))
+
+    def test_adaptive_estimates_match_fixed_run_at_same_n(self):
+        adaptive = run_montecarlo(
+            SystemRef.baseline4(), ("mtr",), (2,), 5, seed=1,
+            target_ci_width=1e-9, max_samples=15,
+        )
+        fixed = run_montecarlo(SystemRef.baseline4(), ("mtr",), (2,), 15, seed=1)
+        assert adaptive.results[0].values == fixed.results[0].values
+        assert adaptive.results[0].primary == fixed.results[0].primary
+
+    def test_adaptive_rounds_are_cache_incremental(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_montecarlo(
+            SystemRef.baseline4(), ("rc",), (2,), 5, seed=0,
+            target_ci_width=1e-9, max_samples=15,
+            runner=CampaignRunner(cache=cache),
+        )
+        warm = run_montecarlo(
+            SystemRef.baseline4(), ("rc",), (2,), 15, seed=0,
+            runner=CampaignRunner(cache=ResultCache(tmp_path)),
+        )
+        assert warm.campaign.executed == 0
+        assert warm.campaign.cache_hits == 15
+
+    def test_latency_metric_stops_on_delivery_pool(self):
+        report = run_montecarlo(
+            SystemRef.baseline4(), ("deft",), (1,), 3, seed=1, metric="latency",
+            traffic=TrafficSpec.make("uniform", rate=0.004), config=TINY,
+            target_ci_width=0.9,
+        )
+        point = report.results[0]
+        assert point.requested == 3  # wide target: first batch suffices
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            run_montecarlo(
+                SystemRef.baseline4(), ("rc",), (1,), 4, target_ci_width=0.0
+            )
+        with pytest.raises(ValueError):
+            run_montecarlo(
+                SystemRef.baseline4(), ("rc",), (1,), 8,
+                target_ci_width=0.1, max_samples=4,
+            )
+        with pytest.raises(ValueError):
+            # max_samples is meaningless without a stopping target.
+            run_montecarlo(SystemRef.baseline4(), ("rc",), (1,), 8, max_samples=16)
+
+
 @pytest.mark.slow
 class TestAcceptance:
     """The ISSUE acceptance spec: 200 samples at k=2 track the exact curve."""

@@ -273,6 +273,68 @@ class TestResultCache:
         assert stats == ResultCache(tmp_path / "missing").prune()
         assert stats.entries == 0
 
+    @staticmethod
+    def _backdate(cache, job, days):
+        import os
+        import time
+
+        stamp = time.time() - days * 86_400
+        os.utime(cache.path_for(job), (stamp, stamp))
+
+    def test_prune_older_than_sweeps_only_old_entries(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        old, recent = tiny_job(tiny_config), tiny_job(tiny_config, seed=2)
+        cache.put(old, execute_job(old))
+        cache.put(recent, execute_job(recent))
+        self._backdate(cache, old, days=45)
+        self._backdate(cache, recent, days=2)
+        removed = cache.prune(older_than_days=30)
+        assert removed.entries == 1
+        assert cache.get(old) is None
+        assert cache.get(recent) is not None
+
+    def test_prune_older_than_also_sweeps_dead_weight(self, tmp_path, tiny_config):
+        """Age pruning composes with the default stale/corrupt sweep."""
+        cache = ResultCache(tmp_path)
+        old, stale = tiny_job(tiny_config), tiny_job(tiny_config, seed=2)
+        cache.put(old, execute_job(old))
+        cache.put(stale, execute_job(stale))
+        self._spoil_version(cache, stale)
+        self._backdate(cache, old, days=10)
+        removed = cache.prune(older_than_days=7)
+        assert (removed.entries, removed.stale) == (1, 1)
+        assert len(cache) == 0
+
+    def test_prune_older_than_zero_sweeps_everything_servable(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        cache.put(job, execute_job(job))
+        self._backdate(cache, job, days=0.001)
+        assert cache.prune(older_than_days=0).entries == 1
+
+    def test_prune_rejects_negative_age(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune(older_than_days=-1)
+
+    def test_prune_rejects_nan_age(self, tmp_path, tiny_config):
+        """NaN must not silently sweep the whole cache (cutoff compares False)."""
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        cache.put(job, execute_job(job))
+        with pytest.raises(ValueError):
+            cache.prune(older_than_days=float("nan"))
+        assert cache.get(job) is not None
+
+    def test_prune_now_override_is_deterministic(self, tmp_path, tiny_config):
+        import time
+
+        cache = ResultCache(tmp_path)
+        job = tiny_job(tiny_config)
+        cache.put(job, execute_job(job))
+        # Pretend "now" is 31 days in the future: the entry is old.
+        future = time.time() + 31 * 86_400
+        assert cache.prune(older_than_days=30, now=future).entries == 1
+
 
 class TestCampaignRunner:
     def test_dedup_and_alignment(self, tiny_config):

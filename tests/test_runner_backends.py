@@ -161,7 +161,7 @@ class TestNoSigalrmFallback:
             def __init__(self, *args, **kwargs):
                 self._durations = iter(durations)
 
-            def submit(self, fn, job, timeout):
+            def submit(self, fn, job, timeout, use_session=True):
                 return FakeFuture(job, next(self._durations))
 
             def shutdown(self, **kwargs):

@@ -1,0 +1,155 @@
+"""Session layer: reuse across jobs must change wall-clock, never results.
+
+The determinism contract (ISSUE acceptance): executing any job through a
+:class:`~repro.runner.session.SessionContext` — serial or process-pool,
+first job or hundredth — produces results identical to the sessionless
+rebuild-everything path, with no state leaking between fault scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.runner import (
+    CampaignRunner,
+    Job,
+    ProcessPoolBackend,
+    SerialBackend,
+    SessionContext,
+    SystemRef,
+    TrafficSpec,
+    execute_job,
+    get_session,
+    reset_session,
+)
+
+TINY = SimulationConfig(
+    warmup_cycles=30, measure_cycles=120, drain_cycles=1_500, watchdog_cycles=2_000
+)
+
+
+def job_matrix() -> list[Job]:
+    """A little bit of everything: kinds, fault modes, params, algorithms."""
+    system = SystemRef.baseline4()
+    uniform = TrafficSpec.make("uniform", rate=0.004)
+    return [
+        Job.make(system, "deft", uniform, TINY, seed=1),
+        Job.make(system, "deft", uniform, TINY, seed=2, faults=((2, "down"),)),
+        Job.make(system, "mtr", uniform, TINY, seed=1,
+                 faults=((0, "down"), (5, "up"))),
+        Job.make(system, "rc", uniform, TINY, seed=1),
+        Job.make(system, "deft-ran", uniform, TINY, seed=3),
+        Job.make(system, "deft", uniform, TINY, seed=1,
+                 algorithm_params={"rho": 0.05}),
+        Job.make(system, "deft", uniform, TINY, seed=4,
+                 faults_mode="sample", fault_k=3, fault_sample=2),
+        Job.make(system, "mtr", uniform, TINY, seed=4,
+                 faults_mode="sample", fault_k=2, fault_sample=0,
+                 kind="reachability"),
+        Job.make(system, "deft", uniform, TINY, seed=0, kind="reachability"),
+    ]
+
+
+class TestExecuteJobWithSession:
+    def test_identical_to_sessionless(self):
+        session = SessionContext()
+        jobs = job_matrix()
+        # Run the matrix twice through one session so every job also
+        # executes against warm (possibly fault-carrying) memo entries.
+        for job in jobs + list(reversed(jobs)):
+            assert execute_job(job, session=session) == execute_job(job)
+
+    def test_memoizes_systems_and_algorithms(self):
+        session = SessionContext()
+        job = job_matrix()[0]
+        execute_job(job, session=session)
+        execute_job(job, session=session)
+        system = session.system(job.system)
+        assert session.system(job.system) is system
+        assert session.stats[("system", "hit")] >= 1
+        assert session.stats[("algorithm", "hit")] >= 1
+
+    def test_fault_state_never_leaks(self):
+        """A faulted job must not poison the next unfaulted one."""
+        session = SessionContext()
+        system = SystemRef.baseline4()
+        uniform = TrafficSpec.make("uniform", rate=0.004)
+        faulted = Job.make(system, "mtr", uniform, TINY, seed=1,
+                           faults=((0, "down"),))
+        clean = Job.make(system, "mtr", uniform, TINY, seed=1)
+        execute_job(faulted, session=session)
+        assert execute_job(clean, session=session) == execute_job(clean)
+        built = session.system(system)
+        algorithm = session.algorithm(
+            system, built, "mtr", (), build=lambda: (_ for _ in ()).throw(AssertionError)
+        )
+        assert algorithm.fault_state.num_faults == 0
+
+    def test_build_errors_are_not_cached(self):
+        session = SessionContext()
+        bad = Job.make(
+            SystemRef.baseline4(), "mtr",
+            TrafficSpec.make("uniform", rate=0.004), TINY,
+            algorithm_params={"rho": 0.05},  # rho only parameterizes deft
+        )
+        first = execute_job(bad, session=session)
+        second = execute_job(bad, session=session)
+        assert not first.ok and not second.ok
+        assert "ConfigurationError" in first.error
+        assert first == second
+
+
+class TestBackendsThroughSessions:
+    def test_serial_session_matches_seed_path(self):
+        jobs = job_matrix()
+        with_session = SerialBackend(use_session=True).run(jobs)
+        without = SerialBackend(use_session=False).run(jobs)
+        assert with_session == without
+
+    def test_process_pool_sessions_match_serial(self):
+        jobs = job_matrix()[:6]
+        serial = SerialBackend(use_session=False).run(jobs)
+        pooled = ProcessPoolBackend(workers=2, use_session=True).run(jobs)
+        assert pooled == serial
+
+    def test_campaign_runner_is_session_agnostic(self):
+        jobs = job_matrix()[:4]
+        sessioned = CampaignRunner(backend=SerialBackend()).run(jobs)
+        seeded = CampaignRunner(backend=SerialBackend(use_session=False)).run(jobs)
+        assert sessioned.results == seeded.results
+
+    def test_serial_backend_shares_the_process_session(self):
+        reset_session()
+        try:
+            SerialBackend().run(job_matrix()[:1])
+            assert len(get_session()) > 0
+        finally:
+            reset_session()
+
+
+class TestSessionContext:
+    def test_len_and_clear(self):
+        session = SessionContext()
+        execute_job(job_matrix()[0], session=session)
+        assert len(session) > 0
+        session.clear()
+        assert len(session) == 0
+
+    def test_sampled_fault_states_are_not_memoized(self):
+        session = SessionContext()
+        sampled = Job.make(
+            SystemRef.baseline4(), "deft",
+            TrafficSpec.make("uniform", rate=0.004), TINY,
+            seed=4, faults_mode="sample", fault_k=3, fault_sample=2,
+        )
+        system = session.system(sampled.system)
+        assert session.fault_state(sampled.system, system, sampled) is None
+
+    def test_process_session_is_per_process(self):
+        reset_session()
+        try:
+            assert get_session() is get_session()
+            first = get_session()
+            reset_session()
+            assert get_session() is not first
+        finally:
+            reset_session()
