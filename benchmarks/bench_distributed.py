@@ -1,0 +1,164 @@
+"""Distributed-execution benchmarks: spool workers and persistent pools.
+
+Two cases, both recorded in ``benchmarks/BENCH_distributed.json``:
+
+* ``test_spool_multiworker_vs_serial`` — the PR's acceptance case: a
+  repeated-topology Monte Carlo campaign through :class:`SpoolBackend`
+  with 2 autospawned ``deft worker`` subprocesses versus
+  :class:`SerialBackend`, asserted bit-identical and timed (the
+  multi-worker speedup is only *asserted* where the machine actually
+  has >= 2 cores and jobs run at full scale; the numbers are always
+  recorded).
+* ``test_persistent_pool_across_adaptive_rounds`` — the
+  :class:`ProcessPoolBackend` satellite: adaptive Monte Carlo doubling
+  rounds against one persistent pool (workers and their warm sessions
+  survive between rounds) versus the shut-down-per-batch pool.
+"""
+
+import os
+import time
+
+from repro.experiments.common import default_config, effective_scale
+from repro.montecarlo import run_montecarlo
+from repro.runner import (
+    CampaignRunner,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SystemRef,
+)
+from repro.distributed import SpoolBackend
+
+from conftest import _SESSION_REPORTS
+
+#: Mirror bench_campaign: strict wall-clock ratios only hold when jobs
+#: dominate constant overheads (worker startup, spool polling).
+STRICT_TIMING = effective_scale(None) >= 0.5
+
+
+def test_spool_multiworker_vs_serial(tmp_path_factory, bench_metrics):
+    """Repeated-topology MC latency campaign: serial vs 2 spool workers."""
+    cores = os.cpu_count() or 1
+    workers = 2
+    args = (SystemRef.baseline4(), ("deft",), (2,), 8)
+    kwargs = dict(seed=0, metric="latency", config=default_config(None))
+
+    start = time.perf_counter()
+    serial = run_montecarlo(
+        *args, runner=CampaignRunner(backend=SerialBackend()), **kwargs
+    )
+    serial_s = time.perf_counter() - start
+
+    cache_dir = tmp_path_factory.mktemp("spool-cache")
+    spool_dir = tmp_path_factory.mktemp("spool")
+    backend = SpoolBackend(
+        cache=ResultCache(cache_dir), spool_dir=spool_dir, workers=workers
+    )
+    runner = CampaignRunner(backend=backend, cache=ResultCache(cache_dir))
+    start = time.perf_counter()
+    try:
+        spooled = run_montecarlo(*args, runner=runner, **kwargs)
+        spool_s = time.perf_counter() - start
+        worker_stats = backend.spool.worker_stats()
+    finally:
+        runner.close()
+
+    speedup = serial_s / max(spool_s, 1e-9)
+    jobs = serial.campaign.total
+    lines = [
+        f"== bench_distributed: spool backend ({jobs} repeated-topology "
+        f"Monte Carlo simulations, {workers} workers, {cores} cores) ==",
+        f"  serial backend:        {serial_s:7.2f}s",
+        f"  spool x{workers} workers:      {spool_s:7.2f}s "
+        f"(speedup {speedup:4.2f}x)",
+    ]
+    for worker_id, stats in sorted(worker_stats.items()):
+        session = stats.get("session", {})
+        lines.append(
+            f"    {worker_id}: {stats['jobs_done']} job(s), session "
+            f"algorithm {session.get('algorithm.hit', 0)} hit / "
+            f"{session.get('algorithm.miss', 0)} miss"
+        )
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        jobs=jobs, workers=workers, cores=cores,
+        serial_s=round(serial_s, 3), spool_s=round(spool_s, 3),
+        multiworker_speedup=round(speedup, 2),
+        worker_jobs=[s["jobs_done"] for _, s in sorted(worker_stats.items())],
+    )
+
+    # Correctness is asserted unconditionally: bit-identical estimates.
+    assert [p.values for p in spooled.results] == [
+        p.values for p in serial.results
+    ]
+    assert not spooled.campaign.errors
+    # Both autospawned workers took part (the queue actually fanned out).
+    assert sum(s["jobs_done"] for s in worker_stats.values()) >= jobs
+    if STRICT_TIMING and cores >= 2:
+        assert spool_s < serial_s, (
+            f"expected multi-worker speedup on {cores} cores: "
+            f"spool {spool_s:.2f}s vs serial {serial_s:.2f}s"
+        )
+
+
+def test_persistent_pool_across_adaptive_rounds(bench_metrics):
+    """Adaptive doubling rounds: persistent vs shut-down-per-batch pool.
+
+    An unreachable CI target forces the sampler to its cap, so each
+    (algorithm, k) point runs several doubling rounds — the shape that
+    used to re-pay pool startup and the DeFT offline optimization every
+    round. The persistent pool pays them once.
+    """
+    args = (SystemRef.baseline4(), ("deft", "mtr", "rc"), (2, 8), 20)
+    kwargs = dict(
+        seed=0, metric="reachability",
+        target_ci_width=1e-6, max_samples=80,  # unreachable -> 3 rounds
+    )
+
+    start = time.perf_counter()
+    per_batch = run_montecarlo(
+        *args,
+        runner=CampaignRunner(
+            backend=ProcessPoolBackend(workers=2, persistent=False)
+        ),
+        **kwargs,
+    )
+    per_batch_s = time.perf_counter() - start
+
+    runner = CampaignRunner(backend=ProcessPoolBackend(workers=2))
+    start = time.perf_counter()
+    try:
+        persistent = run_montecarlo(*args, runner=runner, **kwargs)
+        persistent_s = time.perf_counter() - start
+    finally:
+        runner.close()
+
+    speedup = per_batch_s / max(persistent_s, 1e-9)
+    lines = [
+        f"== bench_distributed: persistent pool across adaptive rounds "
+        f"({persistent.campaign.total} jobs in doubling batches) ==",
+        f"  pool per round:   {per_batch_s:7.2f}s",
+        f"  persistent pool:  {persistent_s:7.2f}s (speedup {speedup:4.2f}x)",
+    ]
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        jobs=persistent.campaign.total,
+        per_batch_s=round(per_batch_s, 3),
+        persistent_s=round(persistent_s, 3),
+        persistent_speedup=round(speedup, 2),
+    )
+
+    assert [p.values for p in persistent.results] == [
+        p.values for p in per_batch.results
+    ]
+    if STRICT_TIMING:
+        assert persistent_s < per_batch_s, (
+            f"expected the persistent pool to beat per-round pools: "
+            f"{persistent_s:.2f}s vs {per_batch_s:.2f}s"
+        )

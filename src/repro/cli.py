@@ -13,6 +13,11 @@ Subcommands:
   or latency/delivery statistics over seeded random k-fault scenarios,
   with confidence intervals — the statistical Fig. 7 for large k and
   large systems.
+* ``deft worker`` — a long-lived spool worker: attach to a spool
+  directory, drain its job stream through one warm session, hand
+  results to the shared content-addressed cache (the building block of
+  multi-machine campaigns; ``deft campaign --backend spool --workers N``
+  autospawns local ones).
 * ``deft cache`` — inspect (``stats``) and clean (``prune``) the
   content-addressed result cache.
 * ``deft optimize`` — run the offline VL-selection optimization and print
@@ -30,6 +35,7 @@ import sys
 
 from .analysis.reachability import average_reachability, worst_reachability
 from .config import SimulationConfig
+from .distributed import SpoolBackend, parse_shard, run_worker, shard_campaign
 from .core.tables import build_selection_tables
 from .experiments import ablations, fig4, fig5, fig6, fig7, fig7mc, fig8, table1
 from .experiments.common import ExperimentResult, format_report
@@ -40,6 +46,7 @@ from .runner import (
     DEFAULT_CACHE_DIR,
     Campaign,
     CampaignRunner,
+    ExecutionBackend,
     Job,
     ProcessPoolBackend,
     ResultCache,
@@ -200,27 +207,65 @@ def _without_nan(value):
     return value
 
 
+def _args_error(args: argparse.Namespace, message: str) -> None:
+    """Raise the subcommand's argparse usage error (exit code 2)."""
+    parser = getattr(args, "_parser", None)
+    if parser is not None:
+        parser.error(message)
+    raise SystemExit(2)
+
+
 def _runner_from_args(args: argparse.Namespace) -> CampaignRunner:
     """Build the campaign runner the CLI flags describe.
 
-    ``--workers N`` (N > 1) selects the process-pool backend; a cache is
-    attached when ``--cache-dir`` is given (or defaulted) and not
-    disabled by ``--no-cache``; ``--no-session`` turns off the per-worker
-    reuse of built systems/algorithms/route tables (rebuild per job).
+    ``--backend`` picks the execution backend explicitly (``serial``,
+    ``process``, ``spool``); the default ``auto`` keeps the historic
+    behaviour — ``--workers N`` (N > 1) selects the process pool. A
+    cache is attached when ``--cache-dir`` is given (or defaulted) and
+    not disabled by ``--no-cache``; ``--compress-cache`` gzips new
+    entries; ``--no-session`` turns off the per-worker reuse of built
+    systems/algorithms/route tables (rebuild per job).
+
+    The spool backend hands results back *through* the cache, so
+    ``--backend spool`` with the cache disabled has nowhere for results
+    to land and is rejected up front rather than silently recomputing.
     """
-    workers = getattr(args, "workers", 1) or 1
+    # 0 is meaningful for the spool backend (external-worker mode: only
+    # enqueue and collect); the in-process backends clamp to >= 1.
+    workers = getattr(args, "workers", 1)
+    workers = 1 if workers is None else workers
     timeout = getattr(args, "timeout", None)
     use_session = not getattr(args, "no_session", False)
-    if workers > 1:
+    backend_name = getattr(args, "backend", "auto")
+    cache = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir and not getattr(args, "no_cache", False):
+        cache = ResultCache(cache_dir, compress=getattr(args, "compress_cache", False))
+    if backend_name == "auto":
+        backend_name = "process" if workers > 1 else "serial"
+    if backend_name == "spool":
+        if cache is None:
+            _args_error(
+                args,
+                "--backend spool hands results back through the "
+                "content-addressed cache: drop --no-cache (and give it a "
+                "--cache-dir) so they have somewhere to land",
+            )
+        stall = getattr(args, "stall_timeout", 300.0)
+        backend: ExecutionBackend = SpoolBackend(
+            cache=cache,
+            spool_dir=getattr(args, "spool_dir", None),
+            workers=workers,
+            lease_s=getattr(args, "lease", None) or 30.0,
+            stall_timeout_s=None if not stall else stall,
+            use_session=use_session,
+        )
+    elif backend_name == "process":
         backend = ProcessPoolBackend(
             workers=workers, timeout=timeout, use_session=use_session
         )
     else:
         backend = SerialBackend(use_session=use_session)
-    cache = None
-    cache_dir = getattr(args, "cache_dir", None)
-    if cache_dir and not getattr(args, "no_cache", False):
-        cache = ResultCache(cache_dir)
     return CampaignRunner(backend=backend, cache=cache)
 
 
@@ -233,15 +278,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         drain_cycles=args.drain,
     )
-    series = run_sweep(
-        SystemRef.from_cli(args.system),
-        tuple(args.algo),
-        args.traffic,
-        rates,
-        config,
-        seeds=tuple(range(1, args.repeats + 1)),
-        runner=_runner_from_args(args),
-    )
+    runner = _runner_from_args(args)
+    try:
+        series = run_sweep(
+            SystemRef.from_cli(args.system),
+            tuple(args.algo),
+            args.traffic,
+            rates,
+            config,
+            seeds=tuple(range(1, args.repeats + 1)),
+            runner=runner,
+        )
+    finally:
+        runner.close()
     for row in series_rows(series):
         print(row)
     return 0
@@ -263,6 +312,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         system, tuple(args.algo), args.traffic, rates, config, seeds, faults=faults
     )
     campaign = Campaign(name=f"{args.traffic}-on-{system.label}", jobs=tuple(jobs))
+    sharded = args.shard is not None
+    if sharded:
+        index, num_shards = args.shard
+        campaign = shard_campaign(campaign, num_shards, index)
+        print(
+            f"shard {index + 1}/{num_shards}: {len(campaign.jobs)} of "
+            f"{len(jobs)} jobs in this key range",
+            file=sys.stderr,
+        )
     runner = _runner_from_args(args)
 
     def progress(done: int, total: int, job: Job, result) -> None:
@@ -277,15 +335,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    report = runner.run(campaign, progress=progress)
+    try:
+        report = runner.run(campaign, progress=progress)
+    finally:
+        runner.close()
 
-    # Aggregate into the familiar per-algorithm latency table.
-    series = series_from_results(
-        report.results, tuple(args.algo), rates, seeds, skip_failed=True
-    )
-    for row in series_rows(series):
-        print(row)
-    print(report.summary())
+    if sharded:
+        # A shard holds an arbitrary slice of the grid; the aggregate
+        # series table only makes sense over the full campaign (run it
+        # unsharded afterwards — every shard's points come from cache).
+        print(report.summary())
+    else:
+        # Aggregate into the familiar per-algorithm latency table.
+        series = series_from_results(
+            report.results, tuple(args.algo), rates, seeds, skip_failed=True
+        )
+        for row in series_rows(series):
+            print(row)
+        print(report.summary())
     if args.json:
         payload = {
             "campaign": campaign.name,
@@ -322,6 +389,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             return
         print(f"  [{done}/{total}] sampled", file=sys.stderr)
 
+    runner = _runner_from_args(args)
     try:
         report = run_montecarlo(
             SystemRef.from_cli(args.system),
@@ -332,7 +400,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             metric=args.metric,
             traffic=traffic,
             config=config,
-            runner=_runner_from_args(args),
+            runner=runner,
             confidence=args.confidence,
             progress=progress,
             target_ci_width=args.target_ci,
@@ -344,6 +412,8 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         # message, not a traceback.
         print(f"deft montecarlo: {error}", file=sys.stderr)
         return 2
+    finally:
+        runner.close()
     unit = "reachable core-pair fraction" if args.metric == "reachability" \
         else "average packet latency (cycles)"
     sampling = (
@@ -397,6 +467,38 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     for failed in report.campaign.errors:
         print(f"FAILED {failed.job_key[:12]}: {failed.error}", file=sys.stderr)
     return 1 if report.campaign.errors else 0
+
+
+def _parse_shard_arg(text: str) -> tuple[int, int]:
+    """Argparse type for ``--shard I/N`` (1-based position)."""
+    try:
+        return parse_shard(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one long-lived spool worker until STOP/idle-timeout/max-jobs."""
+    cache = ResultCache(args.cache_dir, compress=args.compress_cache)
+    stats = run_worker(
+        args.spool_dir,
+        cache,
+        worker_id=args.worker_id,
+        lease_s=args.lease,
+        max_attempts=args.max_attempts,
+        poll_s=args.poll,
+        idle_timeout_s=args.idle_timeout,
+        max_jobs=args.max_jobs,
+        use_session=not args.no_session,
+    )
+    print(
+        f"worker {stats['worker']}: {stats['jobs_done']} job(s) executed, "
+        f"{stats['jobs_failed']} failed, {stats['requeues_swept']} expired "
+        f"lease(s) requeued"
+    )
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -500,19 +602,48 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     names = list(_EXPERIMENTS) if args.name == "all" else [args.name]
     campaign_runner = _runner_from_args(args)
     failed: list[str] = []
-    for name in names:
-        experiment = _EXPERIMENTS[name]
-        results: list[ExperimentResult] = experiment(args.scale, campaign_runner)
-        for result in results:
-            print(format_report(result))
-            print()
-            failed.extend(result.failed_checks())
+    try:
+        for name in names:
+            experiment = _EXPERIMENTS[name]
+            results: list[ExperimentResult] = experiment(args.scale, campaign_runner)
+            for result in results:
+                print(format_report(result))
+                print()
+                failed.extend(result.failed_checks())
+    finally:
+        campaign_runner.close()
     if failed:
         print(f"{len(failed)} shape check(s) failed:", file=sys.stderr)
         for description in failed:
             print(f"  - {description}", file=sys.stderr)
         return 1
     return 0
+
+
+def _add_distributed_args(p: argparse.ArgumentParser) -> None:
+    """Backend-selection flags shared by ``campaign`` and ``montecarlo``."""
+    p.add_argument("--backend", choices=["auto", "serial", "process", "spool"],
+                   default="auto",
+                   help="execution backend; 'auto' picks the process pool "
+                        "when --workers > 1, 'spool' runs the campaign "
+                        "through a filesystem job spool with --workers "
+                        "autospawned 'deft worker' processes")
+    p.add_argument("--spool-dir", default=None, metavar="DIR",
+                   help="spool directory for --backend spool; share it "
+                        "(plus --cache-dir) across machines for "
+                        "multi-machine campaigns (default: private temp "
+                        "spool)")
+    p.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                   help="spool claim lease: a worker silent this long is "
+                        "considered dead and its job is requeued")
+    p.add_argument("--stall-timeout", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="fail remaining spool jobs after this long with "
+                        "no result and nothing in flight; 0 waits forever "
+                        "(a held lease never counts as a stall)")
+    p.add_argument("--compress-cache", action="store_true",
+                   help="gzip new cache entries (reads accept both forms)")
+    p.set_defaults(_parser=p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -588,6 +719,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"content-addressed result cache (default {DEFAULT_CACHE_DIR})")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the result cache entirely")
+    p.add_argument("--shard", type=_parse_shard_arg, default=None, metavar="I/N",
+                   help="run only the I-th of N deterministic job-key-range "
+                        "slices (1-based); shards on different machines "
+                        "merge through the shared cache")
+    _add_distributed_args(p)
     p.add_argument("--quiet", action="store_true", help="suppress per-job progress")
     p.add_argument("--json", metavar="PATH",
                    help="also dump jobs + results as JSON")
@@ -642,9 +778,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"content-addressed result cache (default {DEFAULT_CACHE_DIR})")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the result cache entirely")
+    _add_distributed_args(p)
     p.add_argument("--quiet", action="store_true", help="suppress progress")
     p.add_argument("--json", metavar="PATH", help="also dump estimates as JSON")
     p.set_defaults(func=_cmd_montecarlo)
+
+    p = sub.add_parser(
+        "worker",
+        help="long-lived spool worker: drain a job spool through one "
+             "warm session (multi-machine campaign building block)",
+    )
+    p.add_argument("spool_dir", metavar="SPOOL_DIR",
+                   help="the spool directory to attach to")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="where successful results land — must be the "
+                        f"campaign's shared cache (default {DEFAULT_CACHE_DIR})")
+    p.add_argument("--compress-cache", action="store_true",
+                   help="gzip results written to the cache")
+    p.add_argument("--worker-id", default=None,
+                   help="lease/stats identity (default: hostname-pid)")
+    p.add_argument("--lease", type=float, default=None, metavar="SECONDS",
+                   help="claim lease duration (default 30)")
+    p.add_argument("--max-attempts", type=int, default=None,
+                   help="executions per job before a terminal failure "
+                        "(default 3)")
+    p.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                   help="idle polling interval")
+    p.add_argument("--idle-timeout", type=float, default=None, metavar="SECONDS",
+                   help="exit after this long with nothing claimable "
+                        "(default: wait for the spool's STOP sentinel)")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after executing this many jobs")
+    p.add_argument("--no-session", action="store_true",
+                   help="rebuild systems/algorithms per job instead of "
+                        "keeping this worker's session warm")
+    p.add_argument("--json", action="store_true",
+                   help="also print the final worker stats as JSON")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("cache", help="inspect or clean the result cache")
     p.add_argument("action", choices=["stats", "prune"])

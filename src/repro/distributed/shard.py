@@ -1,0 +1,100 @@
+"""Deterministic campaign sharding by job-key range.
+
+A job's content address (:meth:`~repro.runner.spec.Job.key`, a SHA-256
+hex digest) is uniformly distributed, so splitting the *key space* into
+``num_shards`` contiguous ranges partitions any campaign into
+near-equal, machine-assignable slices — with no coordination beyond
+agreeing on ``num_shards``. Every machine computes its own slice from
+the same campaign spec; the shared content-addressed
+:class:`~repro.runner.cache.ResultCache` makes the merge trivial (each
+machine simply runs the full campaign afterwards and is served every
+other shard's points from cache).
+
+The assignment is a pure function of the key, so it is stable across
+processes, machines and Python versions, and re-sharding with a
+different ``num_shards`` still covers every job exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..runner.spec import Campaign, Job
+
+#: Hex digits of the key used for range assignment. 8 digits = 32 bits:
+#: far finer than any realistic shard count, cheap to parse.
+_PREFIX_DIGITS = 8
+_KEY_SPACE = 1 << (4 * _PREFIX_DIGITS)
+
+
+def shard_of_key(key: str, num_shards: int) -> int:
+    """The 0-based shard owning a job key, by contiguous key range.
+
+    Shard ``i`` owns keys whose leading 32 bits fall in
+    ``[i * 2**32 / n, (i + 1) * 2**32 / n)``.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    prefix = int(key[:_PREFIX_DIGITS], 16)
+    return (prefix * num_shards) >> (4 * _PREFIX_DIGITS)
+
+
+def shard_bounds(index: int, num_shards: int) -> tuple[str, str]:
+    """Shard ``index``'s key range as *inclusive* low/high 8-hex-digit
+    prefixes (for operator tooling and logs)."""
+    if not 0 <= index < num_shards:
+        raise ValueError(f"shard index must be in [0, {num_shards}), got {index}")
+    low = -(-index * _KEY_SPACE // num_shards)  # ceil division
+    high = -(-(index + 1) * _KEY_SPACE // num_shards)
+    width = _PREFIX_DIGITS
+    return f"{low:0{width}x}", f"{min(high, _KEY_SPACE) - 1:0{width}x}"
+
+
+def shard_jobs(
+    jobs: Iterable[Job], num_shards: int, index: int
+) -> list[Job]:
+    """The slice of ``jobs`` owned by shard ``index`` (0-based)."""
+    if not 0 <= index < num_shards:
+        raise ValueError(f"shard index must be in [0, {num_shards}), got {index}")
+    return [job for job in jobs if shard_of_key(job.key(), num_shards) == index]
+
+
+def shard_campaign(campaign: Campaign, num_shards: int, index: int) -> Campaign:
+    """A campaign restricted to one shard's key range.
+
+    The shard is named after its 1-based position so progress lines and
+    cache provenance read naturally on each machine.
+    """
+    return Campaign(
+        name=f"{campaign.name}#shard-{index + 1}-of-{num_shards}",
+        jobs=tuple(shard_jobs(campaign.jobs, num_shards, index)),
+    )
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse the CLI's 1-based ``I/N`` syntax into ``(index0, num_shards)``.
+
+    ``--shard 2/4`` means: run the second of four key-range slices.
+    """
+    head, sep, tail = text.partition("/")
+    if not sep:
+        raise ValueError(f"shard must be 'I/N' (e.g. 2/4), got {text!r}")
+    try:
+        position, num_shards = int(head), int(tail)
+    except ValueError:
+        raise ValueError(
+            f"shard must be two integers 'I/N', got {text!r}"
+        ) from None
+    if num_shards < 1 or not 1 <= position <= num_shards:
+        raise ValueError(
+            f"shard position must satisfy 1 <= I <= N, got {text!r}"
+        )
+    return position - 1, num_shards
+
+
+def coverage_check(jobs: Sequence[Job], num_shards: int) -> bool:
+    """True iff the shards partition ``jobs`` exactly (tests, tooling)."""
+    seen = 0
+    for index in range(num_shards):
+        seen += len(shard_jobs(jobs, num_shards, index))
+    return seen == len(jobs)

@@ -1,0 +1,392 @@
+"""Broker-less filesystem job spool.
+
+A :class:`Spool` is a directory any number of worker processes can pull
+jobs from — local subprocesses today, machines sharing the directory
+over NFS/SSHFS tomorrow. There is no broker and no daemon: every queue
+transition is an atomic filesystem operation, so the only thing workers
+need in common is the directory.
+
+Layout::
+
+    <root>/
+      jobs/<key>.json     pending job specs (canonical Job form + attempts)
+      claims/<key>.json   leased jobs: payload + worker id + lease deadline
+      requeue/<key>.json  transient reaper staging (recovered if orphaned)
+      failed/<key>.json   terminal failures handed back to the backend
+      workers/<id>.json   per-worker observability stats (session hit rates)
+      STOP                shutdown sentinel for long-lived workers
+
+Protocol:
+
+* **enqueue** — write ``jobs/<key>.json`` atomically (tmp + rename). The
+  file name is the job's content address, so re-enqueueing is idempotent
+  and overlapping campaigns merge.
+* **claim** — create ``claims/<key>.json`` with ``O_CREAT | O_EXCL``
+  (atomic, single winner even on NFS v3+), then unlink the pending file.
+  The claim file carries the job payload, the worker id and a lease
+  deadline.
+* **heartbeat** — atomically rewrite the claim file with a fresh
+  deadline while the job executes.
+* **requeue** — any participant may sweep expired claims: the winner
+  atomically renames the claim into ``requeue/`` (single winner again),
+  bumps the attempt count and republishes the job — or, past
+  ``max_attempts``, writes a terminal failure. A reaper that dies
+  mid-requeue leaves an orphan in ``requeue/`` that the next sweep
+  recovers.
+* **results** — *successful* results are handed off to the existing
+  content-addressed :class:`~repro.runner.cache.ResultCache` (the merge
+  point shards and machines already share); the spool itself only
+  carries inputs, leases and terminal failures.
+
+A worker that finishes a job after losing its lease simply writes the
+same content-addressed result a second time — execution is a pure
+function of the job, so duplicate execution is benign (wasted cycles,
+never wrong numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..runner.result import JobResult
+from ..runner.spec import Job
+
+#: Shutdown sentinel file name (``Spool.request_stop``).
+STOP_SENTINEL = "STOP"
+
+#: Default lease duration: a worker must heartbeat within this window or
+#: its claim is considered dead and the job is requeued.
+DEFAULT_LEASE_S = 30.0
+
+#: Give up and record a terminal failure after this many executions of
+#: the same job (first attempt included).
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass
+class Claim:
+    """One worker's lease on one job."""
+
+    key: str
+    job: Job
+    attempts: int  #: 1-based: the attempt this claim is executing
+    worker: str
+    deadline: float
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    """Atomic publish: readers never observe partial files."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> dict | None:
+    """Read a payload, or None if it vanished or is mid-write garbage."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+class Spool:
+    """A filesystem job queue with leases, crash requeue and failures.
+
+    Args:
+        root: the spool directory (created on :meth:`ensure`).
+        lease_s: how long a claim stays valid between heartbeats.
+        max_attempts: executions per job before a terminal failure.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.root = Path(root)
+        self.lease_s = lease_s
+        self.max_attempts = max_attempts
+        self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
+        self.requeue_dir = self.root / "requeue"
+        self.failed_dir = self.root / "failed"
+        self.workers_dir = self.root / "workers"
+
+    def ensure(self) -> "Spool":
+        for directory in (
+            self.jobs_dir, self.claims_dir, self.requeue_dir,
+            self.failed_dir, self.workers_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- enqueue ----------------------------------------------------------
+
+    def enqueue(self, jobs) -> int:
+        """Publish jobs as pending; returns how many were newly enqueued.
+
+        Idempotent by content address: a key already pending or claimed
+        is left alone (another shard or an earlier round published it).
+        A stale terminal failure for a re-enqueued key is cleared first —
+        failures are environment artefacts and must be retried, exactly
+        as the result cache never serves them.
+        """
+        self.ensure()
+        enqueued = 0
+        for job in jobs:
+            key = job.key()
+            if (self.jobs_dir / f"{key}.json").exists() or (
+                self.claims_dir / f"{key}.json"
+            ).exists():
+                continue
+            try:
+                (self.failed_dir / f"{key}.json").unlink()
+            except OSError:
+                pass
+            _write_json(
+                self.jobs_dir / f"{key}.json",
+                {"job": job.canonical(), "attempts": 0, "enqueued_at": time.time()},
+            )
+            enqueued += 1
+        return enqueued
+
+    # -- claim / heartbeat / complete -------------------------------------
+
+    def claim(self, worker: str, now: float | None = None) -> Claim | None:
+        """Atomically claim one pending job, oldest key first.
+
+        ``O_CREAT | O_EXCL`` on the claim file is the mutual exclusion:
+        exactly one claimer wins each key, with no locks and no broker.
+        Returns ``None`` when nothing is claimable.
+        """
+        now = now if now is not None else time.time()
+        try:
+            pending = sorted(path.name for path in self.jobs_dir.glob("*.json"))
+        except OSError:
+            return None
+        for name in pending:
+            payload = _read_json(self.jobs_dir / name)
+            if payload is None:
+                continue
+            key = name[: -len(".json")]
+            deadline = now + self.lease_s
+            claim_payload = dict(
+                payload,
+                attempts=int(payload.get("attempts", 0)) + 1,
+                worker=worker,
+                claimed_at=now,
+                deadline=deadline,
+            )
+            claim_path = self.claims_dir / name
+            try:
+                fd = os.open(
+                    claim_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                continue  # lost the race for this key
+            except OSError:
+                continue
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(claim_payload, handle)
+            except BaseException:
+                try:
+                    claim_path.unlink()
+                except OSError:
+                    pass
+                raise
+            try:
+                (self.jobs_dir / name).unlink()
+            except OSError:
+                pass  # already consumed by a racing reaper; claim stands
+            return Claim(
+                key=key,
+                job=Job.from_canonical(claim_payload["job"]),
+                attempts=claim_payload["attempts"],
+                worker=worker,
+                deadline=deadline,
+            )
+        return None
+
+    def heartbeat(self, claim: Claim, now: float | None = None) -> None:
+        """Extend a claim's lease (atomic rewrite of the claim file)."""
+        now = now if now is not None else time.time()
+        path = self.claims_dir / f"{claim.key}.json"
+        payload = _read_json(path)
+        if payload is None or payload.get("worker") != claim.worker:
+            return  # lease already lost; the reaper owns this key now
+        claim.deadline = now + self.lease_s
+        payload["deadline"] = claim.deadline
+        _write_json(path, payload)
+
+    def complete(self, claim: Claim) -> None:
+        """Release a finished claim (the result already landed elsewhere)."""
+        try:
+            (self.claims_dir / f"{claim.key}.json").unlink()
+        except OSError:
+            pass  # lease expired and was reaped mid-run: benign duplicate
+
+    # -- crash requeue ----------------------------------------------------
+
+    def requeue_expired(self, now: float | None = None) -> int:
+        """Requeue every claim whose lease deadline has passed.
+
+        Any participant (worker between jobs, the backend while polling)
+        may run this; the rename into ``requeue/`` makes each expiry
+        single-winner. Returns the number of claims acted on. Also
+        recovers ``requeue/`` orphans left by a reaper that died between
+        its rename and its republish.
+        """
+        now = now if now is not None else time.time()
+        acted = 0
+        for path in self.claims_dir.glob("*.json"):
+            payload = _read_json(path)
+            if payload is None:
+                continue
+            deadline = payload.get("deadline")
+            if not isinstance(deadline, (int, float)) or deadline >= now:
+                continue
+            staged = self.requeue_dir / path.name
+            try:
+                os.replace(path, staged)  # single winner per expiry
+            except OSError:
+                continue
+            self._republish(staged, payload)
+            acted += 1
+        # Orphan recovery: a reaper died after the rename above. The
+        # staged file is untouched by anyone else, so age (mtime) older
+        # than a lease means its owner is gone.
+        for staged in self.requeue_dir.glob("*.json"):
+            try:
+                if now - staged.stat().st_mtime < self.lease_s:
+                    continue
+            except OSError:
+                continue
+            payload = _read_json(staged)
+            if payload is None:
+                continue
+            self._republish(staged, payload)
+            acted += 1
+        return acted
+
+    def _republish(self, staged: Path, payload: dict) -> None:
+        """Second half of a requeue: back to pending, or terminally failed."""
+        attempts = int(payload.get("attempts", 1))
+        key = staged.name[: -len(".json")]
+        if attempts >= self.max_attempts:
+            result = JobResult(
+                job_key=key,
+                ok=False,
+                error=(
+                    f"gave up after {attempts} attempt(s): lease expired "
+                    f"(last worker {payload.get('worker', '?')!r} died or stalled)"
+                ),
+            )
+            self.record_failure(key, result, attempts)
+        else:
+            _write_json(
+                self.jobs_dir / staged.name,
+                {
+                    "job": payload["job"],
+                    "attempts": attempts,
+                    "enqueued_at": time.time(),
+                },
+            )
+        try:
+            staged.unlink()
+        except OSError:
+            pass
+
+    def requeue_claim(self, claim: Claim) -> None:
+        """Republish a claimed job for a fresh attempt (failed execution).
+
+        The attempt count carries over, so deterministic failures burn
+        through ``max_attempts`` instead of cycling forever. The caller
+        still holds the claim while this runs (publish-then-release), so
+        no other worker can claim the key before the republish lands.
+        """
+        _write_json(
+            self.jobs_dir / f"{claim.key}.json",
+            {
+                "job": claim.job.canonical(),
+                "attempts": claim.attempts,
+                "enqueued_at": time.time(),
+            },
+        )
+
+    # -- terminal failures ------------------------------------------------
+
+    def record_failure(self, key: str, result: JobResult, attempts: int) -> None:
+        """Persist a terminal failed result for the backend to collect."""
+        _write_json(
+            self.failed_dir / f"{key}.json",
+            {"result": result.to_dict(), "attempts": attempts},
+        )
+
+    def failed_result(self, key: str) -> JobResult | None:
+        payload = _read_json(self.failed_dir / f"{key}.json")
+        if payload is None:
+            return None
+        try:
+            return JobResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- shutdown sentinel ------------------------------------------------
+
+    @property
+    def _stop_path(self) -> Path:
+        return self.root / STOP_SENTINEL
+
+    def request_stop(self) -> None:
+        self.ensure()
+        self._stop_path.touch()
+
+    def clear_stop(self) -> None:
+        try:
+            self._stop_path.unlink()
+        except OSError:
+            pass
+
+    def stop_requested(self) -> bool:
+        return self._stop_path.exists()
+
+    # -- observability ----------------------------------------------------
+
+    def write_worker_stats(self, worker: str, payload: dict) -> None:
+        """Publish one worker's stats snapshot (``workers/<id>.json``)."""
+        _write_json(self.workers_dir / f"{worker}.json", payload)
+
+    def worker_stats(self) -> dict[str, dict]:
+        """All published worker stats, by worker id."""
+        stats: dict[str, dict] = {}
+        for path in self.workers_dir.glob("*.json"):
+            payload = _read_json(path)
+            if payload is not None:
+                stats[path.name[: -len(".json")]] = payload
+        return stats
+
+    def pending_count(self) -> int:
+        return sum(1 for _ in self.jobs_dir.glob("*.json"))
+
+    def claimed_count(self) -> int:
+        return sum(1 for _ in self.claims_dir.glob("*.json"))

@@ -1,0 +1,203 @@
+"""Long-lived ``deft worker`` processes.
+
+A worker is the remote half of the ROADMAP's execution model: its warm
+state is exactly one :class:`~repro.runner.session.SessionContext`. It
+attaches to a spool directory, drains the job stream — claiming, heart-
+beating, executing through the process session so repeated topologies
+amortize their builds — and hands successful results to the shared
+content-addressed :class:`~repro.runner.cache.ResultCache`. Failed
+executions are retried by requeueing up to the spool's ``max_attempts``;
+the final failure lands in the spool's ``failed/`` directory for the
+backend to collect.
+
+After every job the worker serializes its session stats (system /
+algorithm / route-table / fault-state hit counts) into
+``<spool>/workers/<id>.json``, so an operator of a many-machine campaign
+can see exactly how warm each worker is without attaching a debugger.
+
+Exit conditions: the spool's ``STOP`` sentinel, ``max_jobs`` executed,
+or ``idle_timeout_s`` with nothing claimable. Between claims an idle
+worker also acts as the reaper for other workers' expired leases.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+from ..runner.cache import ResultCache
+from ..runner.execute import execute_job
+from ..runner.session import SessionContext, get_session
+from ..runner.spec import Job
+from .spool import Claim, Spool
+
+#: How often an idle worker polls the spool for new jobs.
+DEFAULT_POLL_S = 0.1
+
+
+class _Heartbeat:
+    """Background thread extending one claim's lease while a job runs.
+
+    The executor is a single long synchronous call, so the lease must be
+    renewed off-thread; the interval is a fraction of the lease so a
+    healthy worker can never look dead.
+    """
+
+    def __init__(self, spool: Spool, claim: Claim):
+        self._spool = spool
+        self._claim = claim
+        self._interval = max(0.05, spool.lease_s / 4.0)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._spool.heartbeat(self._claim)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def _session_stats(session: SessionContext | None) -> dict[str, int]:
+    """The session's (category, hit/miss) counters as flat JSON keys."""
+    if session is None:
+        return {}
+    return {
+        f"{category}.{kind}": count
+        for (category, kind), count in sorted(session.stats.items())
+    }
+
+
+def run_worker(
+    spool_dir: str | Path,
+    cache: ResultCache,
+    *,
+    worker_id: str | None = None,
+    lease_s: float | None = None,
+    max_attempts: int | None = None,
+    poll_s: float = DEFAULT_POLL_S,
+    idle_timeout_s: float | None = None,
+    max_jobs: int | None = None,
+    use_session: bool = True,
+    heartbeat: bool = True,
+) -> dict:
+    """Drain a spool until stopped; returns the final stats payload.
+
+    Args:
+        spool_dir: the spool to attach to.
+        cache: where successful results land (the shared merge point).
+        worker_id: identity for leases and stats; defaults to host+pid.
+        lease_s / max_attempts: spool protocol overrides.
+        poll_s: idle polling interval.
+        idle_timeout_s: exit after this long with nothing claimable
+            (``None`` = wait for the ``STOP`` sentinel indefinitely).
+        max_jobs: exit after executing this many jobs (tests, draining).
+        use_session: keep this process's warm
+            :class:`~repro.runner.session.SessionContext` across jobs.
+        heartbeat: renew leases while executing (disabled only by tests
+            that simulate a stalled worker).
+    """
+    spool = Spool(
+        spool_dir,
+        **{
+            key: value
+            for key, value in (
+                ("lease_s", lease_s), ("max_attempts", max_attempts)
+            )
+            if value is not None
+        },
+    ).ensure()
+    if worker_id is None:
+        worker_id = f"{os.uname().nodename}-{os.getpid()}"
+    session = get_session() if use_session else None
+    stats = {
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "started_at": time.time(),
+        "jobs_done": 0,
+        "jobs_failed": 0,
+        "requeues_swept": 0,
+    }
+
+    def publish() -> None:
+        stats["updated_at"] = time.time()
+        stats["session"] = _session_stats(session)
+        spool.write_worker_stats(worker_id, stats)
+
+    publish()
+    idle_since = time.monotonic()
+    while True:
+        if spool.stop_requested():
+            break
+        if max_jobs is not None and stats["jobs_done"] >= max_jobs:
+            break
+        claim = spool.claim(worker_id)
+        if claim is None:
+            swept = spool.requeue_expired()
+            stats["requeues_swept"] += swept
+            if swept:
+                continue
+            if (
+                idle_timeout_s is not None
+                and time.monotonic() - idle_since >= idle_timeout_s
+            ):
+                break
+            time.sleep(poll_s)
+            continue
+        idle_since = time.monotonic()
+        result = _execute_claim(
+            spool, cache, claim, session, heartbeat=heartbeat
+        )
+        stats["jobs_done"] += 1
+        if not result.ok:
+            stats["jobs_failed"] += 1
+        publish()
+        idle_since = time.monotonic()
+    publish()
+    return stats
+
+
+def _execute_claim(
+    spool: Spool,
+    cache: ResultCache,
+    claim: Claim,
+    session: SessionContext | None,
+    heartbeat: bool = True,
+):
+    """Execute one claimed job and land its result.
+
+    A result another worker already published (duplicate execution after
+    a lease expiry, or an overlapping campaign) short-circuits the run —
+    the cache is the source of truth either way. Failed executions are
+    requeued for a fresh attempt until ``max_attempts``, then recorded
+    terminally in the spool.
+    """
+    job: Job = claim.job
+    cached = cache.get(job)
+    if cached is not None:
+        spool.complete(claim)
+        return cached
+    if heartbeat:
+        with _Heartbeat(spool, claim):
+            result = execute_job(job, session=session)
+    else:
+        result = execute_job(job, session=session)
+    if result.ok:
+        cache.put(job, result)
+    elif claim.attempts >= spool.max_attempts:
+        spool.record_failure(claim.key, result, claim.attempts)
+    else:
+        # A failed execution gets a fresh attempt on any worker: the
+        # failure may be environmental (OOM kill of a sibling, a flaky
+        # mount). The carried attempt count makes deterministic failures
+        # terminal after max_attempts instead of cycling forever.
+        spool.requeue_claim(claim)
+    spool.complete(claim)
+    return result

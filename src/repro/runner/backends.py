@@ -9,7 +9,14 @@ numbers.
 * :class:`SerialBackend` — in-process loop; zero overhead, the default.
 * :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool with
   per-job timeout and crash capture. Simulation points are embarrassingly
-  parallel (no shared state), so this scales with cores.
+  parallel (no shared state), so this scales with cores. The pool is
+  *persistent* by default: it (and each worker's warm session) survives
+  across ``run`` calls until :meth:`~ExecutionBackend.close`, so
+  multi-round callers like adaptive Monte Carlo stop re-paying startup
+  and offline-optimization costs per round.
+* :class:`repro.distributed.SpoolBackend` (separate subsystem) — the
+  same contract over a filesystem job spool and long-lived worker
+  processes, for campaigns spanning machines.
 
 Both backends run jobs through their worker's
 :class:`~repro.runner.session.SessionContext` by default (serial: the
@@ -27,6 +34,7 @@ import math
 import os
 import signal
 import time
+import weakref
 from typing import Callable, Sequence
 
 from .execute import execute_job
@@ -36,6 +44,11 @@ from .spec import Job
 
 #: Progress callback: (completed_count, total, job, result).
 ProgressFn = Callable[[int, int, Job, JobResult], None]
+
+
+def _abandon_executor(executor: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Finalizer for persistent pools whose backend was garbage-collected."""
+    executor.shutdown(wait=False, cancel_futures=True)
 
 
 class JobTimeout(Exception):
@@ -81,6 +94,19 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
         """Execute ``jobs``; the result list is aligned with the input."""
+
+    #: True when ``run`` already lands successful results in a result
+    #: cache (exposed as a ``cache`` attribute) as part of executing —
+    #: the runner then skips its own redundant write-back.
+    persists_results = False
+
+    def close(self) -> None:
+        """Release long-lived resources (worker processes, executors).
+
+        Backends that keep workers alive between ``run`` calls override
+        this; running after ``close`` is backend-defined. The default is
+        a no-op so callers can close any backend unconditionally.
+        """
 
     @property
     def workers(self) -> int:
@@ -133,6 +159,12 @@ class ProcessPoolBackend(ExecutionBackend):
             :class:`~repro.runner.session.SessionContext` warm across the
             jobs it executes (systems, algorithms, compiled route
             tables). ``False`` restores per-job rebuilds.
+        persistent: keep the executor — and therefore the worker
+            processes and their warm sessions — alive across ``run``
+            calls. Multi-round callers (adaptive Monte Carlo doubling)
+            stop re-paying pool startup and DeFT's offline optimization
+            per round; :meth:`close` (or garbage collection) releases the
+            pool. ``False`` restores the shut-down-per-batch behaviour.
     """
 
     def __init__(
@@ -141,10 +173,14 @@ class ProcessPoolBackend(ExecutionBackend):
         timeout: float | None = None,
         start_method: str | None = None,
         use_session: bool = True,
+        persistent: bool = True,
     ):
         self._workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.timeout = timeout
         self.use_session = use_session
+        self.persistent = persistent
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self._finalizer = None
         self._context = None
         if start_method is not None:
             import multiprocessing
@@ -154,6 +190,37 @@ class ProcessPoolBackend(ExecutionBackend):
     @property
     def workers(self) -> int:
         return self._workers
+
+    def _persistent_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The shared executor, created on first use.
+
+        Sized to the full worker count regardless of batch size —
+        ``ProcessPoolExecutor`` spawns processes on demand, and a later,
+        larger round must not be capped by an earlier small one.
+        """
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self._workers, mp_context=self._context
+            )
+            # GC safety net: a dropped backend must not leak its pool.
+            self._finalizer = weakref.finalize(
+                self, _abandon_executor, self._executor
+            )
+        return self._executor
+
+    def _discard_executor(self, stuck: bool) -> None:
+        """Drop the shared executor (stuck worker, broken pool)."""
+        if self._executor is None:
+            return
+        executor, self._executor = self._executor, None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        executor.shutdown(wait=not stuck, cancel_futures=stuck)
+
+    def close(self) -> None:
+        """Shut the persistent pool down; the next ``run`` re-creates it."""
+        self._discard_executor(stuck=False)
 
     def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
         if not jobs:
@@ -170,10 +237,14 @@ class ProcessPoolBackend(ExecutionBackend):
             waves = math.ceil(len(jobs) / pool_size)
             deadline = time.monotonic() + self.timeout * waves
         timed_out = False
+        broken = False
         results: list[JobResult] = []
-        executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=pool_size, mp_context=self._context
-        )
+        if self.persistent:
+            executor = self._persistent_executor()
+        else:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=self._context
+            )
         try:
             futures = [
                 executor.submit(
@@ -197,6 +268,11 @@ class ProcessPoolBackend(ExecutionBackend):
                         error=f"job timed out after {self.timeout}s ({job.label})",
                     )
                 except Exception as exc:  # e.g. BrokenProcessPool, pickling
+                    # Only a broken executor poisons the pool; a per-job
+                    # failure (unpicklable result, ...) must not cost a
+                    # persistent backend its warm worker sessions.
+                    if isinstance(exc, concurrent.futures.BrokenExecutor):
+                        broken = True
                     result = JobResult(
                         job_key=job.key(),
                         ok=False,
@@ -208,6 +284,11 @@ class ProcessPoolBackend(ExecutionBackend):
         finally:
             # A parent-side timeout (no-SIGALRM platforms) means a worker
             # may genuinely be stuck; abandon it instead of blocking the
-            # campaign on a shutdown join it can never finish.
-            executor.shutdown(wait=not timed_out, cancel_futures=timed_out)
+            # campaign on a shutdown join it can never finish. A broken
+            # pool cannot be reused either — a persistent backend drops
+            # it and re-creates a fresh pool on the next run.
+            if not self.persistent:
+                executor.shutdown(wait=not timed_out, cancel_futures=timed_out)
+            elif timed_out or broken:
+                self._discard_executor(stuck=timed_out)
         return results

@@ -11,13 +11,21 @@ truncated entry behind.
 Only successful results are persisted: errors and timeouts are
 environment artefacts, not properties of the spec, and must be retried
 on the next campaign.
+
+Entries can optionally be gzip-compressed (``ResultCache(root,
+compress=True)`` writes ``<key>.json.gz``); reads transparently accept
+both forms, so a cache can be migrated — or shared between compressing
+and non-compressing campaigns — without invalidation. Large Monte Carlo
+caches are mostly repetitive JSON structure and compress well.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -38,11 +46,17 @@ class CacheStats:
     corrupt: int      #: unreadable/garbled entries — treated as misses
     tmp_files: int    #: orphaned ``.tmp`` files left behind by killed runs
     total_bytes: int  #: bytes across everything counted above
+    compressed: int = 0  #: how many of ``entries`` are gzip-compressed
 
     def summary(self) -> str:
         line = (
             f"{self.entries} cached result(s), {self.total_bytes / 1024:.1f} KiB"
         )
+        if self.entries:
+            line += (
+                f" ({self.compressed} compressed, "
+                f"{self.entries - self.compressed} uncompressed)"
+            )
         extras = []
         if self.stale:
             extras.append(f"{self.stale} stale")
@@ -56,37 +70,65 @@ class CacheStats:
 
 
 class ResultCache:
-    """Maps canonical job specs to stored :class:`JobResult` JSON files."""
+    """Maps canonical job specs to stored :class:`JobResult` JSON files.
 
-    def __init__(self, root: str | Path):
+    Args:
+        root: cache directory.
+        compress: gzip new entries (``<key>.json.gz``). Reads always
+            accept both forms regardless of this flag, so mixed caches
+            stay fully servable.
+    """
+
+    def __init__(self, root: str | Path, compress: bool = False):
         self.root = Path(root)
+        self.compress = compress
         self.hits = 0
         self.misses = 0
 
     def path_for(self, job: Job) -> Path:
+        """Where :meth:`put` would write this job's entry."""
         key = job.key()
-        return self.root / key[:2] / f"{key}.json"
+        suffix = ".json.gz" if self.compress else ".json"
+        return self.root / key[:2] / f"{key}{suffix}"
+
+    def _candidate_paths(self, job: Job) -> tuple[Path, Path]:
+        """Both storable forms, the configured one first."""
+        key = job.key()
+        shard = self.root / key[:2]
+        plain = shard / f"{key}.json"
+        packed = shard / f"{key}.json.gz"
+        return (packed, plain) if self.compress else (plain, packed)
+
+    @staticmethod
+    def _read_payload(path: Path) -> dict:
+        """Load one entry, decompressing by file name."""
+        if path.name.endswith(".gz"):
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                return json.load(handle)
+        return json.loads(path.read_text())
 
     def get(self, job: Job) -> JobResult | None:
         """The cached result for a job, or None (corrupt entries = miss)."""
-        path = self.path_for(job)
-        try:
-            payload = json.loads(path.read_text())
-            result = JobResult.from_dict(payload["result"])
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # A truncated/garbled entry is treated as a miss and will be
-            # overwritten by the fresh result.
-            self.misses += 1
-            return None
-        if payload.get("version") != SPEC_VERSION or not result.ok:
-            self.misses += 1
-            return None
-        self.hits += 1
-        result.cached = True
-        return result
+        for path in self._candidate_paths(job):
+            try:
+                payload = self._read_payload(path)
+                result = JobResult.from_dict(payload["result"])
+            except FileNotFoundError:
+                continue
+            except (OSError, EOFError, zlib.error, json.JSONDecodeError,
+                    KeyError, TypeError, ValueError):
+                # A truncated/garbled entry — EOFError/zlib.error are
+                # gzip's truncation/corruption signals, e.g. from a
+                # partial copy of a shared cache — is treated as a miss
+                # and will be overwritten by the fresh result.
+                continue
+            if payload.get("version") != SPEC_VERSION or not result.ok:
+                continue
+            self.hits += 1
+            result.cached = True
+            return result
+        self.misses += 1
+        return None
 
     def put(self, job: Job, result: JobResult) -> None:
         """Persist a successful result; failed results are never cached."""
@@ -99,12 +141,21 @@ class ResultCache:
             "job": job.canonical(),
             "result": result.to_dict(),
         }
+        text = json.dumps(payload)
         # Atomic publish: concurrent writers of the same key race benignly
         # (identical content), and readers never observe partial files.
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+            if self.compress:
+                with os.fdopen(fd, "wb") as handle:
+                    # mtime=0 keeps same-content writes byte-identical.
+                    with gzip.GzipFile(
+                        fileobj=handle, mode="wb", mtime=0
+                    ) as packed:
+                        packed.write(text.encode("utf-8"))
+            else:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -123,14 +174,20 @@ class ResultCache:
         census simply skips it rather than miscounting or crashing.
         """
         try:
-            payload = json.loads(path.read_text())
+            payload = self._read_payload(path)
             version = payload["version"]
             JobResult.from_dict(payload["result"])
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        except (OSError, EOFError, zlib.error, json.JSONDecodeError, KeyError,
+                TypeError, ValueError):
             return "corrupt"
         return "entries" if version == SPEC_VERSION else "stale"
+
+    def _entry_paths(self):
+        """Every stored entry, both plain and gzip-compressed forms."""
+        yield from self.root.glob("*/*.json")
+        yield from self.root.glob("*/*.json.gz")
 
     @staticmethod
     def _size(path: Path) -> int | None:
@@ -157,15 +214,18 @@ class ResultCache:
         silently accumulating.
         """
         counts = {"entries": 0, "stale": 0, "corrupt": 0}
+        compressed = 0
         tmp_files = 0
         total_bytes = 0
         if not self.root.is_dir():
             return CacheStats(0, 0, 0, 0, 0)
-        for path in self.root.glob("*/*.json"):
+        for path in self._entry_paths():
             bucket = self._classify(path)
             if bucket is None:
                 continue
             counts[bucket] += 1
+            if bucket == "entries" and path.name.endswith(".gz"):
+                compressed += 1
             total_bytes += self._size(path) or 0
         for path in self.root.glob("*/*.tmp"):
             size = self._size(path)
@@ -179,6 +239,7 @@ class ResultCache:
             corrupt=counts["corrupt"],
             tmp_files=tmp_files,
             total_bytes=total_bytes,
+            compressed=compressed,
         )
 
     def prune(
@@ -211,11 +272,12 @@ class ResultCache:
                 )
             cutoff = (now if now is not None else time.time()) - older_than_days * 86_400
         removed = {"entries": 0, "stale": 0, "corrupt": 0}
+        compressed_removed = 0
         tmp_removed = 0
         bytes_removed = 0
         if not self.root.is_dir():
             return CacheStats(0, 0, 0, 0, 0)
-        for path in self.root.glob("*/*.json"):
+        for path in self._entry_paths():
             bucket = self._classify(path)
             if bucket is None:
                 continue
@@ -228,6 +290,8 @@ class ResultCache:
             except OSError:
                 continue
             removed[bucket] += 1
+            if bucket == "entries" and path.name.endswith(".gz"):
+                compressed_removed += 1
             bytes_removed += size or 0
         for path in self.root.glob("*/*.tmp"):
             size = self._size(path)
@@ -249,6 +313,7 @@ class ResultCache:
             corrupt=removed["corrupt"],
             tmp_files=tmp_removed,
             total_bytes=bytes_removed,
+            compressed=compressed_removed,
         )
 
     def __len__(self) -> int:

@@ -121,6 +121,17 @@ class CampaignRunner:
         self.backend = backend or SerialBackend()
         self.cache = cache
 
+    def close(self) -> None:
+        """Release the backend's long-lived resources (persistent pools,
+        autospawned spool workers). Safe to call on any backend."""
+        self.backend.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def run(
         self,
         campaign: Campaign | Sequence[Job],
@@ -162,9 +173,20 @@ class CampaignRunner:
 
         if pending:
             executed = self.backend.run(pending, on_result=on_result)
+            # Backends that already persist results into this same cache
+            # as part of executing (the spool's workers write each
+            # success before the backend even sees it) must not pay a
+            # second serialize + atomic-replace per job — on the shared
+            # network mounts spool campaigns run over, that write is the
+            # slowest path in the system.
+            write_back = self.cache is not None and not (
+                getattr(self.backend, "persists_results", False)
+                and getattr(self.backend, "cache", None) is not None
+                and self.backend.cache.root == self.cache.root
+            )
             for job, result in zip(pending, executed):
                 resolved[job.key()] = result
-                if self.cache is not None:
+                if write_back:
                     self.cache.put(job, result)
 
         report = CampaignReport(

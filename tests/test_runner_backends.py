@@ -22,6 +22,13 @@ TINY = SimulationConfig(
 )
 
 
+def _worker_session_counters() -> dict:
+    """Module-level (picklable) probe: a pool worker's session stats."""
+    from repro.runner.session import get_session
+
+    return dict(get_session().stats)
+
+
 def small_grid() -> list[Job]:
     """A miniature fig4-style grid: 2 algorithms x 2 rates x 2 seeds."""
     return sweep_jobs(
@@ -203,6 +210,70 @@ class TestNoSigalrmFallback:
         results = ProcessPoolBackend(workers=1, timeout=None).run(small_grid()[:1])
         assert results[0].ok
         assert waits == [None]
+
+
+class TestPersistentPool:
+    """The pool (and its workers' warm sessions) survives between runs."""
+
+    def test_executor_survives_across_runs(self):
+        backend = ProcessPoolBackend(workers=2)
+        try:
+            first = backend.run(small_grid()[:2])
+            executor = backend._executor
+            assert executor is not None
+            second = backend.run(small_grid()[2:4])
+            assert backend._executor is executor
+        finally:
+            backend.close()
+        assert backend._executor is None
+        assert all(r.ok for r in first + second)
+
+    def test_multi_round_results_match_serial(self):
+        """The adaptive Monte Carlo shape: several runs on one backend."""
+        jobs = small_grid()
+        serial = SerialBackend().run(jobs)
+        backend = ProcessPoolBackend(workers=2)
+        try:
+            pooled = backend.run(jobs[:2]) + backend.run(jobs[2:])
+        finally:
+            backend.close()
+        assert pooled == serial
+
+    def test_close_then_run_recreates_pool(self):
+        backend = ProcessPoolBackend(workers=1)
+        try:
+            backend.run(small_grid()[:1])
+            backend.close()
+            results = backend.run(small_grid()[1:2])
+            assert results[0].ok
+        finally:
+            backend.close()
+
+    def test_non_persistent_opt_out(self):
+        backend = ProcessPoolBackend(workers=1, persistent=False)
+        results = backend.run(small_grid()[:1])
+        assert results[0].ok
+        assert backend._executor is None
+
+    def test_worker_session_survives_rounds(self):
+        """The satellite's point: round 2 is served by warm sessions, so
+        the per-round algorithm (DeFT offline optimization) build cost
+        disappears. Observed via the worker-side session stats."""
+        backend = ProcessPoolBackend(workers=1)
+        try:
+            backend.run(small_grid()[:1])
+            executor = backend._executor
+            before = executor.submit(_worker_session_counters).result()
+            backend.run(small_grid()[1:2])
+            after = executor.submit(_worker_session_counters).result()
+        finally:
+            backend.close()
+        # Same process, same session: the second round added hits, and no
+        # new system build happened (both jobs share the topology). Only
+        # deltas are asserted — under the fork start method a worker
+        # inherits whatever warm session the parent process had.
+        assert after[("system", "hit")] > before.get(("system", "hit"), 0)
+        assert after.get(("system", "miss"), 0) == before.get(("system", "miss"), 0)
 
 
 class TestExperimentEquivalence:
