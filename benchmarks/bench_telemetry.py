@@ -1,0 +1,221 @@
+"""Telemetry overhead benchmark: instrumented vs dark, same campaign.
+
+The acceptance bar for the telemetry layer is that a fully instrumented
+run — process metrics recording every job phase and simulator counters,
+plus a structured JSONL event stream per job — costs at most 5% over the
+same campaign with telemetry disabled.
+
+``test_telemetry_overhead`` measures that on the representative
+warm-session workload: a fig4-shaped simulate grid (3 algorithms x 2
+rates x 2 seeds on the 4-chiplet baseline) where each job runs a real
+cycle-accurate window. Runs alternate disabled/enabled three times each
+and compare medians, so a one-off scheduler hiccup cannot decide the
+verdict. This case also guards the simulator's hot loop: telemetry is
+recorded once per *run*, and anything accidentally moved into the
+per-cycle path would blow the 5% budget instantly.
+
+``test_event_unit_cost`` records the absolute worst case — sub-
+millisecond analytic Monte Carlo jobs where two event emits + phase
+histograms are a visible fraction of the job — as a per-job unit cost
+in microseconds. It is informational (no 5% bar: no real campaign is
+made of 0.2 ms jobs) but pins the constant in ``BENCH_telemetry.json``
+so regressions in the emit path are visible across PRs.
+"""
+
+import statistics
+import time
+
+from repro.config import SimulationConfig
+from repro.experiments.common import effective_scale
+from repro.montecarlo import run_montecarlo
+from repro.runner import (
+    Campaign,
+    CampaignRunner,
+    Job,
+    SerialBackend,
+    SystemRef,
+    TrafficSpec,
+)
+from repro.telemetry import (
+    EventWriter,
+    read_events,
+    set_enabled,
+    telemetry_enabled,
+)
+from repro.telemetry.metrics import get_registry
+
+from conftest import _SESSION_REPORTS
+
+STRICT_TIMING = effective_scale(None) >= 0.5
+
+#: Telemetry overhead budget on the simulate workload: enabled may cost
+#: at most this much over disabled (median of ROUNDS runs each).
+MAX_OVERHEAD = 0.05
+
+ROUNDS = 3
+
+#: ~165 ms/job: long enough to be a realistic simulation, short enough
+#: that the full alternating comparison stays under ~15 s.
+_SIM_CONFIG = SimulationConfig(
+    warmup_cycles=100, measure_cycles=600,
+    drain_cycles=3_000, watchdog_cycles=10_000,
+)
+
+MC_ARGS = (SystemRef.baseline4(), ("deft", "mtr", "rc"), (2, 8), 60)
+
+
+def _simulate_jobs() -> list[Job]:
+    return [
+        Job.make(
+            SystemRef.baseline4(), algorithm,
+            TrafficSpec.make("uniform", rate=rate), _SIM_CONFIG, seed=seed,
+        )
+        for algorithm in ("deft", "mtr", "rc")
+        for rate in (0.004, 0.008)
+        for seed in (1, 2)
+    ]
+
+
+def _alternate(run_once, events_path):
+    """ROUNDS alternating dark/instrumented runs; returns the raw data.
+
+    ``run_once(events)`` executes the workload and returns (result,
+    elapsed_s). Alternating interleaves the modes through any slow drift
+    of the machine; medians then discard one-off hiccups.
+    """
+    dark_times, lit_times = [], []
+    dark_result = lit_result = None
+    try:
+        for round_index in range(ROUNDS):
+            set_enabled(False)
+            dark_result, elapsed = run_once(None)
+            dark_times.append(elapsed)
+
+            set_enabled(True)
+            writer = EventWriter(events_path, f"bench-{round_index}")
+            try:
+                lit_result, elapsed = run_once(writer)
+            finally:
+                writer.close()
+            lit_times.append(elapsed)
+    finally:
+        set_enabled(True)
+    return dark_times, lit_times, dark_result, lit_result
+
+
+def test_telemetry_overhead(tmp_path, bench_metrics):
+    assert telemetry_enabled(), "benchmark must start with telemetry on"
+    jobs = _simulate_jobs()
+
+    def run_once(events):
+        runner = CampaignRunner(backend=SerialBackend(events=events))
+        start = time.perf_counter()
+        report = runner.run(Campaign(name="telemetry-bench", jobs=tuple(jobs)))
+        elapsed = time.perf_counter() - start
+        report.raise_if_failed()
+        return report, elapsed
+
+    # Warm the process session once, untimed: both modes then measure
+    # steady-state execution, not the one-off topology/algorithm builds.
+    run_once(None)
+
+    events_path = tmp_path / "sim-events.jsonl"
+    dark_times, lit_times, dark_report, lit_report = _alternate(
+        run_once, events_path
+    )
+
+    dark_s = statistics.median(dark_times)
+    lit_s = statistics.median(lit_times)
+    overhead = lit_s / max(dark_s, 1e-9) - 1.0
+
+    lines = [
+        f"== bench_telemetry: instrumented vs dark ({len(jobs)} simulate "
+        f"jobs, median of {ROUNDS}) ==",
+        f"  telemetry off:        {dark_s:7.2f}s",
+        f"  metrics + events on:  {lit_s:7.2f}s "
+        f"(overhead {overhead * 100:+.1f}%, budget "
+        f"{MAX_OVERHEAD * 100:.0f}%)",
+        f"  instruments live:     {len(get_registry())}",
+    ]
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        jobs=len(jobs), rounds=ROUNDS,
+        dark_s=round(dark_s, 3), lit_s=round(lit_s, 3),
+        dark_times=[round(t, 3) for t in dark_times],
+        lit_times=[round(t, 3) for t in lit_times],
+        overhead_pct=round(overhead * 100, 2),
+        max_overhead_pct=MAX_OVERHEAD * 100,
+    )
+
+    # Correctness always: telemetry reads clocks, it never touches the
+    # numbers — results must be identical with it on and off
+    # (JobResult equality excludes the non-semantic duration/cached).
+    assert lit_report.results == dark_report.results
+    # The event stream really was exercised: one phase + one finished
+    # record per executed job, per instrumented round.
+    records = list(read_events(events_path))
+    finished = [r for r in records if r["event"] == "job_finished"]
+    assert len(finished) == ROUNDS * len(jobs)
+
+    if STRICT_TIMING:
+        assert overhead <= MAX_OVERHEAD, (
+            f"telemetry overhead {overhead * 100:.1f}% exceeds "
+            f"{MAX_OVERHEAD * 100:.0f}% budget "
+            f"(dark {dark_s:.2f}s vs instrumented {lit_s:.2f}s)"
+        )
+
+
+def test_event_unit_cost(tmp_path, bench_metrics):
+    """Per-job telemetry constant on sub-millisecond analytic jobs."""
+    assert telemetry_enabled(), "benchmark must start with telemetry on"
+
+    def run_once(events):
+        start = time.perf_counter()
+        outcome = run_montecarlo(
+            *MC_ARGS, seed=0,
+            runner=CampaignRunner(backend=SerialBackend(events=events)),
+        )
+        return outcome, time.perf_counter() - start
+
+    run_once(None)  # warm session
+
+    dark_times, lit_times, dark_outcome, lit_outcome = _alternate(
+        run_once, tmp_path / "mc-events.jsonl"
+    )
+    dark_s = statistics.median(dark_times)
+    lit_s = statistics.median(lit_times)
+    jobs = lit_outcome.campaign.total
+    unit_cost_us = (lit_s - dark_s) / jobs * 1e6
+
+    lines = [
+        f"== bench_telemetry: per-job unit cost ({jobs} analytic Monte "
+        f"Carlo jobs, median of {ROUNDS}) ==",
+        f"  telemetry off:        {dark_s:7.3f}s",
+        f"  metrics + events on:  {lit_s:7.3f}s",
+        f"  per-job cost:         {unit_cost_us:7.1f} us "
+        "(informational: phases + 2 event emits per job)",
+    ]
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        jobs=jobs, rounds=ROUNDS,
+        dark_s=round(dark_s, 3), lit_s=round(lit_s, 3),
+        unit_cost_us=round(unit_cost_us, 1),
+    )
+
+    # Identical estimates on and off — always asserted.
+    assert [p.values for p in lit_outcome.results] == [
+        p.values for p in dark_outcome.results
+    ]
+    if STRICT_TIMING:
+        # Loose sanity bound only: two JSON lines + a handful of
+        # histogram observes must stay well under a millisecond.
+        assert unit_cost_us < 1_000, (
+            f"per-job telemetry cost {unit_cost_us:.0f}us — emit path "
+            "regressed by an order of magnitude"
+        )

@@ -18,8 +18,13 @@ Subcommands:
   results to the shared content-addressed cache (the building block of
   multi-machine campaigns; ``deft campaign --backend spool --workers N``
   autospawns local ones).
-* ``deft cache`` — inspect (``stats``) and clean (``prune``) the
-  content-addressed result cache.
+* ``deft status`` — fleet dashboard for a spool campaign: per-shard
+  progress, worker liveness, stale leases, jobs/sec and job-latency
+  percentiles, reconstructed from the spool's ``manifest/`` telemetry
+  (``--watch`` live view, ``--json`` snapshot, ``--prom`` Prometheus
+  text exposition).
+* ``deft cache`` — inspect (``stats``, with ``--json``) and clean
+  (``prune``) the content-addressed result cache.
 * ``deft optimize`` — run the offline VL-selection optimization and print
   the per-router selection map (the Fig. 3 visualization).
 * ``deft area`` — the Table I area/power model.
@@ -480,17 +485,30 @@ def _parse_shard_arg(text: str) -> tuple[int, int]:
 def _cmd_worker(args: argparse.Namespace) -> int:
     """Run one long-lived spool worker until STOP/idle-timeout/max-jobs."""
     cache = ResultCache(args.cache_dir, compress=args.compress_cache)
-    stats = run_worker(
-        args.spool_dir,
-        cache,
-        worker_id=args.worker_id,
-        lease_s=args.lease,
-        max_attempts=args.max_attempts,
-        poll_s=args.poll,
-        idle_timeout_s=args.idle_timeout,
-        max_jobs=args.max_jobs,
-        use_session=not args.no_session,
-    )
+    server = None
+    if args.metrics_port is not None:
+        from .telemetry.httpd import serve_metrics
+
+        server = serve_metrics(args.metrics_port)
+        print(
+            f"metrics: http://127.0.0.1:{server.server_port}/metrics",
+            file=sys.stderr,
+        )
+    try:
+        stats = run_worker(
+            args.spool_dir,
+            cache,
+            worker_id=args.worker_id,
+            lease_s=args.lease,
+            max_attempts=args.max_attempts,
+            poll_s=args.poll,
+            idle_timeout_s=args.idle_timeout,
+            max_jobs=args.max_jobs,
+            use_session=not args.no_session,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
     print(
         f"worker {stats['worker']}: {stats['jobs_done']} job(s) executed, "
         f"{stats['jobs_failed']} failed, {stats['requeues_swept']} expired "
@@ -501,10 +519,51 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Fleet dashboard: aggregate a spool's manifest/worker/cache state."""
+    import time as time_module
+    from pathlib import Path
+
+    from .telemetry.status import fleet_status, render_prom, render_status
+
+    if not Path(args.spool_dir).is_dir():
+        _args_error(args, f"spool directory not found: {args.spool_dir}")
+
+    def emit_once() -> None:
+        status = fleet_status(
+            args.spool_dir,
+            cache_dir=args.cache_dir,
+            window_s=args.window,
+            stale_worker_s=args.stale_after,
+        )
+        if args.json:
+            print(json.dumps(_without_nan(status), indent=2, allow_nan=False))
+        elif args.prom:
+            print(render_prom(status), end="")
+        else:
+            print(render_status(status))
+
+    if not args.watch:
+        emit_once()
+        return 0
+    try:
+        while True:
+            # ANSI clear + home: a live dashboard, not a scrolling log.
+            print("\x1b[2J\x1b[H", end="")
+            emit_once()
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "stats":
-        print(f"cache {cache.root}: {cache.stats().summary()}")
+        if args.json:
+            payload = {"root": str(cache.root), **cache.stats().to_dict()}
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"cache {cache.root}: {cache.stats().summary()}")
         return 0
     removed = cache.prune(remove_all=args.all, older_than_days=args.older_than)
     what = "everything" if args.all else "stale/corrupt entries and tmp files"
@@ -812,9 +871,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-session", action="store_true",
                    help="rebuild systems/algorithms per job instead of "
                         "keeping this worker's session warm")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve this process's metrics registry as "
+                        "Prometheus text at http://127.0.0.1:PORT/metrics "
+                        "(0 = ephemeral port, printed on stderr)")
     p.add_argument("--json", action="store_true",
                    help="also print the final worker stats as JSON")
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "status",
+        help="fleet dashboard for a spool campaign: per-shard progress, "
+             "worker liveness, job latency, stale leases",
+    )
+    p.add_argument("spool_dir", metavar="SPOOL_DIR",
+                   help="the spool directory to inspect (read-only)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="the campaign's shared result cache, for completion "
+                        f"accounting (default {DEFAULT_CACHE_DIR})")
+    output = p.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="print the full status snapshot as JSON")
+    output.add_argument("--prom", action="store_true",
+                        help="print Prometheus text exposition instead of "
+                             "the human dashboard")
+    p.add_argument("--watch", action="store_true",
+                   help="refresh the dashboard until interrupted")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="refresh interval for --watch (default 2)")
+    p.add_argument("--window", type=float, default=60.0, metavar="SECONDS",
+                   help="trailing window for the jobs/sec estimate")
+    p.add_argument("--stale-after", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="a worker silent this long counts as dead")
+    p.set_defaults(func=_cmd_status, _parser=p)
 
     p = sub.add_parser("cache", help="inspect or clean the result cache")
     p.add_argument("action", choices=["stats", "prune"])
@@ -826,6 +916,8 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="DAYS",
                    help="prune: also remove servable results last written "
                         "more than DAYS days ago")
+    p.add_argument("--json", action="store_true",
+                   help="stats: print the machine-readable census as JSON")
     p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("optimize", help="offline VL-selection optimization map")

@@ -30,6 +30,7 @@ from ..runner.backends import ExecutionBackend, ProgressFn
 from ..runner.cache import ResultCache
 from ..runner.result import JobResult
 from ..runner.spec import Job
+from ..telemetry.manifest import write_campaign_manifest
 from .spool import DEFAULT_LEASE_S, DEFAULT_MAX_ATTEMPTS, Spool
 
 #: Respawned worker budget, as a multiple of the configured worker count.
@@ -114,6 +115,31 @@ class SpoolBackend(ExecutionBackend):
         self._procs: list[subprocess.Popen] = []
         self._spawned = 0
         self._closed = False
+        # The enqueuing side's telemetry stream: its lease-expiry sweeps
+        # and campaign announcements land under the spool's manifest/
+        # area alongside the workers' streams.
+        self.events = self.spool.attach_events(
+            f"enqueuer-{os.uname().nodename}-{os.getpid()}"
+        )
+
+    def announce_campaign(self, campaign) -> None:
+        """Persist the campaign manifest so any process can track it.
+
+        The manifest (name, shard coordinates, full job-key set) plus the
+        ``campaign_started`` event are what let ``deft status`` compute
+        per-shard progress with no access to this enqueuing process.
+        """
+        if self._closed:
+            return
+        self.spool.ensure()
+        write_campaign_manifest(
+            self.spool.root, campaign, source=self.events.source
+        )
+        self.events.emit(
+            "campaign_started",
+            campaign=campaign.name,
+            total=len({job.key() for job in campaign.jobs}),
+        )
 
     #: Workers hand successful results straight to :attr:`cache`; the
     #: runner must not re-serialize them into the same cache.
@@ -275,6 +301,7 @@ class SpoolBackend(ExecutionBackend):
                     proc.wait()
             self._procs = []
         finally:
+            self.events.close()
             if self._tmp is not None:
                 self._tmp.cleanup()
                 self._tmp = None

@@ -14,6 +14,8 @@ Layout::
       requeue/<key>.json  transient reaper staging (recovered if orphaned)
       failed/<key>.json   terminal failures handed back to the backend
       workers/<id>.json   per-worker observability stats (session hit rates)
+      manifest/           campaign descriptors + JSONL event streams
+                          (see :mod:`repro.telemetry.manifest`)
       STOP                shutdown sentinel for long-lived workers
 
 Protocol:
@@ -55,6 +57,8 @@ from pathlib import Path
 
 from ..runner.result import JobResult
 from ..runner.spec import Job
+from ..telemetry.events import NULL_EVENTS
+from ..telemetry.manifest import ensure_manifest, event_writer
 
 #: Shutdown sentinel file name (``Spool.request_stop``).
 STOP_SENTINEL = "STOP"
@@ -130,6 +134,11 @@ class Spool:
         self.requeue_dir = self.root / "requeue"
         self.failed_dir = self.root / "failed"
         self.workers_dir = self.root / "workers"
+        # Telemetry sink for this spool's own protocol transitions (lease
+        # expiries, requeues). Defaults to the shared no-op; the owning
+        # process (worker, backend) wires a real writer via
+        # :meth:`attach_events` so the emitting source is identified.
+        self.events = NULL_EVENTS
 
     def ensure(self) -> "Spool":
         for directory in (
@@ -137,7 +146,18 @@ class Spool:
             self.failed_dir, self.workers_dir,
         ):
             directory.mkdir(parents=True, exist_ok=True)
+        ensure_manifest(self.root)
         return self
+
+    def attach_events(self, source: str):
+        """Route this spool's protocol events to ``manifest/events/``.
+
+        Returns the writer so the caller can emit its own events (job
+        lifecycle, heartbeats) through the same stream. No-op writer
+        when telemetry is disabled.
+        """
+        self.events = event_writer(self.root, source)
+        return self.events
 
     # -- enqueue ----------------------------------------------------------
 
@@ -270,6 +290,13 @@ class Spool:
                 os.replace(path, staged)  # single winner per expiry
             except OSError:
                 continue
+            self.events.emit(
+                "lease_expired",
+                key=path.name[: -len(".json")],
+                worker=payload.get("worker"),
+                attempts=int(payload.get("attempts", 1)),
+                deadline=deadline,
+            )
             self._republish(staged, payload)
             acted += 1
         # Orphan recovery: a reaper died after the rename above. The
@@ -292,6 +319,12 @@ class Spool:
         """Second half of a requeue: back to pending, or terminally failed."""
         attempts = int(payload.get("attempts", 1))
         key = staged.name[: -len(".json")]
+        self.events.emit(
+            "requeue",
+            key=key,
+            attempts=attempts,
+            terminal=attempts >= self.max_attempts,
+        )
         if attempts >= self.max_attempts:
             result = JobResult(
                 job_key=key,
@@ -324,6 +357,9 @@ class Spool:
         still holds the claim while this runs (publish-then-release), so
         no other worker can claim the key before the republish lands.
         """
+        self.events.emit(
+            "requeue", key=claim.key, attempts=claim.attempts, terminal=False
+        )
         _write_json(
             self.jobs_dir / f"{claim.key}.json",
             {
@@ -390,3 +426,32 @@ class Spool:
 
     def claimed_count(self) -> int:
         return sum(1 for _ in self.claims_dir.glob("*.json"))
+
+    def claim_snapshot(self, now: float | None = None) -> list[dict]:
+        """Read-only view of every live claim, for ``deft status``.
+
+        Each entry carries the key, the claiming worker, the lease
+        deadline and whether the lease is already stale relative to
+        ``now`` (a stale lease means its worker died or stalled and the
+        job awaits the next reaper sweep).
+        """
+        now = now if now is not None else time.time()
+        snapshot: list[dict] = []
+        if not self.claims_dir.is_dir():
+            return snapshot
+        for path in sorted(self.claims_dir.glob("*.json")):
+            payload = _read_json(path)
+            if payload is None:
+                continue
+            deadline = payload.get("deadline")
+            valid = isinstance(deadline, (int, float))
+            snapshot.append(
+                {
+                    "key": path.name[: -len(".json")],
+                    "worker": payload.get("worker"),
+                    "attempts": int(payload.get("attempts", 1)),
+                    "deadline": deadline if valid else None,
+                    "stale": (deadline < now) if valid else True,
+                }
+            )
+        return snapshot

@@ -10,10 +10,14 @@ executions are retried by requeueing up to the spool's ``max_attempts``;
 the final failure lands in the spool's ``failed/`` directory for the
 backend to collect.
 
-After every job the worker serializes its session stats (system /
-algorithm / route-table / fault-state hit counts) into
-``<spool>/workers/<id>.json``, so an operator of a many-machine campaign
-can see exactly how warm each worker is without attaching a debugger.
+Telemetry: the worker publishes its stats snapshot
+(``<spool>/workers/<id>.json`` — job counts, session hit rates) after
+every job *and on every heartbeat*, so even a SIGKILLed worker leaves a
+near-current record behind; and it appends structured events
+(``job_claimed``, ``job_phase``, ``job_finished``, ``worker_heartbeat``)
+to its stream under the spool's ``manifest/events/`` area, from which
+``deft status`` reconstructs fleet state (see
+:mod:`repro.telemetry.manifest`).
 
 Exit conditions: the spool's ``STOP`` sentinel, ``max_jobs`` executed,
 or ``idle_timeout_s`` with nothing claimable. Between claims an idle
@@ -26,6 +30,7 @@ import os
 import threading
 import time
 from pathlib import Path
+from typing import Callable
 
 from ..runner.cache import ResultCache
 from ..runner.execute import execute_job
@@ -42,12 +47,21 @@ class _Heartbeat:
 
     The executor is a single long synchronous call, so the lease must be
     renewed off-thread; the interval is a fraction of the lease so a
-    healthy worker can never look dead.
+    healthy worker can never look dead. ``on_beat`` (the worker's stats
+    publisher) runs after each renewal; its failures are swallowed —
+    observability must never kill the lease renewal that keeps the job
+    alive.
     """
 
-    def __init__(self, spool: Spool, claim: Claim):
+    def __init__(
+        self,
+        spool: Spool,
+        claim: Claim,
+        on_beat: Callable[[], None] | None = None,
+    ):
         self._spool = spool
         self._claim = claim
+        self._on_beat = on_beat
         self._interval = max(0.05, spool.lease_s / 4.0)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
@@ -55,6 +69,11 @@ class _Heartbeat:
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
             self._spool.heartbeat(self._claim)
+            if self._on_beat is not None:
+                try:
+                    self._on_beat()
+                except Exception:
+                    pass
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -66,13 +85,23 @@ class _Heartbeat:
 
 
 def _session_stats(session: SessionContext | None) -> dict[str, int]:
-    """The session's (category, hit/miss) counters as flat JSON keys."""
+    """The session's (category, hit/miss) counters as flat JSON keys.
+
+    Read from the heartbeat thread while the main thread executes jobs,
+    so the dict can mutate mid-copy; retry a few times and settle for
+    the last consistent snapshot rather than crash the publisher.
+    """
     if session is None:
         return {}
-    return {
-        f"{category}.{kind}": count
-        for (category, kind), count in sorted(session.stats.items())
-    }
+    for _ in range(3):
+        try:
+            return {
+                f"{category}.{kind}": count
+                for (category, kind), count in sorted(session.stats.items())
+            }
+        except RuntimeError:
+            continue
+    return {}
 
 
 def run_worker(
@@ -116,6 +145,7 @@ def run_worker(
     ).ensure()
     if worker_id is None:
         worker_id = f"{os.uname().nodename}-{os.getpid()}"
+    events = spool.attach_events(worker_id)
     session = get_session() if use_session else None
     stats = {
         "worker": worker_id,
@@ -131,36 +161,58 @@ def run_worker(
         stats["session"] = _session_stats(session)
         spool.write_worker_stats(worker_id, stats)
 
+    def on_beat() -> None:
+        # Every heartbeat refreshes the on-disk snapshot AND leaves an
+        # event behind: liveness is observable even for a worker that is
+        # SIGKILLed mid-job and never reaches its per-job publish.
+        publish()
+        events.emit(
+            "worker_heartbeat",
+            worker=worker_id,
+            jobs_done=stats["jobs_done"],
+            jobs_failed=stats["jobs_failed"],
+        )
+
     publish()
     idle_since = time.monotonic()
-    while True:
-        if spool.stop_requested():
-            break
-        if max_jobs is not None and stats["jobs_done"] >= max_jobs:
-            break
-        claim = spool.claim(worker_id)
-        if claim is None:
-            swept = spool.requeue_expired()
-            stats["requeues_swept"] += swept
-            if swept:
-                continue
-            if (
-                idle_timeout_s is not None
-                and time.monotonic() - idle_since >= idle_timeout_s
-            ):
+    try:
+        while True:
+            if spool.stop_requested():
                 break
-            time.sleep(poll_s)
-            continue
-        idle_since = time.monotonic()
-        result = _execute_claim(
-            spool, cache, claim, session, heartbeat=heartbeat
-        )
-        stats["jobs_done"] += 1
-        if not result.ok:
-            stats["jobs_failed"] += 1
+            if max_jobs is not None and stats["jobs_done"] >= max_jobs:
+                break
+            claim = spool.claim(worker_id)
+            if claim is None:
+                swept = spool.requeue_expired()
+                stats["requeues_swept"] += swept
+                if swept:
+                    continue
+                if (
+                    idle_timeout_s is not None
+                    and time.monotonic() - idle_since >= idle_timeout_s
+                ):
+                    break
+                time.sleep(poll_s)
+                continue
+            idle_since = time.monotonic()
+            events.emit(
+                "job_claimed",
+                key=claim.key,
+                worker=worker_id,
+                attempts=claim.attempts,
+            )
+            result = _execute_claim(
+                spool, cache, claim, session,
+                heartbeat=heartbeat, events=events, on_beat=on_beat,
+            )
+            stats["jobs_done"] += 1
+            if not result.ok:
+                stats["jobs_failed"] += 1
+            publish()
+            idle_since = time.monotonic()
         publish()
-        idle_since = time.monotonic()
-    publish()
+    finally:
+        events.close()
     return stats
 
 
@@ -170,6 +222,8 @@ def _execute_claim(
     claim: Claim,
     session: SessionContext | None,
     heartbeat: bool = True,
+    events=None,
+    on_beat: Callable[[], None] | None = None,
 ):
     """Execute one claimed job and land its result.
 
@@ -178,19 +232,45 @@ def _execute_claim(
     the cache is the source of truth either way. Failed executions are
     requeued for a fresh attempt until ``max_attempts``, then recorded
     terminally in the spool.
+
+    Emits ``job_phase`` (setup/compile/simulate/cache wall-clock splits)
+    and ``job_finished`` for every claim when ``events`` is given.
     """
+    if events is None:
+        events = spool.events
     job: Job = claim.job
+    cache_start = time.perf_counter()
     cached = cache.get(job)
+    cache_s = time.perf_counter() - cache_start
     if cached is not None:
         spool.complete(claim)
+        events.emit(
+            "job_phase",
+            key=claim.key,
+            worker=claim.worker,
+            setup_s=0.0, compile_s=0.0, simulate_s=0.0,
+            cache_s=round(cache_s, 6),
+        )
+        events.emit(
+            "job_finished",
+            key=claim.key,
+            worker=claim.worker,
+            ok=cached.ok,
+            cached=True,
+            duration_s=cache_s,
+            attempts=claim.attempts,
+        )
         return cached
+    phases: dict = {}
     if heartbeat:
-        with _Heartbeat(spool, claim):
-            result = execute_job(job, session=session)
+        with _Heartbeat(spool, claim, on_beat=on_beat):
+            result = execute_job(job, session=session, phases=phases)
     else:
-        result = execute_job(job, session=session)
+        result = execute_job(job, session=session, phases=phases)
     if result.ok:
+        put_start = time.perf_counter()
         cache.put(job, result)
+        cache_s += time.perf_counter() - put_start
     elif claim.attempts >= spool.max_attempts:
         spool.record_failure(claim.key, result, claim.attempts)
     else:
@@ -200,4 +280,22 @@ def _execute_claim(
         # terminal after max_attempts instead of cycling forever.
         spool.requeue_claim(claim)
     spool.complete(claim)
+    events.emit(
+        "job_phase",
+        key=claim.key,
+        worker=claim.worker,
+        setup_s=round(phases.get("setup_s", 0.0), 6),
+        compile_s=round(phases.get("compile_s", 0.0), 6),
+        simulate_s=round(phases.get("simulate_s", 0.0), 6),
+        cache_s=round(cache_s, 6),
+    )
+    events.emit(
+        "job_finished",
+        key=claim.key,
+        worker=claim.worker,
+        ok=result.ok,
+        cached=False,
+        duration_s=result.duration_s,
+        attempts=claim.attempts,
+    )
     return result

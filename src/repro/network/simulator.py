@@ -240,14 +240,37 @@ class Simulator:
         cfg = self.config
         inject_until = cfg.warmup_cycles + cfg.measure_cycles
         deadlocked = False
-        try:
-            while self.cycle < inject_until:
-                self._step(generate=True)
-            drain_deadline = self.cycle + cfg.drain_cycles
-            while self._measured_outstanding > 0 and self.cycle < drain_deadline:
-                self._step(generate=False)
-        except DeadlockError:
-            deadlocked = True
+        # Telemetry is recorded once per run (span + aggregate counters),
+        # never per cycle — the per-cycle loop is the hottest path in the
+        # repository and must not pay even a no-op call per step.
+        from ..telemetry.metrics import get_registry
+
+        registry = get_registry()
+        with registry.span(
+            "deft_sim_run_seconds", "Wall-clock of one Simulator.run"
+        ):
+            try:
+                while self.cycle < inject_until:
+                    self._step(generate=True)
+                drain_deadline = self.cycle + cfg.drain_cycles
+                while self._measured_outstanding > 0 and self.cycle < drain_deadline:
+                    self._step(generate=False)
+            except DeadlockError:
+                deadlocked = True
+        if registry.enabled:
+            registry.counter(
+                "deft_sim_runs_total", "Completed Simulator.run calls"
+            ).inc()
+            registry.counter(
+                "deft_sim_cycles_total", "Simulated cycles across all runs"
+            ).inc(self.cycle)
+            registry.counter(
+                "deft_sim_flit_hops_total", "Flit-hops across all runs"
+            ).inc(self.stats.flit_hops)
+            if deadlocked:
+                registry.counter(
+                    "deft_sim_deadlocks_total", "Runs ended by the deadlock watchdog"
+                ).inc()
         self.stats.cycles_run = self.cycle
         return SimulationReport(
             algorithm=self.algorithm.name,

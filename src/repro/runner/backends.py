@@ -100,6 +100,33 @@ class ExecutionBackend(abc.ABC):
     #: the runner then skips its own redundant write-back.
     persists_results = False
 
+    def announce_campaign(self, campaign) -> None:
+        """Telemetry hook: the runner is about to execute ``campaign``.
+
+        Called once per ``CampaignRunner.run`` before any cache lookup
+        or dispatch. Backends with a durable telemetry channel (the
+        spool writes a campaign manifest + ``campaign_started`` event)
+        override this; the default is a no-op so announcing is always
+        safe.
+        """
+
+    #: Optional :class:`~repro.telemetry.events.EventWriter` this
+    #: backend emits job lifecycle events through (``None`` = silent).
+    events = None
+
+    def _emit_finished(self, result: JobResult) -> None:
+        if self.events is None:
+            return
+        self.events.emit(
+            "job_finished",
+            key=result.job_key,
+            worker=type(self).__name__,
+            ok=result.ok,
+            cached=bool(result.cached),
+            duration_s=result.duration_s,
+            attempts=1,
+        )
+
     def close(self) -> None:
         """Release long-lived resources (worker processes, executors).
 
@@ -121,16 +148,34 @@ class SerialBackend(ExecutionBackend):
             (and between campaigns). ``False`` rebuilds every job's world
             from its spec — the original seed behaviour, kept for
             benchmarking and equivalence testing.
+        events: optional :class:`~repro.telemetry.events.EventWriter`;
+            when given, every job emits ``job_phase`` (setup/compile/
+            simulate splits) and ``job_finished`` events.
     """
 
-    def __init__(self, use_session: bool = True):
+    def __init__(self, use_session: bool = True, events=None):
         self.use_session = use_session
+        self.events = events
 
     def run(self, jobs: Sequence[Job], on_result: ProgressFn | None = None) -> list[JobResult]:
         session = get_session() if self.use_session else None
         results: list[JobResult] = []
         for index, job in enumerate(jobs):
-            result = execute_job(job, session=session)
+            if self.events is None:
+                result = execute_job(job, session=session)
+            else:
+                phases: dict = {}
+                result = execute_job(job, session=session, phases=phases)
+                self.events.emit(
+                    "job_phase",
+                    key=result.job_key,
+                    worker=type(self).__name__,
+                    setup_s=round(phases.get("setup_s", 0.0), 6),
+                    compile_s=round(phases.get("compile_s", 0.0), 6),
+                    simulate_s=round(phases.get("simulate_s", 0.0), 6),
+                    cache_s=0.0,
+                )
+                self._emit_finished(result)
             results.append(result)
             if on_result is not None:
                 on_result(index + 1, len(jobs), job, result)
@@ -165,6 +210,11 @@ class ProcessPoolBackend(ExecutionBackend):
             stop re-paying pool startup and DeFT's offline optimization
             per round; :meth:`close` (or garbage collection) releases the
             pool. ``False`` restores the shut-down-per-batch behaviour.
+        events: optional :class:`~repro.telemetry.events.EventWriter`;
+            ``job_finished`` events are emitted in the parent as results
+            are collected (writers hold file handles and locks, so they
+            never cross the process boundary; per-phase splits live in
+            each worker's own metrics registry instead).
     """
 
     def __init__(
@@ -174,11 +224,13 @@ class ProcessPoolBackend(ExecutionBackend):
         start_method: str | None = None,
         use_session: bool = True,
         persistent: bool = True,
+        events=None,
     ):
         self._workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.timeout = timeout
         self.use_session = use_session
         self.persistent = persistent
+        self.events = events
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
         self._finalizer = None
         self._context = None
@@ -279,6 +331,7 @@ class ProcessPoolBackend(ExecutionBackend):
                         error=f"{type(exc).__name__}: {exc}",
                     )
                 results.append(result)
+                self._emit_finished(result)
                 if on_result is not None:
                     on_result(index + 1, len(jobs), job, result)
         finally:

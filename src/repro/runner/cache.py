@@ -29,6 +29,7 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..telemetry.metrics import get_registry
 from .result import JobResult
 from .spec import SPEC_VERSION, Job
 
@@ -67,6 +68,17 @@ class CacheStats:
         if extras:
             line += " (" + ", ".join(extras) + ")"
         return line
+
+    def to_dict(self) -> dict:
+        """Machine-readable census (``deft cache stats --json``)."""
+        return {
+            "entries": self.entries,
+            "stale": self.stale,
+            "corrupt": self.corrupt,
+            "tmp_files": self.tmp_files,
+            "total_bytes": self.total_bytes,
+            "compressed": self.compressed,
+        }
 
 
 class ResultCache:
@@ -125,15 +137,36 @@ class ResultCache:
             if payload.get("version") != SPEC_VERSION or not result.ok:
                 continue
             self.hits += 1
+            get_registry().counter(
+                "deft_cache_hits_total", "Result-cache lookups served from disk"
+            ).inc()
             result.cached = True
             return result
         self.misses += 1
+        get_registry().counter(
+            "deft_cache_misses_total", "Result-cache lookups that missed"
+        ).inc()
         return None
+
+    def has_key(self, key: str) -> bool:
+        """Whether a servable-looking entry exists for a raw job key.
+
+        A cheap existence probe for progress accounting (``deft
+        status``): no JSON parse, no version validation — the authority
+        on servability remains :meth:`get`.
+        """
+        shard = self.root / key[:2]
+        return (shard / f"{key}.json").exists() or (
+            shard / f"{key}.json.gz"
+        ).exists()
 
     def put(self, job: Job, result: JobResult) -> None:
         """Persist a successful result; failed results are never cached."""
         if not result.ok:
             return
+        get_registry().counter(
+            "deft_cache_writes_total", "Results persisted into the cache"
+        ).inc()
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {

@@ -32,6 +32,7 @@ from ..network.simulator import Simulator
 from ..routing.base import RoutingAlgorithm
 from ..routing.registry import make_algorithm
 from ..topology.builder import System
+from ..telemetry.metrics import get_registry
 from .result import JobResult
 from .session import SessionContext
 from .spec import Job, faults_to_spec
@@ -75,16 +76,72 @@ def _build_fault_state(job: Job, system: System) -> FaultState:
     return faults_from_spec(system, job.faults)
 
 
-def execute_job(job: Job, session: SessionContext | None = None) -> JobResult:
+def _observe_phases(
+    phases: dict | None,
+    ok: bool,
+    setup_s: float,
+    compile_s: float,
+    simulate_s: float,
+    total_s: float,
+) -> None:
+    """Record one execution's phase split into ``phases`` + the registry.
+
+    Shared by every exit path of :func:`execute_job` (reachability,
+    simulation, failure) so the accounting can never drift between them.
+    """
+    if phases is not None:
+        phases.update(
+            setup_s=setup_s,
+            compile_s=compile_s,
+            simulate_s=simulate_s,
+            total_s=total_s,
+        )
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "deft_jobs_executed_total", "Jobs executed in this process"
+    ).inc()
+    if not ok:
+        registry.counter(
+            "deft_jobs_failed_total", "Jobs that ended in a failed result"
+        ).inc()
+    registry.histogram(
+        "deft_job_phase_setup_seconds", "System/algorithm/fault build time"
+    ).observe(setup_s)
+    registry.histogram(
+        "deft_job_phase_compile_seconds", "Route-table compilation time"
+    ).observe(compile_s)
+    registry.histogram(
+        "deft_job_phase_simulate_seconds", "Simulation/analysis time"
+    ).observe(simulate_s)
+    registry.histogram(
+        "deft_job_duration_seconds", "End-to-end job execution time"
+    ).observe(total_s)
+
+
+def execute_job(
+    job: Job,
+    session: SessionContext | None = None,
+    phases: dict | None = None,
+) -> JobResult:
     """Run one job to completion, capturing any failure into the result.
 
     ``session`` (a worker's :class:`~repro.runner.session.SessionContext`)
     reuses previously built systems, algorithms, fault states and
     compiled route tables across same-spec jobs; ``None`` rebuilds
     everything, exactly as the runner's original per-job path did.
+
+    ``phases``, if given, is filled with this execution's wall-clock
+    split (``setup_s`` builds + fault install, ``compile_s`` route-table
+    compilation, ``simulate_s`` simulation or reachability analysis,
+    ``total_s``) — the payload of the ``job_phase`` telemetry event. The
+    same split also lands in the process metrics registry. Results are
+    unaffected: the instrumentation only reads clocks.
     """
     start = time.perf_counter()
     key = job.key()
+    built_mark = compiled_mark = sim_mark = start
     try:
         if session is not None:
             system = session.system(job.system)
@@ -92,9 +149,11 @@ def execute_job(job: Job, session: SessionContext | None = None) -> JobResult:
                 job.system, system, job.algorithm, job.algorithm_params,
                 build=lambda: _build_algorithm(job, system),
             )
+            built_mark = time.perf_counter()
             routes = session.routes(
                 job.system, job.algorithm, job.algorithm_params, algorithm
             )
+            compiled_mark = time.perf_counter()
         else:
             # The sessionless path is the pre-session seed behaviour in
             # full: per-job rebuilds AND live per-hop dispatch (no
@@ -102,6 +161,7 @@ def execute_job(job: Job, session: SessionContext | None = None) -> JobResult:
             # new machinery for debugging and honest benchmarking.
             system = job.system.build()
             algorithm = _build_algorithm(job, system)
+            built_mark = compiled_mark = time.perf_counter()
             routes = None
         fault_state: FaultState | None = None
         if job.faults_mode == "sample":
@@ -119,6 +179,9 @@ def execute_job(job: Job, session: SessionContext | None = None) -> JobResult:
             if job.faults_mode == "sample" and fault_state is not None
             else ()
         )
+        sim_mark = time.perf_counter()
+        setup_s = (built_mark - start) + (sim_mark - compiled_mark)
+        compile_s = compiled_mark - built_mark
         if job.kind == "reachability":
             from ..analysis.reachability import reachability_of_state
 
@@ -126,24 +189,48 @@ def execute_job(job: Job, session: SessionContext | None = None) -> JobResult:
                 system, algorithm, fault_state or FaultState(system),
                 routes=routes,
             )
+            end = time.perf_counter()
+            _observe_phases(
+                phases, True,
+                setup_s, compile_s, end - sim_mark, end - start,
+            )
             return JobResult(
                 job_key=key,
                 ok=True,
                 reachability=value,
                 sampled_faults=sampled,
-                duration_s=time.perf_counter() - start,
+                duration_s=end - start,
             )
         traffic = job.traffic.build(system, seed=job.seed)
         config: SimulationConfig = job.config.replace(seed=job.seed)
         report = Simulator(system, algorithm, traffic, config, routes=routes).run()
     except Exception:
+        end = time.perf_counter()
+        # Phase marks up to the failure point still describe where the
+        # time went; monotone clamping keeps every phase non-negative
+        # regardless of which stage raised, and everything after the
+        # last reached mark counts as simulate.
+        built = max(built_mark, start)
+        compiled = max(compiled_mark, built)
+        sim = max(sim_mark, compiled)
+        _observe_phases(
+            phases, False,
+            (built - start) + (sim - compiled),
+            compiled - built,
+            end - sim,
+            end - start,
+        )
         return JobResult(
             job_key=key,
             ok=False,
             error=traceback.format_exc(limit=20),
-            duration_s=time.perf_counter() - start,
+            duration_s=end - start,
         )
     stats = report.stats
+    end = time.perf_counter()
+    _observe_phases(
+        phases, True, setup_s, compile_s, end - sim_mark, end - start
+    )
     return JobResult(
         job_key=key,
         ok=True,
@@ -161,5 +248,5 @@ def execute_job(job: Job, session: SessionContext | None = None) -> JobResult:
         vc_utilization=stats.vc_utilization_report(),
         vl_loads=stats.vl_load_report(),
         sampled_faults=sampled,
-        duration_s=time.perf_counter() - start,
+        duration_s=end - start,
     )

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..telemetry.metrics import percentile
 from .backends import ExecutionBackend, ProgressFn, SerialBackend
 from .cache import ResultCache
 from .result import JobResult
@@ -93,12 +94,35 @@ class CampaignReport:
             )
         return self
 
+    def job_durations(self) -> list[float]:
+        """Per-job execution times across unique results.
+
+        ``duration_s`` is provenance (it travels with cached results and
+        records the original execution), so the distribution describes
+        the campaign's true compute cost even when much of it was served
+        from cache. Zero-duration placeholders (backend-synthesized
+        failures that never ran) are excluded.
+        """
+        unique = self._by_key.values() if self._by_key else {
+            result.job_key: result for result in self.results
+        }.values()
+        return [
+            result.duration_s for result in unique if result.duration_s > 0.0
+        ]
+
     def summary(self) -> str:
         line = (
             f"campaign {self.name!r}: {self.total} jobs "
             f"({self.deduplicated} duplicate) — {self.cache_hits} cached, "
             f"{self.executed} executed in {self.duration_s:.1f}s"
         )
+        durations = self.job_durations()
+        if durations:
+            line += (
+                f" (job p50 {percentile(durations, 0.50):.2f}s, "
+                f"p95 {percentile(durations, 0.95):.2f}s, "
+                f"{sum(durations):.1f}s total job time)"
+            )
         failed = self.errors
         if failed:
             line += f", {len(failed)} FAILED"
@@ -139,6 +163,7 @@ class CampaignRunner:
     ) -> CampaignReport:
         if not isinstance(campaign, Campaign):
             campaign = Campaign(name="ad-hoc", jobs=tuple(campaign))
+        self.backend.announce_campaign(campaign)
         start = time.perf_counter()
         resolved: dict[str, JobResult] = {}
 

@@ -1,0 +1,51 @@
+"""Campaign telemetry: metrics core, structured events, fleet status.
+
+Three layers, each usable alone:
+
+* :mod:`repro.telemetry.metrics` — dependency-free counters, gauges,
+  histograms and span timers behind a process-global registry
+  (near-zero overhead when disabled; ``DEFT_TELEMETRY=0``).
+* :mod:`repro.telemetry.events` + :mod:`repro.telemetry.manifest` —
+  structured JSONL event streams and campaign descriptors under a
+  spool's ``manifest/`` area, so any process can reconstruct live
+  campaign state from the filesystem alone.
+* :mod:`repro.telemetry.status` / :mod:`repro.telemetry.httpd` — the
+  ``deft status`` aggregator and the Prometheus scrape endpoint.
+
+This package root re-exports only the leaf layers (metrics, events):
+``status`` pulls in the spool and cache machinery, and importing it
+here would cycle back into ``repro.runner`` — import it explicitly
+(``from repro.telemetry.status import fleet_status``).
+"""
+
+from .events import EVENT_TYPES, NULL_EVENTS, EventWriter, NullEventWriter, read_events
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    reset_registry,
+    set_enabled,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "NULL_EVENTS",
+    "EventWriter",
+    "NullEventWriter",
+    "read_events",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "percentile",
+    "reset_registry",
+    "set_enabled",
+    "telemetry_enabled",
+]

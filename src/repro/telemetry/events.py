@@ -1,0 +1,143 @@
+"""Structured JSONL event emission for campaign reconstruction.
+
+Every process that touches a campaign — the enqueuing runner, both
+in-process backends, each ``deft worker`` — appends events to its own
+JSONL file under the spool's ``manifest/events/`` area. Because each
+writer owns one file (named after its source), concurrent emitters
+never interleave partial lines, and any later process can merge the
+files by timestamp to reconstruct what the fleet did without talking
+to the enqueuer.
+
+The event vocabulary is fixed (:data:`EVENT_TYPES`); emitting an
+unknown type is a programming error and raises immediately, so typos
+can't silently create unreadable streams. Each record is one JSON
+object per line::
+
+    {"ts": 1754..., "event": "job_finished", "source": "worker-a", ...}
+
+Readers must tolerate torn tails: :func:`read_events` skips lines that
+don't parse, because a crashed writer may leave a partial final line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Iterator
+
+#: The complete event vocabulary. Every record's ``event`` field is one
+#: of these; consumers can exhaustively switch on them.
+EVENT_TYPES = frozenset(
+    {
+        "campaign_started",
+        "job_claimed",
+        "job_phase",
+        "job_finished",
+        "worker_heartbeat",
+        "lease_expired",
+        "requeue",
+    }
+)
+
+#: Record keys the writer owns; payload fields may not collide with them.
+RESERVED_FIELDS = frozenset({"ts", "event", "source"})
+
+
+class EventWriter:
+    """Append-only JSONL emitter, one file per source, thread-safe.
+
+    The file handle opens lazily on the first emit (constructing a
+    writer for a spool that never sees traffic costs nothing) and every
+    record is flushed so ``deft status`` in another process observes
+    events promptly. A lock serialises emits because workers emit from
+    both the claim loop and the heartbeat thread.
+    """
+
+    def __init__(self, path: str | Path, source: str):
+        self.path = Path(path)
+        self.source = source
+        self._lock = threading.Lock()
+        self._handle = None
+        self._closed = False
+
+    def emit(self, event: str, **fields) -> None:
+        if event not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {event!r}; expected one of "
+                f"{sorted(EVENT_TYPES)}"
+            )
+        clash = RESERVED_FIELDS.intersection(fields)
+        if clash:
+            raise ValueError(f"fields {sorted(clash)} are reserved")
+        record = {"ts": time.time(), "event": event, "source": self.source}
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._closed:
+                return
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullEventWriter:
+    """No-op stand-in so call sites never branch on "events wired?"."""
+
+    path = None
+    source = ""
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+#: Shared no-op writer; the default value of every ``events`` hook.
+NULL_EVENTS = NullEventWriter()
+
+
+def read_events(path: str | Path) -> Iterator[dict]:
+    """Yield parsed event records from one JSONL file, oldest first.
+
+    Unparseable lines (torn tail of a crashed writer, manual edits) are
+    skipped rather than fatal — observability must not be brittler than
+    the system it observes. A missing file yields nothing.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "event" in record:
+                yield record

@@ -1,0 +1,54 @@
+"""Opt-in metrics HTTP endpoint (``deft worker --metrics-port``).
+
+A stdlib-only Prometheus scrape target: ``GET /metrics`` renders the
+process registry's text exposition. The server runs on a daemon thread
+so it never blocks worker shutdown, and binds loopback by default —
+exposing it wider is a deliberate operator decision (``host=``), not a
+default.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .metrics import MetricsRegistry, get_registry
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # injected by serve_metrics via subclassing
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = self.registry.render_prom().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # scrapes are periodic; logging each one is pure noise
+
+
+def serve_metrics(
+    port: int,
+    registry: MetricsRegistry | None = None,
+    host: str = "127.0.0.1",
+) -> ThreadingHTTPServer:
+    """Start serving ``/metrics`` in the background; returns the server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_port``. Call ``server.shutdown()`` to stop.
+    """
+    registry = registry if registry is not None else get_registry()
+    handler = type("Handler", (_MetricsHandler,), {"registry": registry})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="deft-metrics", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,156 @@
+"""The spool ``manifest/`` area: campaign descriptors + event streams.
+
+A spool is deliberately dumb — jobs in, results out — which means no
+single process knows what "the campaign" looks like once the enqueuer
+exits. The manifest area fixes that. When a backend announces a
+campaign it writes a descriptor under ``manifest/campaigns/`` listing
+the campaign's name, shard coordinates, and the full set of job keys;
+every participating process appends its events under
+``manifest/events/``. Together they are sufficient to reconstruct live
+fleet state (``deft status``) from the filesystem alone.
+
+Layout under the spool root::
+
+    manifest/
+      campaigns/<id>.json      one per announced campaign (idempotent)
+      events/<source>.jsonl    one per emitting process
+
+The campaign id is a digest of the name plus the sorted key set, so
+re-announcing the same campaign (a retried enqueuer, an adaptive
+refinement loop re-running an identical round) overwrites its own
+descriptor instead of accumulating duplicates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from .events import NULL_EVENTS, EventWriter, NullEventWriter, read_events
+from .metrics import telemetry_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner.spec import Campaign
+
+MANIFEST_DIR = "manifest"
+
+#: Sharded campaigns are named ``<base>#shard-I-of-N`` by Campaign.shard().
+_SHARD_RE = re.compile(r"^(?P<base>.*)#shard-(?P<index>\d+)-of-(?P<count>\d+)$")
+
+
+def manifest_root(spool_root: str | Path) -> Path:
+    return Path(spool_root) / MANIFEST_DIR
+
+
+def campaigns_dir(spool_root: str | Path) -> Path:
+    return manifest_root(spool_root) / "campaigns"
+
+
+def events_dir(spool_root: str | Path) -> Path:
+    return manifest_root(spool_root) / "events"
+
+
+def ensure_manifest(spool_root: str | Path) -> None:
+    campaigns_dir(spool_root).mkdir(parents=True, exist_ok=True)
+    events_dir(spool_root).mkdir(parents=True, exist_ok=True)
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "anonymous"
+
+
+def event_writer(spool_root: str | Path, source: str) -> EventWriter | NullEventWriter:
+    """An event writer for ``source``, or the no-op when telemetry is off."""
+    if not telemetry_enabled():
+        return NULL_EVENTS
+    return EventWriter(
+        events_dir(spool_root) / f"{_sanitize(source)}.jsonl", source
+    )
+
+
+def campaign_id(name: str, keys: list[str]) -> str:
+    digest = hashlib.sha256()
+    digest.update(name.encode("utf-8"))
+    for key in sorted(keys):
+        digest.update(key.encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def parse_shard(name: str) -> dict | None:
+    """Shard coordinates baked into a campaign name, if any.
+
+    ``Campaign.shard`` renames shards ``<base>#shard-I-of-N``; the
+    manifest surfaces that so ``deft status`` can group per-shard
+    progress under the parent campaign.
+    """
+    match = _SHARD_RE.match(name)
+    if match is None:
+        return None
+    return {
+        "base": match.group("base"),
+        "index": int(match.group("index")),
+        "count": int(match.group("count")),
+    }
+
+
+def write_campaign_manifest(
+    spool_root: str | Path,
+    campaign: "Campaign",
+    source: str = "",
+) -> Path:
+    """Persist a campaign descriptor; returns its path.
+
+    The descriptor lists every *unique* job key (the spool dedups on
+    enqueue, so progress accounting must too). Written atomically via
+    tmp+rename so a concurrent ``deft status`` never reads a torn file.
+    """
+    ensure_manifest(spool_root)
+    keys = sorted({job.key() for job in campaign.jobs})
+    payload = {
+        "campaign": campaign.name,
+        "id": campaign_id(campaign.name, keys),
+        "total": len(keys),
+        "keys": keys,
+        "shard": parse_shard(campaign.name),
+        "enqueued_at": time.time(),
+        "source": source,
+    }
+    path = campaigns_dir(spool_root) / f"{payload['id']}.json"
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+def load_campaign_manifests(spool_root: str | Path) -> list[dict]:
+    """All campaign descriptors in the spool, oldest-enqueued first."""
+    directory = campaigns_dir(spool_root)
+    if not directory.is_dir():
+        return []
+    manifests = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and "keys" in payload:
+            manifests.append(payload)
+    manifests.sort(key=lambda m: m.get("enqueued_at", 0.0))
+    return manifests
+
+
+def read_all_events(spool_root: str | Path) -> Iterator[dict]:
+    """Merge every source's event stream, ordered by timestamp."""
+    directory = events_dir(spool_root)
+    if not directory.is_dir():
+        return iter(())
+    records: list[dict] = []
+    for path in sorted(directory.glob("*.jsonl")):
+        records.extend(read_events(path))
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    return iter(records)

@@ -1,0 +1,400 @@
+"""Dependency-free metrics core: counters, gauges, histograms, spans.
+
+The instrumentation layer every subsystem records into: the executor
+times its job phases, the simulator counts cycles and flit-hops, the
+result cache counts hits and misses. One :class:`MetricsRegistry` lives
+per process (:func:`get_registry`) — exactly the scope of a worker — and
+is rendered on demand as a JSON snapshot (``deft status`` aggregation)
+or Prometheus text exposition (``deft worker --metrics-port``).
+
+Design constraints, in order:
+
+* **near-zero overhead when disabled** — a disabled registry hands out
+  shared no-op instruments and no-op spans, so instrumented hot paths
+  cost one attribute check;
+* **no dependencies** — plain counters and fixed-bucket histograms, no
+  client library;
+* **bounded memory** — histograms hold per-bucket counts, never raw
+  observations, so a million-job campaign's latency histogram is a few
+  dozen integers.
+
+Disable globally with ``DEFT_TELEMETRY=0`` (read once at registry
+creation) or :func:`set_enabled`. Instruments obtained while disabled
+stay no-ops — resolve instruments at use time (as all in-tree callers
+do) if you toggle at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Iterable, Sequence
+
+#: Environment switch: ``DEFT_TELEMETRY=0`` starts the process-global
+#: registry disabled (no-op instruments everywhere).
+TELEMETRY_ENV = "DEFT_TELEMETRY"
+
+#: Default histogram buckets (seconds): spans microsecond-scale cache
+#: probes up to multi-minute simulation jobs, Prometheus-style.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(TELEMETRY_ENV, "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact q-quantile (0..1) of a sequence, linearly interpolated.
+
+    Shared by every aggregation that has raw samples in hand (campaign
+    report summaries, ``deft status`` latency lines). NaN for empty
+    input — the caller decides how to render "no data".
+    """
+    if not values:
+        return math.nan
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    frac = position - low
+    if low + 1 >= len(ordered):
+        return float(ordered[-1])
+    return float(ordered[low] * (1.0 - frac) + ordered[low + 1] * frac)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value (queue depth, worker count, progress)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    Observations land in cumulative-style buckets (``<= bound``); the
+    percentile estimate linearly interpolates inside the winning bucket,
+    which is exactly the information loss Prometheus histograms accept.
+    Memory is O(buckets) regardless of observation count.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        # One count per finite bound plus the implicit +Inf overflow.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from bucket counts (NaN when empty).
+
+        Values in the overflow bucket are reported as the largest finite
+        bound — the honest answer a fixed-bucket histogram can give.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[index]
+            if cumulative + in_bucket >= rank:
+                lower = self.bounds[index - 1] if index else 0.0
+                if in_bucket == 0:
+                    return bound
+                frac = (rank - cumulative) / in_bucket
+                return lower + (bound - lower) * min(1.0, max(0.0, frac))
+            cumulative += in_bucket
+        return self.bounds[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+
+class Span:
+    """Context manager timing one block into a histogram."""
+
+    __slots__ = ("_histogram", "_start", "elapsed_s")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+        self._histogram.observe(self.elapsed_s)
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = math.nan
+    p50 = math.nan
+    p95 = math.nan
+    bounds: tuple[float, ...] = ()
+    bucket_counts: list[int] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+
+class _NullSpan:
+    """No-op span: not even a clock read."""
+
+    __slots__ = ()
+    elapsed_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+NULL_SPAN = _NullSpan()
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats without the '.0'."""
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Named instruments of one process, creatable and renderable.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument afterwards (re-registering a name as a
+    different kind is an error). A disabled registry returns shared
+    no-op instruments and creates nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def enable(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def _get(self, name: str, kind, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def span(self, name: str, help: str = "") -> Span | _NullSpan:
+        """A context manager timing its block into histogram ``name``."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self.histogram(name, help=help))
+
+    def clear(self) -> None:
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-compatible dump of every instrument (NaN-free)."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                p50, p95 = instrument.p50, instrument.p95
+                out[name] = {
+                    "type": "histogram",
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "p50": None if math.isnan(p50) else p50,
+                    "p95": None if math.isnan(p95) else p95,
+                }
+        return out
+
+    def render_prom(self) -> str:
+        """Prometheus text exposition (format 0.0.4) of the registry."""
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_format_value(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(instrument.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.bounds, instrument.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_format_value(float(bound))}"}} '
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f'{name}_bucket{{le="+Inf"}} {instrument.count}'
+                )
+                lines.append(f"{name}_sum {_format_value(instrument.sum)}")
+                lines.append(f"{name}_count {instrument.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-wide registry; one per worker, created on first use.
+_PROCESS_REGISTRY: MetricsRegistry | None = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The calling process's registry (lazily created, env-gated)."""
+    global _PROCESS_REGISTRY
+    if _PROCESS_REGISTRY is None:
+        _PROCESS_REGISTRY = MetricsRegistry(enabled=_env_enabled())
+    return _PROCESS_REGISTRY
+
+
+def set_enabled(enabled: bool) -> None:
+    """Flip the process registry on or off (benchmarks, tests)."""
+    get_registry().enable(enabled)
+
+
+def telemetry_enabled() -> bool:
+    """The single switch events and metrics share."""
+    return get_registry().enabled
+
+
+def reset_registry() -> None:
+    """Discard the process registry (tests)."""
+    global _PROCESS_REGISTRY
+    _PROCESS_REGISTRY = None
