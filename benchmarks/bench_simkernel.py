@@ -1,0 +1,109 @@
+"""Cycle-kernel benchmark: numpy vector kernel vs the reference kernel.
+
+One saturated large-grid simulation run under both kernels on a *warm*
+session (the algorithm and its compiled route table — including the
+dense int-indexed view the vector kernel consumes — are built once and
+shared), reporting simulated cycles per wall-clock second. The two
+kernels are bit-identical by contract, so the delivered statistics must
+match exactly; the speedup is the point of the struct-of-arrays engine.
+
+The vector kernel's advantage grows with system size and load: the
+reference kernel walks every active channel in Python, while the vector
+kernel pays a near-constant batch of numpy passes per cycle plus Python
+work proportional to packet throughput only. The acceptance bar (>= 10x)
+is therefore asserted at full scale on the 32x32-router grid; the CI
+smoke lane (``REPRO_EXPERIMENT_SCALE=0.1``) runs a reduced grid where
+the ratio is smaller, and records the measurement without asserting it.
+
+Numbers land in ``BENCH_simkernel.json`` next to the other trajectories.
+"""
+
+import time
+
+from repro.config import SimulationConfig
+from repro.experiments.common import effective_scale
+from repro.network.simulator import Simulator
+from repro.routing.compiled import compile_routes
+from repro.routing.deft import DeftRouting
+from repro.topology.presets import chiplet_grid
+from repro.traffic.synthetic import UniformTraffic
+
+from conftest import _SESSION_REPORTS
+
+#: The tentpole's acceptance bar: simulated cycles/sec on a warm session.
+SPEEDUP_BAR = 10.0
+
+#: Ratio assertions only hold on the full-scale workload — on the smoke
+#: grid the reference kernel is fast enough that shared per-cycle costs
+#: (traffic generation, packet bookkeeping) compress the gap. Metrics
+#: are printed and recorded either way.
+STRICT_TIMING = effective_scale(None) >= 0.5
+
+
+def test_vector_kernel_speedup(bench_metrics):
+    full = STRICT_TIMING
+    # Full scale: 10x10 chiplets of 4x4 routers (3200 routers with the
+    # interposer layer) under load — the regime the ROADMAP's mega-grid
+    # campaigns live in, where the reference kernel's per-active-channel
+    # walk is at its most expensive.
+    # Smoke scale: 3x3 chiplets, same shape, just small enough for CI.
+    grid = 10 if full else 3
+    system = chiplet_grid(grid, grid)
+    algo = DeftRouting(system)
+    routes = compile_routes(algo)  # the warm session's shared table
+    measure = 300 if full else 120
+    cfg = SimulationConfig(
+        warmup_cycles=50, measure_cycles=measure, drain_cycles=1500
+    )
+
+    def run(kernel):
+        traffic = UniformTraffic(system, 0.06, seed=11)
+        sim = Simulator(
+            system, algo, traffic, cfg, routes=routes, kernel=kernel
+        )
+        assert sim.kernel_name == kernel, sim.kernel_fallback_reason
+        start = time.perf_counter()
+        report = sim.run()
+        elapsed = time.perf_counter() - start
+        return report, report.cycles / max(elapsed, 1e-9)
+
+    run("vector")  # warm-up: numpy dispatch, dense-table memoization
+    vec_report, vec_cps = run("vector")
+    ref_report, ref_cps = run("reference")
+    speedup = vec_cps / max(ref_cps, 1e-9)
+
+    lines = [
+        f"== bench_simkernel: {grid}x{grid} chiplet grid "
+        f"({len(system.routers)} routers, uniform 0.06, "
+        f"{vec_report.cycles} cycles) ==",
+        f"  reference kernel: {ref_cps:8.1f} cycles/s",
+        f"  vector kernel:    {vec_cps:8.1f} cycles/s "
+        f"(speedup {speedup:5.2f}x)",
+    ]
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        routers=len(system.routers),
+        cycles=vec_report.cycles,
+        reference_cycles_per_s=round(ref_cps, 1),
+        vector_cycles_per_s=round(vec_cps, 1),
+        speedup=round(speedup, 2),
+    )
+
+    # Bit-identity: same cycles, same delivery, same latency, same hops —
+    # always asserted, at every scale.
+    assert not vec_report.deadlocked and not ref_report.deadlocked
+    assert vec_report.cycles == ref_report.cycles
+    assert vec_report.stats.packets_delivered == ref_report.stats.packets_delivered
+    assert vec_report.stats.average_latency == ref_report.stats.average_latency
+    assert vec_report.stats.flit_hops == ref_report.stats.flit_hops
+    assert vec_report.metadata["kernel"] == "vector"
+    assert ref_report.metadata["kernel"] == "reference"
+
+    if STRICT_TIMING:
+        assert speedup >= SPEEDUP_BAR, (
+            f"vector kernel below the acceptance bar: {speedup:.2f}x "
+            f"(vector {vec_cps:.1f} vs reference {ref_cps:.1f} cycles/s)"
+        )

@@ -1,0 +1,76 @@
+"""Ad-hoc cross-kernel digest check (dev aid, superseded by the fuzz suite)."""
+
+import sys
+
+import random
+
+from repro.config import SimulationConfig
+from repro.fault.model import random_fault_state
+from repro.network.simulator import Simulator
+from repro.routing.deft import DeftRouting
+from repro.routing.mtr import MtrRouting
+from repro.routing.naive import NaiveRouting
+from repro.routing.rc import RcRouting
+from repro.topology.presets import baseline_4_chiplets, baseline_6_chiplets
+from repro.traffic.synthetic import UniformTraffic
+
+
+def check(name, system, algo_cls, rate, seed, cycles, k=0, vl_ser=1):
+    cfg = SimulationConfig(
+        warmup_cycles=50,
+        measure_cycles=cycles,
+        drain_cycles=2000,
+        watchdog_cycles=2000,
+        seed=seed,
+        vl_serialization=vl_ser,
+    )
+    sims = []
+    for kernel in ("reference", "vector"):
+        algo = algo_cls(system)
+        if k:
+            algo.set_fault_state(
+                random_fault_state(system, k, random.Random(seed + 1))
+            )
+        traffic = UniformTraffic(system, rate, seed=seed)
+        sims.append(Simulator(system, algo, traffic, config=cfg, kernel=kernel))
+    ref, vec = sims
+    assert vec.kernel_name == "vector", (name, vec.kernel_name, vec.kernel_fallback_reason)
+    for c in range(cycles):
+        ref._step(True)
+        vec._step(True)
+        dr, dv = ref.state_digest(), vec.state_digest()
+        if dr != dv:
+            print(f"FAIL {name} at cycle {c}")
+            sr, sv = ref.kernel.snapshot(), vec.kernel.snapshot()
+            for i, (a, b) in enumerate(zip(sr, sv)):
+                if a != b:
+                    print(f"  component {i} differs")
+                    if isinstance(a, tuple):
+                        for x, y in zip(a, b):
+                            if x != y:
+                                print(f"    ref: {x}")
+                                print(f"    vec: {y}")
+                                break
+                    else:
+                        print(f"    ref: {a}")
+                        print(f"    vec: {b}")
+            return False
+    print(f"ok {name}")
+    return True
+
+
+def main():
+    s4 = baseline_4_chiplets()
+    s6 = baseline_6_chiplets()
+    ok = True
+    ok &= check("deft-s4", s4, DeftRouting, 0.01, 3, 400)
+    ok &= check("deft-s4-faults", s4, DeftRouting, 0.01, 5, 400, k=4)
+    ok &= check("deft-s6-vlser", s6, DeftRouting, 0.008, 9, 300, k=2, vl_ser=2)
+    ok &= check("mtr-s4", s4, MtrRouting, 0.01, 11, 400, k=3)
+    ok &= check("rc-s4", s4, RcRouting, 0.008, 13, 400)
+    ok &= check("naive-s4", s4, NaiveRouting, 0.01, 17, 300)
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,7 @@ from .core.tables import build_selection_tables
 from .experiments import ablations, fig4, fig5, fig6, fig7, fig7mc, fig8, table1
 from .experiments.common import ExperimentResult, format_report
 from .fault.model import DirectedVL, FaultState, VLDirection
+from .network.kernels import KERNEL_NAMES
 from .network.simulator import Simulator
 from .routing.registry import available_algorithms, make_algorithm
 from .runner import (
@@ -184,7 +185,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         drain_cycles=args.drain,
         seed=args.seed,
     )
-    report = Simulator(system, algorithm, traffic, config).run()
+    report = Simulator(system, algorithm, traffic, config, kernel=args.kernel).run()
     print(report.summary())
     if args.json:
         payload = {
@@ -293,6 +294,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             config,
             seeds=tuple(range(1, args.repeats + 1)),
             runner=runner,
+            kernel=args.kernel,
         )
     finally:
         runner.close()
@@ -314,7 +316,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     faults = tuple(args.fault or [])
     jobs = sweep_jobs(
-        system, tuple(args.algo), args.traffic, rates, config, seeds, faults=faults
+        system, tuple(args.algo), args.traffic, rates, config, seeds,
+        faults=faults, kernel=args.kernel,
     )
     campaign = Campaign(name=f"{args.traffic}-on-{system.label}", jobs=tuple(jobs))
     sharded = args.shard is not None
@@ -410,6 +413,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             progress=progress,
             target_ci_width=args.target_ci,
             max_samples=args.max_samples,
+            kernel=args.kernel,
         )
     except ValueError as error:
         # Invalid sampling parameters (--target-ci 0, a cap below
@@ -505,6 +509,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             idle_timeout_s=args.idle_timeout,
             max_jobs=args.max_jobs,
             use_session=not args.no_session,
+            kernel=args.kernel,
         )
     finally:
         if server is not None:
@@ -679,6 +684,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_kernel_arg(p: argparse.ArgumentParser) -> None:
+    """``--kernel`` flag shared by every command that runs the simulator."""
+    p.add_argument("--kernel", choices=KERNEL_NAMES, default="auto",
+                   help="cycle kernel: 'reference' (object-based ground "
+                        "truth), 'vector' (numpy struct-of-arrays, "
+                        "bit-identical), or 'auto' (vector when numpy and "
+                        "compiled routes are available; honours the "
+                        "DEFT_KERNEL environment variable)")
+
+
 def _add_distributed_args(p: argparse.ArgumentParser) -> None:
     """Backend-selection flags shared by ``campaign`` and ``montecarlo``."""
     p.add_argument("--backend", choices=["auto", "serial", "process", "spool"],
@@ -733,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a directed VL fault (repeatable), e.g. --fault 3:down",
     )
     p.add_argument("--json", action="store_true", help="also print JSON payload")
+    _add_kernel_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="latency vs injection-rate sweep")
@@ -749,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-session", action="store_true",
                    help="rebuild systems/algorithms per job instead of reusing "
                         "each worker's warm session")
+    _add_kernel_arg(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -783,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "slices (1-based); shards on different machines "
                         "merge through the shared cache")
     _add_distributed_args(p)
+    _add_kernel_arg(p)
     p.add_argument("--quiet", action="store_true", help="suppress per-job progress")
     p.add_argument("--json", metavar="PATH",
                    help="also dump jobs + results as JSON")
@@ -838,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the result cache entirely")
     _add_distributed_args(p)
+    _add_kernel_arg(p)
     p.add_argument("--quiet", action="store_true", help="suppress progress")
     p.add_argument("--json", metavar="PATH", help="also dump estimates as JSON")
     p.set_defaults(func=_cmd_montecarlo)
@@ -875,6 +894,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve this process's metrics registry as "
                         "Prometheus text at http://127.0.0.1:PORT/metrics "
                         "(0 = ephemeral port, printed on stderr)")
+    p.add_argument("--kernel", choices=KERNEL_NAMES, default="auto",
+                   help="node-local cycle-kernel default, applied to claimed "
+                        "jobs that did not request one explicitly")
     p.add_argument("--json", action="store_true",
                    help="also print the final worker stats as JSON")
     p.set_defaults(func=_cmd_worker)

@@ -182,9 +182,15 @@ class Spool:
                 (self.failed_dir / f"{key}.json").unlink()
             except OSError:
                 pass
+            # canonical() excludes the kernel preference (it is not part
+            # of the cache identity); carry it on the wire separately so
+            # workers honour it.
+            job_payload = job.canonical()
+            if job.kernel != "auto":
+                job_payload["kernel"] = job.kernel
             _write_json(
                 self.jobs_dir / f"{key}.json",
-                {"job": job.canonical(), "attempts": 0, "enqueued_at": time.time()},
+                {"job": job_payload, "attempts": 0, "enqueued_at": time.time()},
             )
             enqueued += 1
         return enqueued

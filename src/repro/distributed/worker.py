@@ -26,6 +26,7 @@ worker also acts as the reaper for other workers' expired leases.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 import time
@@ -116,6 +117,7 @@ def run_worker(
     max_jobs: int | None = None,
     use_session: bool = True,
     heartbeat: bool = True,
+    kernel: str | None = None,
 ) -> dict:
     """Drain a spool until stopped; returns the final stats payload.
 
@@ -132,6 +134,11 @@ def run_worker(
             :class:`~repro.runner.session.SessionContext` across jobs.
         heartbeat: renew leases while executing (disabled only by tests
             that simulate a stalled worker).
+        kernel: node-local cycle-kernel preference. Applied only to
+            claimed jobs that still say ``auto`` — a job's explicit
+            kernel request always wins over the worker's default.
+            Results are kernel-independent, so this never affects cache
+            keys or payloads.
     """
     spool = Spool(
         spool_dir,
@@ -195,6 +202,8 @@ def run_worker(
                 time.sleep(poll_s)
                 continue
             idle_since = time.monotonic()
+            if kernel and kernel != "auto" and claim.job.kernel == "auto":
+                claim.job = dataclasses.replace(claim.job, kernel=kernel)
             events.emit(
                 "job_claimed",
                 key=claim.key,

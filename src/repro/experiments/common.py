@@ -130,6 +130,7 @@ def sweep_jobs(
     *,
     traffic_params: Mapping[str, Any] | None = None,
     faults: Iterable[tuple[int, str]] = (),
+    kernel: str = "auto",
 ) -> list[Job]:
     """The declarative (algorithm x rate x seed) grid of one sweep."""
     extra = dict(traffic_params or {})
@@ -142,6 +143,7 @@ def sweep_jobs(
             config=config,
             faults=fault_tuple,
             seed=seed,
+            kernel=kernel,
         )
         for name in algorithm_names
         for rate in rates
@@ -160,6 +162,7 @@ def run_sweep(
     traffic_params: Mapping[str, Any] | None = None,
     faults: Iterable[tuple[int, str]] = (),
     runner: CampaignRunner | None = None,
+    kernel: str = "auto",
 ) -> dict[str, SweepSeries]:
     """Latency sweep: every algorithm at every rate, averaged over seeds.
 
@@ -168,7 +171,7 @@ def run_sweep(
     """
     jobs = sweep_jobs(
         system, algorithm_names, traffic_name, rates, config, seeds,
-        traffic_params=traffic_params, faults=faults,
+        traffic_params=traffic_params, faults=faults, kernel=kernel,
     )
     results = run_jobs(jobs, runner, name=f"sweep-{traffic_name}")
     return series_from_results(results, algorithm_names, rates, seeds)

@@ -160,6 +160,7 @@ def montecarlo_jobs(
     traffic: TrafficSpec | None = None,
     config: SimulationConfig | None = None,
     start: int = 0,
+    kernel: str = "auto",
 ) -> list[Job]:
     """The job list of one (algorithm, k) Monte Carlo group.
 
@@ -202,6 +203,7 @@ def montecarlo_jobs(
             fault_k=fault_count,
             fault_sample=index,
             kind=kind,
+            kernel=kernel,
         )
         for index in range(start, start + samples)
     ]
@@ -292,6 +294,7 @@ def run_montecarlo(
     progress: ProgressFn | None = None,
     target_ci_width: float | None = None,
     max_samples: int | None = None,
+    kernel: str = "auto",
 ) -> MonteCarloReport:
     """Run a full (algorithm x k x sample) Monte Carlo campaign.
 
@@ -363,7 +366,7 @@ def run_montecarlo(
             batches.append((point, montecarlo_jobs(
                 system, point[0], point[1], batch,
                 seed=seed, metric=metric, traffic=traffic, config=config,
-                start=already,
+                start=already, kernel=kernel,
             )))
         jobs = [job for _, group in batches for job in group]
         report = campaign_runner.run(

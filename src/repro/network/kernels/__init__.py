@@ -1,0 +1,101 @@
+"""Cycle kernels: interchangeable per-cycle execution strategies.
+
+Selection (:func:`create_kernel`):
+
+* ``"reference"`` — always available; object-based ground truth.
+* ``"vector"`` — numpy struct-of-arrays execution; requires numpy and a
+  compiled route table. When the algorithm is compilable but the
+  simulator was built without routes, a table is compiled on the spot;
+  when the algorithm cannot be compiled at all, the request falls back
+  to ``reference`` and the reason is recorded on the simulator.
+* ``"auto"`` — honours the ``DEFT_KERNEL`` environment variable if set
+  (for external fleets where plumbing a flag is impractical), otherwise
+  picks ``vector`` exactly when numpy is importable and compiled routes
+  are in play, else ``reference``.
+
+Precedence across the stack: ``--kernel`` CLI flag > per-job ``kernel``
+field > ``DEFT_KERNEL`` env > auto heuristic. The CLI flag simply
+rewrites the job field, and the env var only applies to jobs that reach
+the simulator still saying ``auto``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from ...errors import ConfigurationError
+from .base import CycleKernel
+from .reference import ReferenceKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulator import Simulator
+
+__all__ = [
+    "CycleKernel",
+    "ReferenceKernel",
+    "KERNEL_ENV",
+    "KERNEL_NAMES",
+    "create_kernel",
+    "numpy_available",
+]
+
+#: Environment variable consulted by ``auto`` selection.
+KERNEL_ENV = "DEFT_KERNEL"
+
+#: Accepted kernel requests, in documentation order.
+KERNEL_NAMES = ("auto", "reference", "vector")
+
+
+def numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy ships in the image
+        return False
+    return True
+
+
+def create_kernel(
+    sim: "Simulator", requested: str
+) -> tuple[CycleKernel, str | None]:
+    """Instantiate the kernel for ``requested``; returns (kernel, fallback).
+
+    ``fallback`` is a human-readable reason when a ``vector`` request had
+    to be served by ``reference``, else None. May compile (and assign)
+    ``sim.routes`` when an explicit ``vector`` request arrives without a
+    route table.
+    """
+    if requested not in KERNEL_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel {requested!r}; expected one of {KERNEL_NAMES}"
+        )
+    name = requested
+    if name == "auto":
+        env = os.environ.get(KERNEL_ENV)
+        if env:
+            if env not in KERNEL_NAMES:
+                raise ConfigurationError(
+                    f"{KERNEL_ENV}={env!r} is not one of {KERNEL_NAMES}"
+                )
+            name = env
+    if name == "auto":
+        name = "vector" if numpy_available() and sim.routes is not None else "reference"
+    if name == "reference":
+        return ReferenceKernel(sim), None
+    # -- vector ---------------------------------------------------------
+    if not numpy_available():
+        raise ConfigurationError(
+            "kernel 'vector' requires numpy, which is not importable"
+        )
+    if sim.routes is None:
+        if not sim.algorithm.compilable:
+            return ReferenceKernel(sim), (
+                f"vector kernel needs a compiled route table and algorithm "
+                f"{sim.algorithm.name!r} is not compilable"
+            )
+        from ...routing.compiled import compile_routes
+
+        sim.routes = compile_routes(sim.algorithm)
+    from .vector import VectorKernel
+
+    return VectorKernel(sim), None

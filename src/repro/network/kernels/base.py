@@ -1,0 +1,93 @@
+"""The cycle-kernel contract.
+
+A :class:`CycleKernel` advances one simulation by whole cycles. The
+engine (:class:`~repro.network.simulator.Simulator`) owns configuration,
+the run loop, reporting and telemetry; the kernel owns the per-cycle
+state and the semantics of one step. Two kernels ship:
+
+* ``reference`` — the object-based phase pipeline, the semantic ground
+  truth (:mod:`repro.network.kernels.reference`);
+* ``vector`` — numpy struct-of-arrays execution of the same semantics
+  (:mod:`repro.network.kernels.vector`).
+
+Equivalence contract: for the same (system, algorithm, traffic, config,
+routes), both kernels must produce identical :func:`canonical snapshots
+<repro.network.state.snapshot_state>` after every step. Anything
+observable — buffer contents, credits, allocations, round-robin
+counters, staged arrivals, statistics, algorithm callbacks and their
+order — is part of that contract; wall-clock is the only degree of
+freedom.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..nic import Nic
+    from ..simulator import Simulator
+    from ..state import RouterView
+
+
+class CycleKernel(abc.ABC):
+    """Behavior over one simulation's state: advance it by one cycle."""
+
+    #: Registry name (``reference`` / ``vector``).
+    name: str = "base"
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+
+    # -- stepping -------------------------------------------------------
+
+    @abc.abstractmethod
+    def step(self, generate: bool) -> None:
+        """Advance one cycle (traffic, injection, routers, commit, watchdog)."""
+
+    # -- state the engine and tests observe -----------------------------
+
+    cycle: int
+    packet_counter: int
+    flits_in_flight: int
+    last_progress: int
+    measured_outstanding: int
+
+    @abc.abstractmethod
+    def router_states(self) -> list["RouterView"]:
+        """Per-router state views in the legacy ``sim.routers`` shape."""
+
+    @abc.abstractmethod
+    def nic_states(self) -> list["Nic"]:
+        """The NICs (live objects in both kernels)."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> tuple:
+        """Canonical snapshot for cross-kernel equivalence checks."""
+
+    # -- idle fast-forward (engine drain loop) ---------------------------
+
+    @abc.abstractmethod
+    def is_idle(self) -> bool:
+        """No occupied buffers, busy NICs or RC flits — only staged events."""
+
+    @abc.abstractmethod
+    def next_event_cycle(self) -> int | None:
+        """Earliest staged arrival/credit cycle, or None when none pending."""
+
+    @abc.abstractmethod
+    def fast_forward(self, cycle: int) -> None:
+        """Jump an idle kernel's clock forward (no cycle may be skipped that
+        would have generated traffic, moved a flit or tripped the watchdog —
+        the engine guarantees the target respects all three)."""
+
+    # -- reporting ------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Flush any internal accumulators into the shared stats object."""
+
+    def dispatch_counts(self) -> tuple[int, int]:
+        """(table-served hops, live-dispatch hops) for telemetry; the
+        reference kernel reports zeros — the split only exists where a
+        dense table is in play."""
+        return (0, 0)

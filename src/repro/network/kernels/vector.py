@@ -1,0 +1,1017 @@
+"""The numpy struct-of-arrays cycle kernel.
+
+Same semantics as :mod:`repro.network.kernels.reference`, executed as
+array sweeps. The kernel keeps a numeric mirror of the simulation state
+— one flat *channel* axis indexes every input VC of every router
+(``channel = (router * NUM_PORTS + port) * num_vcs + vc``), so ascending
+channel order *is* the reference kernel's canonical ``(router, port,
+vc)`` order — plus integer registries for packets and flits (a flit is
+``first_fid[packet] + seq``). Per cycle:
+
+* **Plan** — gather the front flit of every occupied channel; fresh
+  heads get their route decision from the compiled table's dense view
+  (:meth:`~repro.routing.compiled.CompiledRoutes.dense_table`) in one
+  ``searchsorted`` batch. Hops the algorithm flags as stateful (via
+  :meth:`~repro.routing.base.RoutingAlgorithm.stateful_boundary_router`),
+  unbound-VL hops and dense misses fall back to live Python dispatch,
+  in ascending channel order — exactly the call sequence the reference
+  kernel would make, so RNGs, round-robins and load counters advance
+  identically. Output-VC allocation pre-filters hopeless channels
+  vectorially, then first-fits the rest in canonical order.
+* **Serve** — switch allocation is a grouped segmented argmin: requests
+  are sorted by (router, out port), each group's service round comes
+  from the per-router rotation, and each round's winners are the
+  arbitration-key minima per group (keys are distinct within a router,
+  so winners are unambiguous). Winning transfers pop, debit credits,
+  stage arrivals and return credits entirely as array ops; ejections
+  and RC-buffer traffic (rare, hook-bearing) stay in Python, sorted by
+  router id.
+* **Commit** — staged arrivals/credits land via flat index adds.
+
+Statistics accumulate into small shadow arrays during the sweep and are
+folded into the shared :class:`~repro.network.stats.StatsCollector` at
+the end of *every* step, so ``sim.stats`` is always exact and the
+per-cycle snapshot digests match the reference bit for bit.
+
+``router_states()``/``snapshot()`` materialize an object-based
+:class:`~repro.network.state.SimState` from the arrays on demand
+(memoized until the next step). The views are therefore *copies*:
+reading through ``sim.routers`` is supported everywhere, mutating
+through it is not (nothing in the repository does).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...errors import DeadlockError, UnroutablePacketError
+from ...fault.model import VLDirection
+from ...routing.base import Port, opposite_port
+from ...routing.compiled import PHASE_TO_DOWN, PHASE_TO_DST, PHASE_TO_UP
+from ...topology.geometry import INTERPOSER_LAYER
+from ..flit import Packet
+from ..nic import Nic
+from ..state import (
+    NUM_PORTS,
+    RC_PORT,
+    RcBuffer,
+    SimState,
+    partition_vcs,
+    snapshot_state,
+)
+from .base import CycleKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulator import Simulator
+    from ..state import RouterView
+
+_LOCAL = int(Port.LOCAL)
+_VERT = int(Port.VERTICAL)
+
+#: Sentinel for "no assignment/decision" in the int mirrors.
+_NONE = -2
+
+#: "VC not allowed" rank in the first-fit walk tables (int16-safe).
+_RANK_INF = 0x7FFF
+
+
+class VectorKernel(CycleKernel):
+    """Array-sweep execution of the cycle semantics (requires numpy)."""
+
+    name = "vector"
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim)
+        import numpy as np
+
+        self._np = np
+        self.system = sim.system
+        self.algorithm = sim.algorithm
+        self.traffic = sim.traffic
+        self.config = sim.config
+        self.stats = sim.stats
+        assert sim.routes is not None, "vector kernel requires compiled routes"
+        self._routes = sim.routes
+        self._dense = sim.routes.dense_table()
+        self._anchors = sim.routes._anchors
+        self._vn_vcs = partition_vcs(sim.config.num_vcs)
+        self._vl_ser = sim.config.vl_serialization
+
+        P = NUM_PORTS
+        V = sim.config.num_vcs
+        D = sim.config.buffer_depth
+        R = len(sim.system.routers)
+        self._P, self._V, self._D, self._R = P, V, D, R
+        self._PV = P * V
+        self._NC = R * P * V
+        self._rr_mod = P * V
+
+        # -- static topology arrays -------------------------------------
+        self.layer_arr = np.array(
+            [r.layer for r in sim.system.routers], dtype=np.int64
+        )
+        # (router, out_port) -> destination channel base ((dst*P+in)*V), -1 none
+        self.link_base = np.full(R * P, -1, dtype=np.int64)
+        # (router, in_port) -> upstream channel base to credit, -1 for LOCAL
+        self.upstream_base = np.full(R * P, -1, dtype=np.int64)
+        self.vl_of = np.full(R, -1, dtype=np.int64)
+        self.vl_send_dir = np.zeros(R, dtype=np.int64)
+        self.has_rc = np.zeros(R, dtype=bool)
+        for router in sim.system.routers:
+            rid = router.id
+            for direction, neighbor in router.neighbors.items():
+                d = int(direction)
+                dst_in = int(opposite_port(Port(d)))
+                self.link_base[rid * P + d] = (neighbor * P + dst_in) * V
+                self.upstream_base[rid * P + d] = (
+                    neighbor * P + int(opposite_port(Port(d)))
+                ) * V
+            if router.vertical_neighbor is not None:
+                self.link_base[rid * P + _VERT] = (
+                    router.vertical_neighbor * P + _VERT
+                ) * V
+                self.upstream_base[rid * P + _VERT] = (
+                    router.vertical_neighbor * P + _VERT
+                ) * V
+            if router.vl_index is not None:
+                self.vl_of[rid] = router.vl_index
+            self.vl_send_dir[rid] = int(
+                VLDirection.UP if router.is_interposer else VLDirection.DOWN
+            )
+
+        # -- channel state ----------------------------------------------
+        self.buf = np.zeros((self._NC, D), dtype=np.int64)  # circular fid queues
+        self.bhead = np.zeros(self._NC, dtype=np.int64)
+        self.blen = np.zeros(self._NC, dtype=np.int64)
+        self.chan_active = np.zeros(self._NC, dtype=bool)  # invariant: blen > 0
+        self.credits_arr = np.full(self._NC, D, dtype=np.int64)
+        self.owner_arr = np.full(self._NC, -1, dtype=np.int64)  # packet id
+        self.asg_port = np.full(self._NC, _NONE, dtype=np.int64)  # -1 = RC
+        self.asg_vc = np.zeros(self._NC, dtype=np.int64)
+        self.dec_port = np.full(self._NC, _NONE, dtype=np.int64)
+        self.dec_code = np.zeros(self._NC, dtype=np.int64)
+        self.sa_rr = np.zeros(R, dtype=np.int64)
+        self.vl_next_free = np.zeros(R, dtype=np.int64)
+
+        # -- packet / flit registries ------------------------------------
+        self.pkt_objs: list[Packet | None] = []
+        self.pkt_dst = np.zeros(0, dtype=np.int64)
+        self.pkt_vn = np.zeros(0, dtype=np.int64)
+        self.pkt_down = np.zeros(0, dtype=np.int64)
+        self.pkt_up = np.zeros(0, dtype=np.int64)
+        self.pkt_boundary = np.zeros(0, dtype=np.int64)
+        self.pkt_needs_rc = np.zeros(0, dtype=bool)
+        self.pkt_hops = np.zeros(0, dtype=np.int64)
+        self.first_fid = np.zeros(0, dtype=np.int64)
+        self.fid_objs: list = []
+        self.fid_pkt = np.zeros(0, dtype=np.int64)
+        self.fid_head = np.zeros(0, dtype=bool)
+        self.fid_tail = np.zeros(0, dtype=bool)
+        self._nfids = 0
+
+        # -- objects that stay objects -----------------------------------
+        self.nics = [Nic(r.id) for r in sim.system.routers]
+        self.rc_buffers: list[RcBuffer | None] = [
+            RcBuffer() if sim.algorithm.uses_rc_buffer(r.id) else None
+            for r in sim.system.routers
+        ]
+        self._rc_units = [
+            (rid, unit)
+            for rid, unit in enumerate(self.rc_buffers)
+            if unit is not None
+        ]
+        for rid, _ in self._rc_units:
+            self.has_rc[rid] = True
+        self.busy_nics: set[int] = set()
+        #: Busy NICs blocked on a full LOCAL channel; skipped by
+        #: `_inject` until `_send_winners` pops a LOCAL input of theirs.
+        #: Always a subset of `busy_nics` — purely an iteration filter,
+        #: never part of snapshots.
+        self.stalled_nics: set[int] = set()
+
+        # Staged events, keyed by materialization cycle; values are lists
+        # of (dest-channel array, fid array) / flat-channel index arrays.
+        self.arrivals: dict[int, list] = {}
+        self.credit_arrivals: dict[int, list] = {}
+
+        # -- run counters -------------------------------------------------
+        self.cycle = 0
+        self.packet_counter = 0
+        self.flits_in_flight = 0
+        self.last_progress = 0
+        self.measured_outstanding = 0
+
+        # -- stats shadows (folded into self.stats every step) ------------
+        n_regions = int(self.layer_arr.max()) + 2 if R else 1
+        self.shadow_vc = np.zeros((n_regions, V), dtype=np.int64)
+        self.shadow_vl = np.zeros((max(len(sim.system.vls), 1), 2), dtype=np.int64)
+        self.shadow_flit_hops = 0
+        self._vc_dirty = False
+        self._vl_dirty = False
+
+        # -- decision-code mirrors (parallel to dense.decisions) ----------
+        self._code_ports: list[int] = []
+        self._code_vns: list[tuple[int, ...]] = []
+        self.code_port_arr = np.zeros(0, dtype=np.int64)
+        self.code_vnmask = np.zeros((0, V), dtype=bool)
+
+        # -- scratch -------------------------------------------------------
+        self._used = np.zeros(R * P, dtype=bool)
+        self._vcr = np.arange(V, dtype=np.int64)
+        self._mat: SimState | None = None
+
+        # -- telemetry ----------------------------------------------------
+        self._table_decisions = 0
+        self._live_decisions = 0
+
+    # ------------------------------------------------------------------
+    # engine-facing surface
+    # ------------------------------------------------------------------
+
+    def router_states(self) -> list["RouterView"]:
+        return self._materialize().router_views()
+
+    def nic_states(self) -> list[Nic]:
+        return self.nics
+
+    def snapshot(self) -> tuple:
+        self._fold_stats()
+        return snapshot_state(self._materialize(), self.stats)
+
+    def is_idle(self) -> bool:
+        return (
+            not self.busy_nics
+            and not bool(self.chan_active.any())
+            and not any(unit.flits for _, unit in self._rc_units)
+        )
+
+    def next_event_cycle(self) -> int | None:
+        dues = list(self.arrivals) + list(self.credit_arrivals)
+        return min(dues) if dues else None
+
+    def fast_forward(self, cycle: int) -> None:
+        assert cycle > self.cycle
+        self.cycle = cycle
+        self._mat = None
+
+    def finalize(self) -> None:
+        self._fold_stats()
+
+    def dispatch_counts(self) -> tuple[int, int]:
+        return (self._table_decisions, self._live_decisions)
+
+    # ------------------------------------------------------------------
+    # per-cycle phases
+    # ------------------------------------------------------------------
+
+    def step(self, generate: bool) -> None:
+        self._mat = None
+        if generate:
+            self._generate_traffic()
+        self._inject()
+        req_chan, rcq = self._plan()
+        transfers, credits = self._serve(req_chan, rcq)
+        self._commit(transfers, credits)
+        self._check_watchdog()
+        self.cycle += 1
+
+    # -- traffic and injection (cold path, plain Python) -----------------
+
+    def _generate_traffic(self) -> None:
+        measured_window = self.cycle >= self.config.warmup_cycles
+        for src, dst in self.traffic.packets_for_cycle(self.cycle):
+            packet = Packet(
+                self.packet_counter, src, dst, self.config.packet_size, self.cycle
+            )
+            self.packet_counter += 1
+            packet.measured = measured_window
+            self.stats.on_packet_created(packet.measured)
+            if packet.measured:
+                self.measured_outstanding += 1
+            self._register_packet(packet)
+            self.nics[src].enqueue(packet)
+            self.busy_nics.add(src)
+
+    def _register_packet(self, packet: Packet) -> None:
+        pid = packet.id
+        if pid >= len(self.pkt_dst):
+            self._grow_packets(pid + 1)
+        self.pkt_objs.append(packet)
+        assert len(self.pkt_objs) == pid + 1
+        self.pkt_dst[pid] = packet.dst
+
+    def _grow_packets(self, need: int) -> None:
+        np = self._np
+        cap = max(need, 2 * len(self.pkt_dst), 256)
+
+        def grow(arr, fill):
+            out = np.full(cap, fill, dtype=arr.dtype)
+            out[: arr.size] = arr
+            return out
+
+        self.pkt_dst = grow(self.pkt_dst, 0)
+        self.pkt_vn = grow(self.pkt_vn, 0)
+        self.pkt_down = grow(self.pkt_down, -1)
+        self.pkt_up = grow(self.pkt_up, -1)
+        self.pkt_boundary = grow(self.pkt_boundary, _NONE)
+        self.pkt_needs_rc = grow(self.pkt_needs_rc, False)
+        self.pkt_hops = grow(self.pkt_hops, 0)
+        self.first_fid = grow(self.first_fid, -1)
+
+    def _grow_fids(self, need: int) -> None:
+        np = self._np
+        cap = max(need, 2 * len(self.fid_pkt), 1024)
+
+        def grow(arr, fill):
+            out = np.full(cap, fill, dtype=arr.dtype)
+            out[: arr.size] = arr
+            return out
+
+        self.fid_pkt = grow(self.fid_pkt, 0)
+        self.fid_head = grow(self.fid_head, False)
+        self.fid_tail = grow(self.fid_tail, False)
+
+    def _inject(self) -> None:
+        np = self._np
+        stalled = self.stalled_nics
+        done: list[int] = []
+        cand: list[Nic] = []
+        cand_c: list[int] = []
+        cand_pid: list[int] = []
+        cand_seq: list[int] = []
+        P, V = self._P, self._V
+        # Stalled NICs (backpressured on a full LOCAL channel) cannot
+        # change until `_send_winners` pops one of their channels; drop
+        # them before the sort — under saturation they are the majority.
+        for nid in sorted(self.busy_nics - stalled):
+            nic = self.nics[nid]
+            if nic.current_flits is None:
+                if not self._start_next_packet(nic):
+                    if not nic.queue:
+                        done.append(nid)
+                    continue
+            cand.append(nic)
+            cand_c.append((nid * P + _LOCAL) * V + nic.inject_vc)
+            cand_pid.append(nic.current_flits[0].packet.id)
+            cand_seq.append(nic.current_index)
+        if cand:
+            # Channels are distinct (one NIC per router), so the batch
+            # is equivalent to the sequential per-NIC insertion.
+            carr = np.array(cand_c, dtype=np.int64)
+            lens = self.blen[carr]
+            room = lens < self._D
+            for i in np.flatnonzero(~room):
+                stalled.add(cand[i].router_id)
+            ok = np.flatnonzero(room)
+            if ok.size:
+                oc = carr[ok]
+                fids = (
+                    self.first_fid[np.array(cand_pid, dtype=np.int64)[ok]]
+                    + np.array(cand_seq, dtype=np.int64)[ok]
+                )
+                self.buf[oc, (self.bhead[oc] + lens[ok]) % self._D] = fids
+                self.blen[oc] += 1
+                self.chan_active[oc] = True
+                self.flits_in_flight += int(ok.size)
+                self.last_progress = self.cycle
+                for i in ok:
+                    nic = cand[i]
+                    nic.advance()
+                    if nic.current_flits is None and not nic.queue:
+                        done.append(nic.router_id)
+        for nid in done:
+            self.busy_nics.discard(nid)
+
+    def _start_next_packet(self, nic: Nic) -> bool:
+        algo = self.algorithm
+        while nic.queue:
+            packet = nic.queue[0]
+            if not algo.is_routable(packet.src, packet.dst):
+                nic.queue.popleft()
+                self.stats.on_packet_dropped(packet.measured)
+                if packet.measured:
+                    self.measured_outstanding -= 1
+                continue
+            if not algo.may_inject(packet, self.cycle):
+                return False  # head-of-line wait (RC permission network)
+            try:
+                algo.prepare_packet(packet)
+            except UnroutablePacketError:
+                nic.queue.popleft()
+                self.stats.on_packet_dropped(packet.measured)
+                if packet.measured:
+                    self.measured_outstanding -= 1
+                continue
+            nic.queue.popleft()
+            vc = self._injection_vc(packet)
+            nic.start_packet(packet, vc, self.cycle)
+            self._register_start(packet, nic)
+            return True
+        return False
+
+    def _injection_vc(self, packet: Packet) -> int:
+        base = (packet.src * self._P + _LOCAL) * self._V
+        return min(self._vn_vcs[packet.vn], key=lambda v: int(self.blen[base + v]))
+
+    def _register_start(self, packet: Packet, nic: Nic) -> None:
+        """Mirror the packet's bound routing state after ``prepare_packet``."""
+        pid = packet.id
+        self.pkt_vn[pid] = packet.vn
+        self.pkt_down[pid] = -1 if packet.down_vl is None else packet.down_vl
+        self.pkt_up[pid] = -1 if packet.up_vl is None else packet.up_vl
+        self.pkt_needs_rc[pid] = bool(packet.needs_rc)
+        boundary = self.algorithm.stateful_boundary_router(packet)
+        self.pkt_boundary[pid] = _NONE if boundary is None else boundary
+        flits = nic.current_flits
+        assert flits is not None
+        n = self._nfids
+        m = len(flits)
+        self.first_fid[pid] = n
+        if n + m > len(self.fid_pkt):
+            self._grow_fids(n + m)
+        # Wormhole framing: the first flit is the head, the last the tail
+        # (a single-flit packet is both); the grown arrays default False.
+        self.fid_objs.extend(flits)
+        self.fid_pkt[n : n + m] = pid
+        self.fid_head[n] = True
+        self.fid_tail[n + m - 1] = True
+        self._nfids = n + m
+
+    # -- plan -------------------------------------------------------------
+
+    def _plan(self):
+        """Decisions, RC claims, VC allocations, SA-request eligibility."""
+        np = self._np
+        act = np.flatnonzero(self.chan_active)  # ascending == canonical order
+        if act.size:
+            # Only channels without an assignment can need planning; under
+            # load that is a small minority, so gather their fronts only.
+            na = act[self.asg_port[act] == _NONE]
+            front = self.buf[na, self.bhead[na]]
+            sel = self.fid_head[front]
+            consider = na[sel]
+            cfront = front[sel]
+            if consider.size:
+                have = self.dec_port[consider] != _NONE
+                if not have.all():
+                    self._compute_decisions(consider[~have], cfront[~have])
+                self._claim_and_allocate(consider, cfront)
+        # -- build SA requests over the (possibly updated) assignments
+        if act.size:
+            ap = self.asg_port[act]
+            rcq = act[ap == RC_PORT]
+            am = ap >= 0
+            a_chan = act[am]
+            a_out = ap[am]
+            ok = np.ones(a_chan.size, dtype=bool)
+            nl = a_out != _LOCAL
+            ar = a_chan // self._PV
+            oc = (ar * self._P + a_out) * self._V + self.asg_vc[a_chan]
+            ok[nl] = self.credits_arr[oc[nl]] > 0
+            if self._vl_ser > 1:
+                vm = nl & (a_out == _VERT)
+                ok[vm] &= self.cycle >= self.vl_next_free[ar[vm]]
+            req_chan = a_chan[ok]
+        else:
+            rcq = act
+            req_chan = act
+        return req_chan, rcq
+
+    def _compute_decisions(self, chans, fids) -> None:
+        """Route fresh heads: one dense batch plus ordered live fallbacks."""
+        np = self._np
+        routes = self._routes
+        algo = self.algorithm
+        if algo.fault_state is not routes._fault_state:
+            routes._rebind(algo.fault_state)
+        pids = self.fid_pkt[fids]
+        r = chans // self._PV
+        in_port = (chans // self._V) % self._P
+        dst = self.pkt_dst[pids]
+        rlayer = self.layer_arr[r]
+        n = chans.size
+        phase = np.zeros(n, dtype=np.int64)
+        anchor = np.zeros(n, dtype=np.int64)
+        live = np.zeros(n, dtype=bool)
+        same = rlayer == self.layer_arr[dst]
+        phase[same] = PHASE_TO_DST
+        anchor[same] = dst[same]
+        interp = ~same & (rlayer == INTERPOSER_LAYER)
+        up = self.pkt_up[pids]
+        live |= interp & (up < 0)  # up-VL binds inside the live call
+        okup = interp & (up >= 0)
+        phase[okup] = PHASE_TO_UP
+        anchor[okup] = up[okup]
+        downp = ~same & ~interp
+        down = self.pkt_down[pids]
+        live |= downp & (down < 0)  # live path raises the descriptive error
+        okdown = downp & (down >= 0)
+        phase[okdown] = PHASE_TO_DOWN
+        anchor[okdown] = down[okdown]
+        boundary = self.pkt_boundary[pids]
+        live |= (boundary == _NONE) | (boundary == r)  # stateful hops
+        table = ~live
+        if table.any():
+            key = (
+                (phase[table] * self._anchors + anchor[table]) * self._R + r[table]
+            ) * (self._P * 2) + in_port[table] * 2 + self.pkt_vn[pids[table]]
+            self._dense.maybe_resync()
+            codes, found = self._dense.lookup(key)
+            tchans = chans[table]
+            hit = tchans[found]
+            self.dec_code[hit] = codes[found]
+            self._table_decisions += hit.size
+            miss = np.flatnonzero(table)[~found]
+            live[miss] = True
+        for i in np.flatnonzero(live):  # ascending channels == canonical
+            c = int(chans[i])
+            pid = int(pids[i])
+            packet = self.pkt_objs[pid]
+            assert packet is not None
+            decision = routes.route(packet, int(r[i]), Port(int(in_port[i])))
+            self.dec_code[c] = self._dense.code_for(decision)
+            self._live_decisions += 1
+            if packet.up_vl is not None:  # the live call may have bound it
+                self.pkt_up[pid] = packet.up_vl
+        self._sync_codes()
+        self.dec_port[chans] = self.code_port_arr[self.dec_code[chans]]
+
+    def _sync_codes(self) -> None:
+        """Track the dense table's decision interning with numpy mirrors."""
+        decs = self._dense.decisions
+        if len(decs) == len(self._code_ports):
+            return
+        np = self._np
+        for i in range(len(self._code_ports), len(decs)):
+            d = decs[i]
+            self._code_ports.append(int(d.out_port))
+            self._code_vns.append(tuple(int(v) for v in d.allowed_vns))
+        self.code_port_arr = np.array(self._code_ports, dtype=np.int64)
+        mask = np.zeros((len(decs), self._V), dtype=bool)
+        # First-fit walk order (vn preference major, vn's vc order minor)
+        # as ranks, so an uncontended allocation is argmin(rank) over the
+        # free VCs — identical to the reference's nested-loop walk.
+        rank = np.full((len(decs), self._V), _RANK_INF, dtype=np.int16)
+        walk_vn = np.zeros((len(decs), self._V), dtype=np.int16)
+        for i, vns in enumerate(self._code_vns):
+            step = 0
+            for vn in vns:
+                for vc in self._vn_vcs[vn]:
+                    mask[i, vc] = True
+                    if rank[i, vc] == _RANK_INF:
+                        rank[i, vc] = step
+                        walk_vn[i, vc] = vn
+                    step += 1
+        self.code_vnmask = mask
+        self.code_vc_rank = rank
+        self.code_vc_vn = walk_vn
+
+    def _claim_and_allocate(self, consider, cfront) -> None:
+        np = self._np
+        pidc = self.fid_pkt[cfront]
+        outp = self.dec_port[consider]
+        rc_mask = (
+            (outp == _VERT)
+            & self.has_rc[consider // self._PV]
+            & self.pkt_needs_rc[pidc]
+        )
+        for i in np.flatnonzero(rc_mask):  # ascending == canonical
+            c = int(consider[i])
+            unit = self.rc_buffers[c // self._PV]
+            assert unit is not None
+            packet = self.pkt_objs[int(pidc[i])]
+            if unit.owner is None:
+                unit.owner = packet
+            if unit.owner is packet:
+                self.asg_port[c] = RC_PORT
+                self.asg_vc[c] = 0
+        al = consider[~rc_mask]
+        al_front = cfront[~rc_mask]
+        if not al.size:
+            return
+        out = self.dec_port[al]
+        loc = out == _LOCAL
+        self.asg_port[al[loc]] = _LOCAL
+        self.asg_vc[al[loc]] = 0
+        rest = al[~loc]
+        if not rest.size:
+            return
+        rest_front = al_front[~loc]
+        base = (rest // self._PV * self._P + self.dec_port[rest]) * self._V
+        owners = self.owner_arr[base[:, None] + self._vcr]
+        allowed = self.code_vnmask[self.dec_code[rest]]
+        # Owners are only claimed (never freed) during plan, so a channel
+        # with no free allowed VC now cannot gain one before its turn —
+        # the filter only skips channels the first-fit would reject.
+        feasible = ((owners < 0) & allowed).any(axis=1)
+        feas = np.flatnonzero(feasible)
+        if not feas.size:
+            return
+        # Rows alone on their (router, out port) cannot contend for VCs
+        # with any other row this cycle, so their first-fit walks are
+        # independent and vectorize as argmin over the walk-rank table.
+        fbase = base[feas]
+        contended = np.bincount(fbase)[fbase] > 1
+        solo = feas[~contended]
+        if solo.size:
+            codes_s = self.dec_code[rest[solo]]
+            crank = np.where(
+                owners[solo] < 0, self.code_vc_rank[codes_s], _RANK_INF
+            )
+            vc = crank.argmin(axis=1)
+            pid_s = self.fid_pkt[rest_front[solo]]
+            self.owner_arr[base[solo] + vc] = pid_s
+            vns = self.code_vc_vn[codes_s, vc]
+            self.pkt_vn[pid_s] = vns
+            self.asg_port[rest[solo]] = self.code_port_arr[codes_s]
+            self.asg_vc[rest[solo]] = vc
+            for pid, vn in zip(pid_s.tolist(), vns.tolist()):
+                self.pkt_objs[pid].vn = vn
+        for i in feas[contended]:  # ascending == canonical
+            c = int(rest[i])
+            b = int(base[i])
+            code = int(self.dec_code[c])
+            pid = int(self.fid_pkt[int(rest_front[i])])
+            packet = self.pkt_objs[pid]
+            assert packet is not None
+            claimed = False
+            for vn in self._code_vns[code]:
+                for vc in self._vn_vcs[vn]:
+                    if self.owner_arr[b + vc] < 0:
+                        self.owner_arr[b + vc] = pid
+                        packet.vn = vn
+                        self.pkt_vn[pid] = vn
+                        self.asg_port[c] = self._code_ports[code]
+                        self.asg_vc[c] = vc
+                        claimed = True
+                        break
+                if claimed:
+                    break
+
+    # -- serve ------------------------------------------------------------
+
+    def _serve(self, req_chan, rcq):
+        np = self._np
+        transfers_dc: list = []
+        transfers_fid: list = []
+        credit_idx: list = []
+        used = self._used
+        used[:] = False
+        if req_chan.size:
+            r = req_chan // self._PV
+            inp = (req_chan // self._V) % self._P
+            vcs = req_chan % self._V
+            out = self.asg_port[req_chan]
+            # Arbitration rank under the *post-increment* round-robin
+            # pointer: every requesting router's pointer advances by
+            # exactly one this cycle, so the incremented value is
+            # ``sa_rr[r] + 1`` and the rank is computable before the
+            # sort — letting one lexsort produce both the (router, out)
+            # grouping and the within-group arbitration order.
+            arb = (inp * self._V + vcs - self.sa_rr[r] - 1) % self._rr_mod
+            order = np.lexsort((arb, out, r))
+            ro, oo = r[order], out[order]
+            newg = np.empty(ro.size, dtype=bool)
+            newg[0] = True
+            newg[1:] = (ro[1:] != ro[:-1]) | (oo[1:] != oo[:-1])
+            gid = np.cumsum(newg) - 1
+            gfirst = np.flatnonzero(newg)
+            g_r = ro[gfirst]
+            newr = np.empty(g_r.size, dtype=bool)
+            newr[0] = True
+            newr[1:] = g_r[1:] != g_r[:-1]
+            rfirst = np.flatnonzero(newr)
+            r_ids = g_r[rfirst]
+            r_gcount = np.diff(np.append(rfirst, g_r.size))
+            off = self.sa_rr[r_ids] % r_gcount
+            self.sa_rr[r_ids] += 1
+            g_rank = np.arange(g_r.size) - np.repeat(rfirst, r_gcount)
+            g_nouts = np.repeat(r_gcount, r_gcount)
+            g_round = (g_rank - np.repeat(off, r_gcount)) % g_nouts
+            req_round = g_round[gid]
+            inflat = ro * self._P + inp[order]
+            # The ordered arrays are already sorted by (group, arb), so
+            # each round only filters by round tag and input availability
+            # — a boolean selection preserves the arbitration order, and
+            # the first eligible entry of each group is its winner.
+            win_parts = []
+            for t in range(int(g_round.max()) + 1):
+                elig = (req_round == t) & ~used[inflat]
+                if not elig.any():
+                    continue
+                sk = np.flatnonzero(elig)
+                gk = gid[sk]
+                firsts = np.empty(sk.size, dtype=bool)
+                firsts[0] = True
+                firsts[1:] = gk[1:] != gk[:-1]
+                w = sk[firsts]
+                used[inflat[w]] = True
+                win_parts.append(w)
+            if win_parts:
+                win = np.concatenate(win_parts)
+                self._send_winners(
+                    req_chan[order][win],
+                    ro[win],
+                    oo[win],
+                    inp[order][win],
+                    vcs[order][win],
+                    transfers_dc,
+                    transfers_fid,
+                    credit_idx,
+                )
+        if rcq.size:
+            self._absorb_rc(rcq, used, credit_idx)
+        self._drain_rc(transfers_dc, transfers_fid)
+        return (transfers_dc, transfers_fid), credit_idx
+
+    def _send_winners(
+        self, wc, wr, wo, wi, wv, transfers_dc, transfers_fid, credit_idx
+    ) -> None:
+        np = self._np
+        fid = self.buf[wc, self.bhead[wc]]
+        self.bhead[wc] = (self.bhead[wc] + 1) % self._D
+        self.blen[wc] -= 1
+        self.chan_active[wc] = self.blen[wc] > 0
+        self.last_progress = self.cycle
+        lm = wi == _LOCAL
+        if lm.any() and self.stalled_nics:
+            # A LOCAL input popped: its NIC may have space again.
+            self.stalled_nics.difference_update(wr[lm].tolist())
+        upm = wi != _LOCAL
+        if upm.any():
+            credit_idx.append(self.upstream_base[wr[upm] * self._P + wi[upm]] + wv[upm])
+        heads = self.fid_head[fid]
+        tails = self.fid_tail[fid]
+        em = wo == _LOCAL
+        if em.any():
+            eidx = np.flatnonzero(em)
+            eidx = eidx[np.argsort(wr[eidx], kind="stable")]  # router order
+            for i in eidx:
+                self._eject(int(fid[i]))
+        tm = ~em
+        if tm.any():
+            tc = wc[tm]
+            tr = wr[tm]
+            to = wo[tm]
+            tvc = self.asg_vc[tc]
+            oc = (tr * self._P + to) * self._V + tvc
+            self.credits_arr[oc] -= 1
+            dc = self.link_base[tr * self._P + to] + tvc
+            transfers_dc.append(dc)
+            transfers_fid.append(fid[tm])
+            hp = self.fid_pkt[fid[tm][heads[tm]]]
+            self.pkt_hops[hp] += 1  # one head per packet per cycle: no dupes
+            vm = to == _VERT
+            if vm.any():
+                vr = tr[vm]  # one VERTICAL group per router: no dupes
+                self.shadow_vl[self.vl_of[vr], self.vl_send_dir[vr]] += 1
+                self._vl_dirty = True
+                if self._vl_ser > 1:
+                    self.vl_next_free[vr] = self.cycle + self._vl_ser
+            tl = tails[tm]
+            self.owner_arr[oc[tl]] = -1
+        done = wc[tails]
+        self.asg_port[done] = _NONE
+        self.dec_port[done] = _NONE
+
+    def _eject(self, fid: int) -> None:
+        flit = self.fid_objs[fid]
+        packet = flit.packet
+        packet.flits_ejected += 1
+        self.flits_in_flight -= 1
+        if flit.is_tail:
+            packet.delivered_cycle = self.cycle
+            packet.hops = int(self.pkt_hops[packet.id])
+            latency = packet.delivered_cycle - packet.created_cycle
+            self.stats.on_packet_delivered(latency, packet.hops, packet.measured)
+            self.algorithm.on_packet_delivered(packet, self.cycle)
+            if packet.measured:
+                self.measured_outstanding -= 1
+            self.pkt_objs[packet.id] = None
+        self.fid_objs[fid] = None
+
+    def _absorb_rc(self, rcq, used, credit_idx) -> None:
+        np = self._np
+        rr = rcq // self._PV
+        first = np.empty(rcq.size, dtype=bool)
+        first[0] = True
+        first[1:] = rr[1:] != rr[:-1]
+        for c64 in rcq[first]:  # ascending routers, lowest channel each
+            c = int(c64)
+            rid = c // self._PV
+            port = (c // self._V) % self._P
+            if used[rid * self._P + port]:
+                continue
+            unit = self.rc_buffers[rid]
+            assert unit is not None
+            if not self.blen[c]:
+                continue
+            fid = int(self.buf[c, self.bhead[c]])
+            self.bhead[c] = (self.bhead[c] + 1) % self._D
+            self.blen[c] -= 1
+            self.chan_active[c] = self.blen[c] > 0
+            if port != _LOCAL:
+                vc = c % self._V
+                credit_idx.append(
+                    self.upstream_base[rid * self._P + port : rid * self._P + port + 1]
+                    + vc
+                )
+            flit = self.fid_objs[fid]
+            unit.flits.append(flit)
+            self.last_progress = self.cycle
+            if flit.is_tail:
+                unit.complete = True
+                self.asg_port[c] = _NONE
+                self.dec_port[c] = _NONE
+
+    def _drain_rc(self, transfers_dc, transfers_fid) -> None:
+        np = self._np
+        for rid, unit in self._rc_units:  # ascending router order
+            if not unit.complete or not unit.flits:
+                continue
+            vbase = (rid * self._P + _VERT) * self._V
+            if unit.out_vc is None:
+                owner_pid = unit.owner
+                assert owner_pid is not None
+                for vc in range(self._V):
+                    if self.owner_arr[vbase + vc] < 0:
+                        self.owner_arr[vbase + vc] = owner_pid.id
+                        unit.out_vc = vc
+                        break
+                if unit.out_vc is None:
+                    continue
+            out_vc = unit.out_vc
+            if self.credits_arr[vbase + out_vc] <= 0:
+                continue
+            if self._vl_ser > 1 and self.cycle < self.vl_next_free[rid]:
+                continue
+            flit = unit.flits.popleft()
+            self.credits_arr[vbase + out_vc] -= 1
+            dc = int(self.link_base[rid * self._P + _VERT]) + out_vc
+            fid = int(self.first_fid[flit.packet.id]) + flit.seq
+            transfers_dc.append(np.array([dc], dtype=np.int64))
+            transfers_fid.append(np.array([fid], dtype=np.int64))
+            self.last_progress = self.cycle
+            if flit.is_head:
+                self.pkt_hops[flit.packet.id] += 1
+            self.shadow_vl[self.vl_of[rid], int(VLDirection.DOWN)] += 1
+            self._vl_dirty = True
+            if self._vl_ser > 1:
+                self.vl_next_free[rid] = self.cycle + self._vl_ser
+            if flit.is_tail:
+                self.owner_arr[vbase + out_vc] = -1
+                packet = unit.owner
+                assert packet is not None
+                unit.reset()
+                self.algorithm.on_rc_buffer_drained(rid, packet, self.cycle)
+
+    # -- commit ------------------------------------------------------------
+
+    def _commit(self, transfers, credit_idx) -> None:
+        np = self._np
+        transfers_dc, transfers_fid = transfers
+        if transfers_dc:
+            due = self.cycle + self.config.hop_latency - 1
+            self.arrivals.setdefault(due, []).append(
+                (np.concatenate(transfers_dc), np.concatenate(transfers_fid))
+            )
+        if credit_idx:
+            due = self.cycle + self.config.credit_latency - 1
+            self.credit_arrivals.setdefault(due, []).append(
+                np.concatenate(credit_idx)
+            )
+        batches = self.arrivals.pop(self.cycle, None)
+        if batches:
+            if len(batches) == 1:
+                dc, fid = batches[0]
+            else:
+                dc = np.concatenate([b[0] for b in batches])
+                fid = np.concatenate([b[1] for b in batches])
+            # Destination channels are unique within a cycle (1:1 links,
+            # one send per (router, out port)), so plain fancy writes work.
+            slot = (self.bhead[dc] + self.blen[dc]) % self._D
+            self.buf[dc, slot] = fid
+            self.blen[dc] += 1
+            self.chan_active[dc] = True
+            np.add.at(
+                self.shadow_vc, (self.layer_arr[dc // self._PV] + 1, dc % self._V), 1
+            )
+            self._vc_dirty = True
+            self.shadow_flit_hops += int(dc.size)
+        credits = self.credit_arrivals.pop(self.cycle, None)
+        if credits:
+            idx = credits[0] if len(credits) == 1 else np.concatenate(credits)
+            np.add.at(self.credits_arr, idx, 1)
+
+    # -- stats fold --------------------------------------------------------
+
+    def _fold_stats(self) -> None:
+        """Flush the shadow accumulators into the shared StatsCollector.
+
+        Folding is lazy: ``step`` only accumulates into the numpy shadows
+        and the flush happens at observation points — ``snapshot()`` and
+        ``finalize()`` (the engine finalizes after every run loop and at
+        the end of ``run_cycles``). Addition commutes, so deferring the
+        flush never changes the totals the collector reports.
+        """
+        np = self._np
+        stats = self.stats
+        if self.shadow_flit_hops:
+            stats.flit_hops += self.shadow_flit_hops
+            self.shadow_flit_hops = 0
+        if self._vc_dirty:
+            for li, vci in zip(*np.nonzero(self.shadow_vc)):
+                stats.vc_flits[int(li) - 1][int(vci)] += int(self.shadow_vc[li, vci])
+            self.shadow_vc[:] = 0
+            self._vc_dirty = False
+        if self._vl_dirty:
+            for vli, diri in zip(*np.nonzero(self.shadow_vl)):
+                stats.vl_flits[(int(vli), int(diri))] += int(self.shadow_vl[vli, diri])
+            self.shadow_vl[:] = 0
+            self._vl_dirty = False
+
+    # -- watchdog ----------------------------------------------------------
+
+    def _check_watchdog(self) -> None:
+        limit = self.config.watchdog_cycles
+        if limit <= 0 or self.flits_in_flight <= 0:
+            return
+        if self.cycle - self.last_progress >= limit:
+            raise DeadlockError(self.last_progress, self.flits_in_flight)
+
+    # -- object-state materialization --------------------------------------
+
+    def _materialize(self) -> SimState:
+        """An object-based :class:`SimState` equal to the array state.
+
+        Memoized until the next ``step``; the result is a *copy* —
+        mutations through it do not reach the arrays.
+        """
+        if self._mat is not None:
+            return self._mat
+        np = self._np
+        st = SimState(self.system, self.algorithm, self.config)
+        st.cycle = self.cycle
+        st.packet_counter = self.packet_counter
+        st.flits_in_flight = self.flits_in_flight
+        st.last_progress = self.last_progress
+        st.measured_outstanding = self.measured_outstanding
+        st.sa_rr = [int(x) for x in self.sa_rr]
+        st.rc_buffers = self.rc_buffers
+        st.nics = self.nics
+        st.busy_nics = set(self.busy_nics)
+        for pid in range(self.packet_counter):
+            packet = self.pkt_objs[pid]
+            if packet is not None:
+                packet.hops = int(self.pkt_hops[pid])
+        P, V, PV, D = self._P, self._V, self._PV, self._D
+        for c64 in np.flatnonzero(self.blen > 0):
+            c = int(c64)
+            rid, port, vc = c // PV, (c // V) % P, c % V
+            dq = st.buffers[rid][port][vc]
+            head, length = int(self.bhead[c]), int(self.blen[c])
+            for i in range(length):
+                dq.append(self.fid_objs[int(self.buf[c, (head + i) % D])])
+            st.active[rid].add((port, vc))
+            st.active_routers.add(rid)
+        for c64 in np.flatnonzero(self.asg_port != _NONE):
+            c = int(c64)
+            rid, port, vc = c // PV, (c // V) % P, c % V
+            ap = int(self.asg_port[c])
+            st.assigned[rid][port][vc] = (
+                (RC_PORT, 0) if ap == RC_PORT else (ap, int(self.asg_vc[c]))
+            )
+        for c64 in np.flatnonzero(self.dec_port != _NONE):
+            c = int(c64)
+            rid, port, vc = c // PV, (c // V) % P, c % V
+            st.decision[rid][port][vc] = self._dense.decisions[int(self.dec_code[c])]
+        for c64 in np.flatnonzero(self.owner_arr >= 0):
+            c = int(c64)
+            rid, port, vc = c // PV, (c // V) % P, c % V
+            st.out_owner[rid][port][vc] = self.pkt_objs[int(self.owner_arr[c])]
+        for c64 in np.flatnonzero(self.credits_arr != D):
+            c = int(c64)
+            rid, port, vc = c // PV, (c // V) % P, c % V
+            st.credits[rid][port][vc] = int(self.credits_arr[c])
+        for rid, unit in self._rc_units:
+            if unit.flits:
+                st.active_routers.add(rid)
+        for due, batch in self.arrivals.items():
+            entries = st.arrivals.setdefault(due, [])
+            for dc_arr, fid_arr in batch:
+                for dc64, fid64 in zip(dc_arr, fid_arr):
+                    dc = int(dc64)
+                    entries.append(
+                        (dc // PV, (dc // V) % P, dc % V, self.fid_objs[int(fid64)])
+                    )
+        for due, batch in self.credit_arrivals.items():
+            entries = st.credit_arrivals.setdefault(due, [])
+            for idx_arr in batch:
+                for f64 in idx_arr:
+                    f = int(f64)
+                    entries.append((f // PV, (f // V) % P, f % V))
+        for rid64 in np.flatnonzero(self.vl_next_free > 0):
+            rid = int(rid64)
+            st.vl_next_free[rid] = int(self.vl_next_free[rid])
+        self._mat = st
+        return st

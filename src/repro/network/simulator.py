@@ -1,110 +1,65 @@
 """The cycle-accurate simulation engine.
 
-See :mod:`repro.network` for the microarchitecture modelled. The engine is
-deliberately written with flat data structures (lists indexed by port/VC)
-and an active-set work list so that pure-Python simulation of the paper's
-128-router baseline runs at usable speed.
+See :mod:`repro.network` for the microarchitecture modelled. Since the
+engine/kernel split, this module owns *policy*: configuration, route
+compilation, kernel selection, the warmup/measure/drain run loop,
+reporting and telemetry. The per-cycle *mechanism* — what one simulated
+cycle does to the network state — lives behind the
+:class:`~repro.network.kernels.base.CycleKernel` interface:
 
-Per-cycle phases:
+* :mod:`repro.network.state` holds all mutable simulation state as
+  struct-of-arrays (``buffers[rid][port][vc]``, credit matrices, staged
+  arrivals, NIC queues);
+* :mod:`repro.network.kernels.reference` advances it with the
+  object-based phase pipeline (semantic ground truth);
+* :mod:`repro.network.kernels.vector` advances the same semantics as
+  numpy array sweeps over a dense route table
+  (:meth:`~repro.routing.compiled.CompiledRoutes.dense_table`), falling
+  back to live per-hop dispatch for stateful hops.
 
-1. **Traffic** — the generator creates packets into NIC source queues.
-2. **Injection** — each NIC pushes at most one flit into its router's
-   LOCAL input VC (respecting buffer space, routability and the routing
-   algorithm's injection-permission hook).
-3. **Router processing** — for every router with occupied input VCs:
-   route computation for fresh heads (served from a compiled route table
-   when the algorithm is compilable — see
-   :mod:`repro.routing.compiled`), output-VC allocation, switch
-   allocation (round-robin, one flit per output port and per input port),
-   RC-buffer absorption/drain. Departing flits and credit returns are
-   *staged*.
-4. **Commit** — staged flits enter their destination buffers; staged
-   credits return upstream. This two-phase update makes the router
-   evaluation order irrelevant within a cycle.
-
-The watchdog raises :class:`~repro.errors.DeadlockError` when flits are in
-flight but nothing has moved for ``watchdog_cycles`` — this is how the
-test-suite demonstrates that the unprotected baseline network *does*
-deadlock (Fig. 1's motivation) while DeFT/MTR/RC never do.
+Both kernels are bit-identical by contract (enforced by the differential
+fuzz suite via :func:`repro.network.state.snapshot_digest`); selection
+is a pure performance choice — ``Simulator(kernel="auto")`` picks the
+fastest one available. The watchdog raises
+:class:`~repro.errors.DeadlockError` when flits are in flight but
+nothing has moved for ``watchdog_cycles`` — this is how the test-suite
+demonstrates that the unprotected baseline network *does* deadlock
+(Fig. 1's motivation) while DeFT/MTR/RC never do.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import time
 from dataclasses import dataclass, field
 from typing import Any, TYPE_CHECKING
 
 from ..config import SimulationConfig
-from ..errors import DeadlockError, UnroutablePacketError
+from ..errors import DeadlockError
 from ..topology.builder import System
-from ..topology.geometry import INTERPOSER_LAYER
-from ..routing.base import Port, RoutingAlgorithm, opposite_port
+from ..routing.base import RoutingAlgorithm
 from ..routing.compiled import CompiledRoutes, compile_routes
-from ..fault.model import VLDirection
-from .flit import Flit, Packet
-from .nic import Nic
+from .kernels import create_kernel
+from .state import (
+    RC_PORT as _RC_PORT,  # noqa: F401  (re-exported legacy name)
+    RcBuffer as _RcBuffer,
+    RouterView as _RouterState,
+    partition_vcs as _partition_vcs,
+    snapshot_digest,
+)
 from .stats import StatsCollector
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..traffic.base import TrafficGenerator
+    from .kernels.base import CycleKernel
+    from .nic import Nic
 
-#: Pseudo output port used for absorption into an RC buffer.
-_RC_PORT = -1
-
-
-class _RcBuffer:
-    """Whole-packet store-and-forward buffer of the RC baseline."""
-
-    __slots__ = ("owner", "flits", "complete", "out_vc")
-
-    def __init__(self) -> None:
-        self.owner: Packet | None = None
-        self.flits: deque[Flit] = deque()
-        self.complete = False
-        self.out_vc: int | None = None
-
-    def reset(self) -> None:
-        self.owner = None
-        self.flits.clear()
-        self.complete = False
-        self.out_vc = None
-
-
-class _RouterState:
-    """Flat per-router simulation state (buffers, credits, allocations)."""
-
-    __slots__ = (
-        "id",
-        "buffers",
-        "assigned",
-        "decision",
-        "out_owner",
-        "credits",
-        "sa_rr",
-        "active",
-        "rc_buffer",
-    )
-
-    def __init__(self, router_id: int, num_ports: int, num_vcs: int, depth: int):
-        self.id = router_id
-        self.buffers: list[list[deque[Flit]]] = [
-            [deque() for _ in range(num_vcs)] for _ in range(num_ports)
-        ]
-        # Per input VC: (out_port, out_vc) held by the packet at the front.
-        self.assigned: list[list[tuple[int, int] | None]] = [
-            [None] * num_vcs for _ in range(num_ports)
-        ]
-        # Cached RouteDecision for a head flit awaiting VC allocation.
-        self.decision: list[list[Any]] = [[None] * num_vcs for _ in range(num_ports)]
-        # Per output VC: packet currently owning it (wormhole), or None.
-        self.out_owner: list[list[Packet | None]] = [
-            [None] * num_vcs for _ in range(num_ports)
-        ]
-        # Per output VC: credits = free buffer slots downstream.
-        self.credits: list[list[int]] = [[depth] * num_vcs for _ in range(num_ports)]
-        self.sa_rr = 0
-        self.active: set[tuple[int, int]] = set()
-        self.rc_buffer: _RcBuffer | None = None
+__all__ = [
+    "Simulator",
+    "SimulationReport",
+    "_partition_vcs",
+    "_RouterState",
+    "_RcBuffer",
+]
 
 
 @dataclass
@@ -141,6 +96,16 @@ class SimulationReport:
             f"max={s.latency.maximum})",
             f"  avg hops={s.hops.average:.2f} flit-hops={s.flit_hops}",
         ]
+        kernel = self.metadata.get("kernel")
+        if kernel:
+            line = f"  kernel={kernel}"
+            rate = self.metadata.get("cycles_per_sec")
+            if rate:
+                line += f" cycles/sec={rate:,.0f}"
+            fallback = self.metadata.get("kernel_fallback")
+            if fallback:
+                line += f" (fallback: {fallback})"
+            lines.append(line)
         for region, shares in s.vc_utilization_report().items():
             formatted = "/".join(f"{share * 100:.1f}%" for share in shares)
             lines.append(f"  vc-util {region}: {formatted}")
@@ -161,6 +126,11 @@ class Simulator:
             dispatch — the table is filled through ``algorithm.route``);
             pass an existing table to reuse one across runs (session
             workers), or ``None`` to force per-hop live dispatch.
+        kernel: ``"auto"`` (default), ``"reference"`` or ``"vector"`` —
+            see :mod:`repro.network.kernels`. Selection never changes
+            results, only speed; when a ``vector`` request cannot be
+            honoured the reason lands in :attr:`kernel_fallback_reason`
+            and in the report's ``kernel_fallback`` metadata.
     """
 
     def __init__(
@@ -170,6 +140,7 @@ class Simulator:
         traffic: "TrafficGenerator",
         config: SimulationConfig | None = None,
         routes: CompiledRoutes | None | str = "auto",
+        kernel: str = "auto",
     ):
         self.system = system
         self.algorithm = algorithm
@@ -180,56 +151,51 @@ class Simulator:
         elif routes is not None and routes.algorithm is not algorithm:
             raise ValueError("compiled routes were built for a different algorithm")
         self.routes = routes
-        self._route = routes.route if routes is not None else algorithm.route
         self.stats = StatsCollector(system, self.config.num_vcs)
-        self.cycle = 0
-        self._packet_counter = 0
-        self._flits_in_flight = 0
-        self._last_progress = 0
-        self._measured_outstanding = 0
-        self._num_vcs = self.config.num_vcs
-        self._depth = self.config.buffer_depth
-        self._vn_vcs = _partition_vcs(self._num_vcs)
-        self._rr_mod = len(Port) * self._num_vcs
-        # Flits/credits in flight, keyed by the cycle they materialize.
-        self._arrivals: dict[int, list[tuple[int, int, int, Flit]]] = {}
-        self._credit_arrivals: dict[int, list[tuple[int, int, int]]] = {}
-        # Serialized vertical links: router id -> next cycle the VL is free.
-        self._vl_serialization = self.config.vl_serialization
-        self._vl_next_free: dict[int, int] = {}
-        self._build_fabric()
+        self.kernel_requested = kernel
+        self._kernel, self.kernel_fallback_reason = create_kernel(self, kernel)
         algorithm.reset_runtime_state()
 
     # ------------------------------------------------------------------
-    # construction
+    # kernel-owned state, exposed in the legacy shape
     # ------------------------------------------------------------------
 
-    def _build_fabric(self) -> None:
-        num_vcs, depth = self._num_vcs, self._depth
-        self.routers = [
-            _RouterState(r.id, len(Port), num_vcs, depth) for r in self.system.routers
-        ]
-        # link_to[router][out_port] = (neighbor_id, neighbor_in_port)
-        self.link_to: list[list[tuple[int, int] | None]] = [
-            [None] * len(Port) for _ in self.system.routers
-        ]
-        for router in self.system.routers:
-            for direction, neighbor in router.neighbors.items():
-                self.link_to[router.id][int(direction)] = (
-                    neighbor,
-                    int(opposite_port(Port(int(direction)))),
-                )
-            if router.vertical_neighbor is not None:
-                self.link_to[router.id][Port.VERTICAL] = (
-                    router.vertical_neighbor,
-                    int(Port.VERTICAL),
-                )
-        self.nics = [Nic(r.id) for r in self.system.routers]
-        for router in self.system.routers:
-            if self.algorithm.uses_rc_buffer(router.id):
-                self.routers[router.id].rc_buffer = _RcBuffer()
-        self._active_routers: set[int] = set()
-        self._busy_nics: set[int] = set()
+    @property
+    def kernel(self) -> "CycleKernel":
+        return self._kernel
+
+    @property
+    def kernel_name(self) -> str:
+        return self._kernel.name
+
+    @property
+    def cycle(self) -> int:
+        return self._kernel.cycle
+
+    @property
+    def routers(self) -> list[_RouterState]:
+        return self._kernel.router_states()
+
+    @property
+    def nics(self) -> list["Nic"]:
+        return self._kernel.nic_states()
+
+    @property
+    def _flits_in_flight(self) -> int:
+        return self._kernel.flits_in_flight
+
+    @property
+    def _measured_outstanding(self) -> int:
+        return self._kernel.measured_outstanding
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical snapshot of all observable state.
+
+        Equal digests between two simulators mean the runs are
+        indistinguishable from this point on — the cross-kernel
+        equivalence oracle.
+        """
+        return snapshot_digest(self._kernel.snapshot())
 
     # ------------------------------------------------------------------
     # public API
@@ -238,7 +204,9 @@ class Simulator:
     def run(self) -> SimulationReport:
         """Execute warmup + measurement + drain and return the report."""
         cfg = self.config
+        kernel = self._kernel
         inject_until = cfg.warmup_cycles + cfg.measure_cycles
+        watchdog = cfg.watchdog_cycles
         deadlocked = False
         # Telemetry is recorded once per run (span + aggregate counters),
         # never per cycle — the per-cycle loop is the hottest path in the
@@ -246,24 +214,47 @@ class Simulator:
         from ..telemetry.metrics import get_registry
 
         registry = get_registry()
+        start = time.perf_counter()
         with registry.span(
             "deft_sim_run_seconds", "Wall-clock of one Simulator.run"
         ):
             try:
-                while self.cycle < inject_until:
-                    self._step(generate=True)
-                drain_deadline = self.cycle + cfg.drain_cycles
-                while self._measured_outstanding > 0 and self.cycle < drain_deadline:
-                    self._step(generate=False)
+                while kernel.cycle < inject_until:
+                    kernel.step(True)
+                drain_deadline = kernel.cycle + cfg.drain_cycles
+                while (
+                    kernel.measured_outstanding > 0
+                    and kernel.cycle < drain_deadline
+                ):
+                    if kernel.is_idle():
+                        # Nothing can move until a staged event lands, the
+                        # watchdog trips, or the deadline arrives — jump
+                        # straight to the earliest of the three (same final
+                        # cycle count as stepping through the no-op cycles).
+                        target = drain_deadline
+                        due = kernel.next_event_cycle()
+                        if due is not None and due < target:
+                            target = due
+                        if watchdog > 0 and kernel.flits_in_flight > 0:
+                            target = min(target, kernel.last_progress + watchdog)
+                        if target > kernel.cycle:
+                            kernel.fast_forward(target)
+                            if kernel.cycle >= drain_deadline:
+                                break
+                    kernel.step(False)
             except DeadlockError:
                 deadlocked = True
+        elapsed = time.perf_counter() - start
+        kernel.finalize()
+        cycles = kernel.cycle
+        rate = cycles / elapsed if elapsed > 0 else 0.0
         if registry.enabled:
             registry.counter(
                 "deft_sim_runs_total", "Completed Simulator.run calls"
             ).inc()
             registry.counter(
                 "deft_sim_cycles_total", "Simulated cycles across all runs"
-            ).inc(self.cycle)
+            ).inc(cycles)
             registry.counter(
                 "deft_sim_flit_hops_total", "Flit-hops across all runs"
             ).inc(self.stats.flit_hops)
@@ -271,411 +262,51 @@ class Simulator:
                 registry.counter(
                     "deft_sim_deadlocks_total", "Runs ended by the deadlock watchdog"
                 ).inc()
-        self.stats.cycles_run = self.cycle
+            registry.counter(
+                f"deft_sim_kernel_{kernel.name}_runs_total",
+                "Runs executed by this cycle kernel",
+            ).inc()
+            registry.histogram(
+                "deft_sim_kernel_cycles_per_sec",
+                "Simulated cycles per wall-clock second",
+            ).observe(rate)
+            table_hops, live_hops = kernel.dispatch_counts()
+            if table_hops:
+                registry.counter(
+                    "deft_sim_kernel_vector_hops_total",
+                    "Route decisions served from the dense table",
+                ).inc(table_hops)
+            if live_hops:
+                registry.counter(
+                    "deft_sim_kernel_fallback_hops_total",
+                    "Route decisions that needed live Python dispatch",
+                ).inc(live_hops)
+        self.stats.cycles_run = cycles
+        metadata: dict[str, Any] = {
+            "kernel": kernel.name,
+            "cycles_per_sec": round(rate, 1),
+        }
+        if self.kernel_fallback_reason:
+            metadata["kernel_fallback"] = self.kernel_fallback_reason
         return SimulationReport(
             algorithm=self.algorithm.name,
             traffic=getattr(self.traffic, "name", type(self.traffic).__name__),
             stats=self.stats,
             config=cfg,
-            cycles=self.cycle,
+            cycles=cycles,
             deadlocked=deadlocked,
+            metadata=metadata,
         )
 
     def run_cycles(self, cycles: int, generate: bool = True) -> None:
         """Advance the simulation by a fixed number of cycles (for tests)."""
-        for _ in range(cycles):
-            self._step(generate=generate)
-
-    # ------------------------------------------------------------------
-    # per-cycle phases
-    # ------------------------------------------------------------------
+        try:
+            for _ in range(cycles):
+                self._kernel.step(generate)
+        finally:
+            # Kernels may defer stats folding to observation points; make
+            # direct ``sim.stats`` reads after a stepped run exact too.
+            self._kernel.finalize()
 
     def _step(self, generate: bool) -> None:
-        if generate:
-            self._generate_traffic()
-        self._inject()
-        transfers, credit_returns = self._process_routers()
-        self._commit(transfers, credit_returns)
-        self._check_watchdog()
-        self.cycle += 1
-
-    def _generate_traffic(self) -> None:
-        measured_window = self.cycle >= self.config.warmup_cycles
-        for src, dst in self.traffic.packets_for_cycle(self.cycle):
-            packet = Packet(
-                self._packet_counter, src, dst, self.config.packet_size, self.cycle
-            )
-            self._packet_counter += 1
-            packet.measured = measured_window
-            self.stats.on_packet_created(packet.measured)
-            if packet.measured:
-                self._measured_outstanding += 1
-            self.nics[src].enqueue(packet)
-            self._busy_nics.add(src)
-
-    def _inject(self) -> None:
-        done: list[int] = []
-        for nid in self._busy_nics:
-            nic = self.nics[nid]
-            if not nic.busy:
-                if not self._start_next_packet(nic):
-                    if not nic.queue and not nic.busy:
-                        done.append(nid)
-                    continue
-            flit = nic.next_flit()
-            if flit is None:
-                continue
-            state = self.routers[nid]
-            vc = nic.inject_vc
-            buffer = state.buffers[Port.LOCAL][vc]
-            if len(buffer) < self._depth:
-                buffer.append(flit)
-                state.active.add((int(Port.LOCAL), vc))
-                self._active_routers.add(nid)
-                self._flits_in_flight += 1
-                self._last_progress = self.cycle
-                nic.advance()
-            if not nic.busy and not nic.queue:
-                done.append(nid)
-        for nid in done:
-            self._busy_nics.discard(nid)
-
-    def _start_next_packet(self, nic: Nic) -> bool:
-        """Pop queued packets until one starts injecting; False if none can."""
-        algo = self.algorithm
-        while nic.queue:
-            packet = nic.queue[0]
-            if not algo.is_routable(packet.src, packet.dst):
-                nic.queue.popleft()
-                self.stats.on_packet_dropped(packet.measured)
-                if packet.measured:
-                    self._measured_outstanding -= 1
-                continue
-            if not algo.may_inject(packet, self.cycle):
-                return False  # head-of-line wait (RC permission network)
-            try:
-                algo.prepare_packet(packet)
-            except UnroutablePacketError:
-                nic.queue.popleft()
-                self.stats.on_packet_dropped(packet.measured)
-                if packet.measured:
-                    self._measured_outstanding -= 1
-                continue
-            nic.queue.popleft()
-            vc = self._injection_vc(packet)
-            nic.start_packet(packet, vc, self.cycle)
-            return True
-        return False
-
-    def _injection_vc(self, packet: Packet) -> int:
-        """Input VC for a fresh packet: first VC of its assigned VN."""
-        vcs = self._vn_vcs[packet.vn]
-        state = self.routers[packet.src]
-        # Prefer the emptiest VC of the VN to avoid needless serialization.
-        return min(vcs, key=lambda vc: len(state.buffers[Port.LOCAL][vc]))
-
-    # -- router processing ---------------------------------------------------
-
-    def _process_routers(
-        self,
-    ) -> tuple[list[tuple[int, int, int, Flit]], list[tuple[int, int, int]]]:
-        transfers: list[tuple[int, int, int, Flit]] = []  # (dst, in_port, vc, flit)
-        credit_returns: list[tuple[int, int, int]] = []  # (router, out_port, vc)
-        idle: list[int] = []
-        for rid in tuple(self._active_routers):
-            state = self.routers[rid]
-            self._process_one_router(state, transfers, credit_returns)
-            if not state.active and not (
-                state.rc_buffer is not None and state.rc_buffer.flits
-            ):
-                idle.append(rid)
-        for rid in idle:
-            self._active_routers.discard(rid)
-        return transfers, credit_returns
-
-    def _process_one_router(
-        self,
-        state: _RouterState,
-        transfers: list[tuple[int, int, int, Flit]],
-        credit_returns: list[tuple[int, int, int]],
-    ) -> None:
-        rid = state.id
-        requests: dict[int, list[tuple[int, int]]] = {}
-        rc_requests: list[tuple[int, int]] = []
-        for (port, vc) in state.active:
-            buffer = state.buffers[port][vc]
-            if not buffer:
-                continue
-            flit = buffer[0]
-            target = state.assigned[port][vc]
-            if target is None:
-                if not flit.is_head:
-                    continue  # waits for its head's allocation (cannot happen mid-packet)
-                decision = state.decision[port][vc]
-                if decision is None:
-                    decision = self._route(flit.packet, rid, Port(port))
-                    state.decision[port][vc] = decision
-                out_port = int(decision.out_port)
-                if (
-                    out_port == Port.VERTICAL
-                    and state.rc_buffer is not None
-                    and flit.packet.needs_rc
-                ):
-                    unit = state.rc_buffer
-                    if unit.owner is None:
-                        unit.owner = flit.packet
-                    if unit.owner is flit.packet:
-                        state.assigned[port][vc] = (_RC_PORT, 0)
-                        rc_requests.append((port, vc))
-                    continue
-                out_vc = self._allocate_out_vc(state, out_port, decision.allowed_vns, flit.packet)
-                if out_vc is None:
-                    continue
-                state.assigned[port][vc] = (out_port, out_vc)
-                target = (out_port, out_vc)
-            out_port, out_vc = target
-            if out_port == _RC_PORT:
-                rc_requests.append((port, vc))
-            elif out_port == Port.LOCAL:
-                requests.setdefault(out_port, []).append((port, vc))
-            elif state.credits[out_port][out_vc] > 0:
-                if out_port == Port.VERTICAL and not self._vl_available(rid):
-                    continue  # serialized vertical link still busy
-                requests.setdefault(out_port, []).append((port, vc))
-        if not requests and not rc_requests and not (
-            state.rc_buffer is not None and state.rc_buffer.complete
-        ):
-            return
-        used_in_ports: set[int] = set()
-        # Rotate output-port service order for long-term fairness.
-        out_ports = sorted(requests)
-        if out_ports:
-            offset = state.sa_rr % len(out_ports)
-            out_ports = out_ports[offset:] + out_ports[:offset]
-            state.sa_rr += 1
-        for out_port in out_ports:
-            candidates = [c for c in requests[out_port] if c[0] not in used_in_ports]
-            if not candidates:
-                continue
-            winner = min(
-                candidates,
-                key=lambda c: (c[0] * self._num_vcs + c[1] - state.sa_rr) % self._rr_mod,
-            )
-            in_port, vc = winner
-            used_in_ports.add(in_port)
-            self._send_flit(state, in_port, vc, out_port, transfers, credit_returns)
-        if rc_requests:
-            in_port, vc = rc_requests[0]
-            if in_port not in used_in_ports:
-                self._absorb_into_rc(state, in_port, vc, credit_returns)
-        self._drain_rc(state, transfers)
-
-    def _allocate_out_vc(
-        self,
-        state: _RouterState,
-        out_port: int,
-        allowed_vns: tuple[int, ...],
-        packet: Packet,
-    ) -> int | None:
-        """Claim a free output VC belonging to one of the allowed VNs."""
-        if out_port == Port.LOCAL:
-            return 0  # ejection needs no VC allocation; arbitration suffices
-        owners = state.out_owner[out_port]
-        for vn in allowed_vns:
-            for vc in self._vn_vcs[vn]:
-                if owners[vc] is None:
-                    owners[vc] = packet
-                    packet.vn = vn
-                    return vc
-        return None
-
-    def _send_flit(
-        self,
-        state: _RouterState,
-        in_port: int,
-        vc: int,
-        out_port: int,
-        transfers: list[tuple[int, int, int, Flit]],
-        credit_returns: list[tuple[int, int, int]],
-    ) -> None:
-        buffer = state.buffers[in_port][vc]
-        flit = buffer.popleft()
-        if not buffer:
-            state.active.discard((in_port, vc))
-        if in_port != Port.LOCAL:
-            credit_returns.append(self._upstream_credit(state.id, in_port, vc))
-        self._last_progress = self.cycle
-        if out_port == Port.LOCAL:
-            self._eject(flit)
-        else:
-            assigned = state.assigned[in_port][vc]
-            assert assigned is not None
-            out_vc = assigned[1]
-            state.credits[out_port][out_vc] -= 1
-            link = self.link_to[state.id][out_port]
-            assert link is not None, "route decision used a non-existent port"
-            dst, dst_in_port = link
-            transfers.append((dst, dst_in_port, out_vc, flit))
-            if flit.is_head:
-                flit.packet.hops += 1
-            if out_port == Port.VERTICAL:
-                router = self.system.routers[state.id]
-                direction = (
-                    VLDirection.UP if router.is_interposer else VLDirection.DOWN
-                )
-                assert router.vl_index is not None
-                self.stats.on_vl_traversal(router.vl_index, int(direction))
-                self._mark_vl_busy(state.id)
-            if flit.is_tail:
-                state.out_owner[out_port][out_vc] = None
-        if flit.is_tail:
-            state.assigned[in_port][vc] = None
-            state.decision[in_port][vc] = None
-
-    def _upstream_credit(self, router_id: int, in_port: int, vc: int) -> tuple[int, int, int]:
-        """Locate the upstream (router, out_port, vc) to credit for a pop."""
-        router = self.system.routers[router_id]
-        if in_port == Port.VERTICAL:
-            upstream = router.vertical_neighbor
-            assert upstream is not None
-            return (upstream, int(Port.VERTICAL), vc)
-        direction = Port(in_port)
-        upstream = router.neighbors[direction]  # type: ignore[index]
-        return (upstream, int(opposite_port(direction)), vc)
-
-    def _eject(self, flit: Flit) -> None:
-        packet = flit.packet
-        packet.flits_ejected += 1
-        self._flits_in_flight -= 1
-        if flit.is_tail:
-            packet.delivered_cycle = self.cycle
-            latency = packet.delivered_cycle - packet.created_cycle
-            self.stats.on_packet_delivered(latency, packet.hops, packet.measured)
-            self.algorithm.on_packet_delivered(packet, self.cycle)
-            if packet.measured:
-                self._measured_outstanding -= 1
-
-    # -- RC buffer ------------------------------------------------------------
-
-    def _absorb_into_rc(
-        self,
-        state: _RouterState,
-        in_port: int,
-        vc: int,
-        credit_returns: list[tuple[int, int, int]],
-    ) -> None:
-        unit = state.rc_buffer
-        assert unit is not None
-        buffer = state.buffers[in_port][vc]
-        if not buffer:
-            return
-        flit = buffer.popleft()
-        if not buffer:
-            state.active.discard((in_port, vc))
-        if in_port != Port.LOCAL:
-            credit_returns.append(self._upstream_credit(state.id, in_port, vc))
-        unit.flits.append(flit)
-        self._last_progress = self.cycle
-        if flit.is_tail:
-            unit.complete = True
-            state.assigned[in_port][vc] = None
-            state.decision[in_port][vc] = None
-        self._active_routers.add(state.id)
-
-    def _drain_rc(self, state: _RouterState, transfers: list[tuple[int, int, int, Flit]]) -> None:
-        unit = state.rc_buffer
-        if unit is None or not unit.complete or not unit.flits:
-            return
-        if unit.out_vc is None:
-            owners = state.out_owner[Port.VERTICAL]
-            for vc in range(self._num_vcs):
-                if owners[vc] is None:
-                    owners[vc] = unit.owner
-                    unit.out_vc = vc
-                    break
-            if unit.out_vc is None:
-                return
-        out_vc = unit.out_vc
-        if state.credits[Port.VERTICAL][out_vc] <= 0:
-            return
-        if not self._vl_available(state.id):
-            return  # serialized vertical link still busy
-        flit = unit.flits.popleft()
-        state.credits[Port.VERTICAL][out_vc] -= 1
-        link = self.link_to[state.id][Port.VERTICAL]
-        assert link is not None
-        dst, dst_in_port = link
-        transfers.append((dst, dst_in_port, out_vc, flit))
-        self._last_progress = self.cycle
-        if flit.is_head:
-            flit.packet.hops += 1
-        router = self.system.routers[state.id]
-        assert router.vl_index is not None
-        self.stats.on_vl_traversal(router.vl_index, int(VLDirection.DOWN))
-        self._mark_vl_busy(state.id)
-        if flit.is_tail:
-            state.out_owner[Port.VERTICAL][out_vc] = None
-            packet = unit.owner
-            assert packet is not None
-            unit.reset()
-            self.algorithm.on_rc_buffer_drained(state.id, packet, self.cycle)
-
-    # -- serialized vertical links ---------------------------------------------
-
-    def _vl_available(self, router_id: int) -> bool:
-        """Whether the router's vertical link can accept a flit this cycle."""
-        if self._vl_serialization <= 1:
-            return True
-        return self.cycle >= self._vl_next_free.get(router_id, 0)
-
-    def _mark_vl_busy(self, router_id: int) -> None:
-        """Occupy the serialized vertical link for ``vl_serialization`` cycles."""
-        if self._vl_serialization > 1:
-            self._vl_next_free[router_id] = self.cycle + self._vl_serialization
-
-    # -- commit ---------------------------------------------------------------
-
-    def _commit(
-        self,
-        transfers: list[tuple[int, int, int, Flit]],
-        credit_returns: list[tuple[int, int, int]],
-    ) -> None:
-        # Stage this cycle's departures into the future...
-        if transfers:
-            due = self.cycle + self.config.hop_latency - 1
-            self._arrivals.setdefault(due, []).extend(transfers)
-        if credit_returns:
-            due = self.cycle + self.config.credit_latency - 1
-            self._credit_arrivals.setdefault(due, []).extend(credit_returns)
-        # ...and materialize everything due now.
-        for dst, in_port, vc, flit in self._arrivals.pop(self.cycle, ()):
-            state = self.routers[dst]
-            buffer = state.buffers[in_port][vc]
-            assert len(buffer) < self._depth, "credit protocol violated"
-            buffer.append(flit)
-            state.active.add((in_port, vc))
-            self._active_routers.add(dst)
-            self.stats.on_flit_transfer(self.system.routers[dst].layer, vc)
-        for router_id, out_port, vc in self._credit_arrivals.pop(self.cycle, ()):
-            self.routers[router_id].credits[out_port][vc] += 1
-
-    # -- watchdog ---------------------------------------------------------------
-
-    def _check_watchdog(self) -> None:
-        limit = self.config.watchdog_cycles
-        if limit <= 0 or self._flits_in_flight <= 0:
-            return
-        if self.cycle - self._last_progress >= limit:
-            raise DeadlockError(self._last_progress, self._flits_in_flight)
-
-
-def _partition_vcs(num_vcs: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
-    """Split VC indices between the two virtual networks.
-
-    VN.0 gets the lower half, VN.1 the upper half; with an odd count VN.1
-    gets the extra VC (it carries delivery traffic, which must not starve).
-    """
-    if num_vcs == 1:
-        return ((0,), (0,))
-    half = num_vcs // 2
-    return (tuple(range(half)), tuple(range(half, num_vcs)))
+        self._kernel.step(generate)

@@ -1,0 +1,381 @@
+"""Simulation state, held as struct-of-arrays, plus canonical snapshots.
+
+The engine (:mod:`repro.network.simulator`) owns *no* per-cycle state of
+its own: everything a cycle kernel advances lives here, organized as
+parallel per-router arrays (``buffers[rid][port][vc]``,
+``credits[rid][port][vc]``, ...) rather than per-router objects. The
+object-based :class:`~repro.network.kernels.reference.ReferenceKernel`
+walks these arrays directly; the numpy kernel keeps its own numeric
+mirror with the same shapes (see :mod:`repro.network.kernels.vector`).
+
+:class:`RouterView` and :class:`RcBuffer` preserve the pre-refactor
+``_RouterState``/``_RcBuffer`` shapes as *views* over one router's slice
+of a :class:`SimState` — tests and diagnostics keep indexing
+``sim.routers[rid].buffers[port][vc]`` unchanged.
+
+The canonical-snapshot helpers at the bottom define the kernel-agnostic
+observable state of a simulation mid-flight. Two kernels are considered
+bit-identical when their :func:`snapshot digests <snapshot_digest>`
+match at every cycle — the contract the differential fuzz suite
+enforces. Iteration-order artifacts (set ordering, sample append order,
+dict insertion order) are canonicalized away; everything semantically
+meaningful (buffer contents in order, credit counts, allocations,
+round-robin counters, staged arrivals, statistics) is included.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from ..routing.base import Port, opposite_port
+from .flit import Flit, Packet
+from .nic import Nic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import SimulationConfig
+    from ..routing.base import RoutingAlgorithm
+    from ..topology.builder import System
+    from .stats import StatsCollector
+
+#: Pseudo output port used for absorption into an RC buffer.
+RC_PORT = -1
+
+#: Number of physical ports modelled per router.
+NUM_PORTS = len(Port)
+
+
+def partition_vcs(num_vcs: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Split VC indices between the two virtual networks.
+
+    VN.0 gets the lower half, VN.1 the upper half; with an odd count VN.1
+    gets the extra VC (it carries delivery traffic, which must not starve).
+    """
+    if num_vcs == 1:
+        return ((0,), (0,))
+    half = num_vcs // 2
+    return (tuple(range(half)), tuple(range(half, num_vcs)))
+
+
+class RcBuffer:
+    """Whole-packet store-and-forward buffer of the RC baseline."""
+
+    __slots__ = ("owner", "flits", "complete", "out_vc")
+
+    def __init__(self) -> None:
+        self.owner: Packet | None = None
+        self.flits: deque[Flit] = deque()
+        self.complete = False
+        self.out_vc: int | None = None
+
+    def reset(self) -> None:
+        self.owner = None
+        self.flits.clear()
+        self.complete = False
+        self.out_vc = None
+
+
+class RouterView:
+    """One router's slice of a :class:`SimState` in the legacy shape.
+
+    Attribute lists are the *same* objects the state arrays hold, so
+    reads and writes through a view are reads and writes of the state;
+    only the scalar ``sa_rr`` needs a property indirection.
+    """
+
+    __slots__ = (
+        "_state",
+        "id",
+        "buffers",
+        "assigned",
+        "decision",
+        "out_owner",
+        "credits",
+        "active",
+    )
+
+    def __init__(self, state: "SimState", router_id: int):
+        self._state = state
+        self.id = router_id
+        self.buffers = state.buffers[router_id]
+        self.assigned = state.assigned[router_id]
+        self.decision = state.decision[router_id]
+        self.out_owner = state.out_owner[router_id]
+        self.credits = state.credits[router_id]
+        self.active = state.active[router_id]
+
+    @property
+    def sa_rr(self) -> int:
+        return self._state.sa_rr[self.id]
+
+    @sa_rr.setter
+    def sa_rr(self, value: int) -> None:
+        self._state.sa_rr[self.id] = value
+
+    @property
+    def rc_buffer(self) -> RcBuffer | None:
+        return self._state.rc_buffers[self.id]
+
+
+class SimState:
+    """All mutable state of one simulation, as parallel per-router arrays.
+
+    Indexing convention: ``array[router_id][port][vc]`` for the per-VC
+    structures, ``array[router_id]`` for the per-router scalars. The
+    scalar run counters (cycle, in-flight flits, ...) live here too so a
+    kernel is a pure *behavior* over this data.
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        algorithm: "RoutingAlgorithm",
+        config: "SimulationConfig",
+    ):
+        num_vcs, depth = config.num_vcs, config.buffer_depth
+        n = len(system.routers)
+        self.num_vcs = num_vcs
+        self.depth = depth
+        # -- per-VC structures (struct-of-arrays) -----------------------
+        self.buffers: list[list[list[deque[Flit]]]] = [
+            [[deque() for _ in range(num_vcs)] for _ in range(NUM_PORTS)]
+            for _ in range(n)
+        ]
+        # Per input VC: (out_port, out_vc) held by the packet at the front.
+        self.assigned: list[list[list[tuple[int, int] | None]]] = [
+            [[None] * num_vcs for _ in range(NUM_PORTS)] for _ in range(n)
+        ]
+        # Cached RouteDecision for a head flit awaiting VC allocation.
+        self.decision: list[list[list[Any]]] = [
+            [[None] * num_vcs for _ in range(NUM_PORTS)] for _ in range(n)
+        ]
+        # Per output VC: packet currently owning it (wormhole), or None.
+        self.out_owner: list[list[list[Packet | None]]] = [
+            [[None] * num_vcs for _ in range(NUM_PORTS)] for _ in range(n)
+        ]
+        # Per output VC: credits = free buffer slots downstream.
+        self.credits: list[list[list[int]]] = [
+            [[depth] * num_vcs for _ in range(NUM_PORTS)] for _ in range(n)
+        ]
+        # -- per-router scalars -----------------------------------------
+        self.sa_rr: list[int] = [0] * n
+        self.active: list[set[tuple[int, int]]] = [set() for _ in range(n)]
+        self.rc_buffers: list[RcBuffer | None] = [
+            RcBuffer() if algorithm.uses_rc_buffer(r.id) else None
+            for r in system.routers
+        ]
+        # link_to[router][out_port] = (neighbor_id, neighbor_in_port)
+        self.link_to: list[list[tuple[int, int] | None]] = [
+            [None] * NUM_PORTS for _ in range(n)
+        ]
+        for router in system.routers:
+            for direction, neighbor in router.neighbors.items():
+                self.link_to[router.id][int(direction)] = (
+                    neighbor,
+                    int(opposite_port(Port(int(direction)))),
+                )
+            if router.vertical_neighbor is not None:
+                self.link_to[router.id][Port.VERTICAL] = (
+                    router.vertical_neighbor,
+                    int(Port.VERTICAL),
+                )
+        self.nics = [Nic(r.id) for r in system.routers]
+        # -- work lists --------------------------------------------------
+        self.active_routers: set[int] = set()
+        self.busy_nics: set[int] = set()
+        # Flits/credits in flight, keyed by the cycle they materialize.
+        self.arrivals: dict[int, list[tuple[int, int, int, Flit]]] = {}
+        self.credit_arrivals: dict[int, list[tuple[int, int, int]]] = {}
+        # Serialized vertical links: router id -> next cycle the VL is free.
+        self.vl_next_free: dict[int, int] = {}
+        # -- run counters ------------------------------------------------
+        self.cycle = 0
+        self.packet_counter = 0
+        self.flits_in_flight = 0
+        self.last_progress = 0
+        self.measured_outstanding = 0
+        self._views: list[RouterView] | None = None
+
+    def router_views(self) -> list[RouterView]:
+        """Per-router views in the legacy ``sim.routers`` shape."""
+        if self._views is None:
+            self._views = [RouterView(self, rid) for rid in range(len(self.sa_rr))]
+        return self._views
+
+
+# ----------------------------------------------------------------------
+# canonical snapshots (the kernel-equivalence contract)
+# ----------------------------------------------------------------------
+
+
+def canonical_packet(packet: Packet) -> tuple:
+    """The packet fields that influence future simulation behavior."""
+    return (
+        packet.id,
+        packet.src,
+        packet.dst,
+        packet.size,
+        packet.created_cycle,
+        -1 if packet.injected_cycle is None else packet.injected_cycle,
+        packet.measured,
+        packet.vn,
+        -1 if packet.down_vl is None else packet.down_vl,
+        -1 if packet.up_vl is None else packet.up_vl,
+        packet.needs_rc,
+        packet.hops,
+        packet.flits_ejected,
+    )
+
+
+def canonical_stats(stats: "StatsCollector") -> tuple:
+    """Order-independent canonical form of a :class:`StatsCollector`.
+
+    Sample lists are sorted: within one cycle the delivery order of
+    distinct packets is an iteration artifact, and no derived metric
+    (mean, percentile, min/max) depends on it.
+    """
+    lat, hops = stats.latency, stats.hops
+    return (
+        stats.packets_created,
+        stats.packets_measured,
+        stats.packets_delivered,
+        stats.packets_delivered_measured,
+        stats.packets_dropped_unroutable,
+        stats.packets_dropped_measured,
+        stats.flit_hops,
+        (lat.count, lat.total, lat.minimum, lat.maximum, tuple(sorted(lat.samples))),
+        (hops.count, hops.total, hops.minimum, hops.maximum, tuple(sorted(hops.samples))),
+        tuple(
+            sorted(
+                (region, tuple(counts))
+                for region, counts in stats.vc_flits.items()
+                if any(counts)
+            )
+        ),
+        tuple(sorted((key, n) for key, n in stats.vl_flits.items() if n)),
+    )
+
+
+def _canonical_decision(decision: Any) -> tuple:
+    return (int(decision.out_port), tuple(int(vn) for vn in decision.allowed_vns))
+
+
+def snapshot_state(state: SimState, stats: "StatsCollector") -> tuple:
+    """Canonical snapshot of object-based state (the reference kernel's)."""
+    packets: dict[int, Packet] = {}
+
+    def flit_ref(flit: Flit) -> tuple[int, int]:
+        packets.setdefault(flit.packet.id, flit.packet)
+        return (flit.packet.id, flit.seq)
+
+    routers = []
+    num_vcs, depth = state.num_vcs, state.depth
+    for rid in range(len(state.sa_rr)):
+        buffers = state.buffers[rid]
+        assigned = state.assigned[rid]
+        decision = state.decision[rid]
+        out_owner = state.out_owner[rid]
+        credits = state.credits[rid]
+        buf_items, asg_items, dec_items, own_items, credit_items = [], [], [], [], []
+        for port in range(NUM_PORTS):
+            for vc in range(num_vcs):
+                if buffers[port][vc]:
+                    buf_items.append(
+                        (port, vc, tuple(flit_ref(f) for f in buffers[port][vc]))
+                    )
+                if assigned[port][vc] is not None:
+                    asg_items.append((port, vc, tuple(assigned[port][vc])))
+                if decision[port][vc] is not None:
+                    dec_items.append((port, vc, _canonical_decision(decision[port][vc])))
+                owner = out_owner[port][vc]
+                if owner is not None:
+                    packets.setdefault(owner.id, owner)
+                    own_items.append((port, vc, owner.id))
+                if credits[port][vc] != depth:
+                    credit_items.append((port, vc, credits[port][vc]))
+        rc = state.rc_buffers[rid]
+        if rc is not None and (rc.owner is not None or rc.flits):
+            assert rc.owner is not None
+            packets.setdefault(rc.owner.id, rc.owner)
+            rc_item = (
+                rc.owner.id,
+                tuple(flit_ref(f) for f in rc.flits),
+                rc.complete,
+                -1 if rc.out_vc is None else rc.out_vc,
+            )
+        else:
+            rc_item = None
+        sa = state.sa_rr[rid]
+        if buf_items or asg_items or dec_items or own_items or credit_items or rc_item or sa:
+            routers.append(
+                (
+                    rid,
+                    tuple(buf_items),
+                    tuple(asg_items),
+                    tuple(dec_items),
+                    tuple(own_items),
+                    tuple(credit_items),
+                    sa,
+                    rc_item,
+                )
+            )
+    nics = []
+    for nic in state.nics:
+        if nic.queue or nic.busy:
+            for packet in nic.queue:
+                packets.setdefault(packet.id, packet)
+            current = -1
+            if nic.current_flits is not None:
+                current_packet = nic.current_flits[0].packet
+                packets.setdefault(current_packet.id, current_packet)
+                current = current_packet.id
+            nics.append(
+                (
+                    nic.router_id,
+                    tuple(p.id for p in nic.queue),
+                    current,
+                    nic.current_index,
+                    nic.inject_vc,
+                )
+            )
+    arrivals = tuple(
+        sorted(
+            (due, dst, port, vc) + flit_ref(flit)
+            for due, batch in state.arrivals.items()
+            for dst, port, vc, flit in batch
+        )
+    )
+    credit_arrivals = tuple(
+        sorted(
+            (due,) + tuple(entry)
+            for due, batch in state.credit_arrivals.items()
+            for entry in batch
+        )
+    )
+    vl_busy = tuple(
+        sorted(
+            (rid, free_at)
+            for rid, free_at in state.vl_next_free.items()
+            if free_at > state.cycle
+        )
+    )
+    return (
+        state.cycle,
+        state.packet_counter,
+        state.flits_in_flight,
+        state.last_progress,
+        state.measured_outstanding,
+        tuple(routers),
+        tuple(nics),
+        arrivals,
+        credit_arrivals,
+        vl_busy,
+        tuple(canonical_packet(packets[pid]) for pid in sorted(packets)),
+        canonical_stats(stats),
+    )
+
+
+def snapshot_digest(snapshot: tuple) -> str:
+    """Stable SHA-256 of a canonical snapshot (tuples of scalars only)."""
+    return hashlib.sha256(repr(snapshot).encode("utf-8")).hexdigest()

@@ -157,6 +157,24 @@ class RoutingAlgorithm(abc.ABC):
         """
         return False
 
+    def stateful_boundary_router(self, packet: "Packet") -> int | None:
+        """Vectorization hint: where along its route this packet's hops
+        are stateful.
+
+        Returns ``-1`` when *no* hop of this packet is stateful (so a
+        batch kernel may serve every hop from a dense table), a router id
+        when exactly that router's hops are stateful, or ``None`` when
+        the answer cannot be summarized — the kernel then falls back to
+        calling :meth:`route_is_stateful` per hop. The default inspects
+        whether the subclass overrides :meth:`route_is_stateful` at all:
+        if not, nothing is ever stateful. Only meaningful once the
+        packet's bindings (``prepare_packet``) are in place, and must
+        stay constant for the packet's lifetime afterwards.
+        """
+        if type(self).route_is_stateful is RoutingAlgorithm.route_is_stateful:
+            return -1
+        return None
+
     # -- optional hooks (overridden by RC) ---------------------------------
 
     def may_inject(self, packet: "Packet", cycle: int) -> bool:

@@ -46,6 +46,7 @@ rebuild only the route rows while keeping the reachability rows.
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING
 
 from ..errors import RoutingError
@@ -100,6 +101,10 @@ class CompiledRoutes:
         self.misses = 0
         self.stateful_calls = 0
         self.invalidations = 0
+        # Lazily built numpy view of the table (vector kernel); memoized
+        # here so session-cached CompiledRoutes instances carry their
+        # dense tables across jobs for free.
+        self._dense: "DenseRouteTable | None" = None
 
     # ------------------------------------------------------------------
     # route table
@@ -153,6 +158,27 @@ class CompiledRoutes:
     def table_size(self) -> int:
         """Number of compiled route entries currently held."""
         return len(self._table)
+
+    def pack_key(
+        self, phase: int, anchor: int, router_id: int, in_port: int, vn: int
+    ) -> int:
+        """The packed integer key of one route-determining state."""
+        return (
+            ((phase * self._anchors + anchor) * len(self._layers) + router_id)
+            * (_NUM_PORTS * 2)
+            + in_port * 2
+            + vn
+        )
+
+    def dense_table(self) -> "DenseRouteTable":
+        """The numpy-indexable view of the route table (memoized).
+
+        Requires numpy. The view resyncs itself lazily from the dict as
+        traffic compiles new entries — see :class:`DenseRouteTable`.
+        """
+        if self._dense is None:
+            self._dense = DenseRouteTable(self)
+        return self._dense
 
     # ------------------------------------------------------------------
     # reachability tables (the Fig. 7 factorization)
@@ -240,6 +266,100 @@ class CompiledRoutes:
             s * d for s, d in zip(senders, receivers)
         )
         return (intra + cross) / total
+
+
+class DenseRouteTable:
+    """Batch-lookup view of a :class:`CompiledRoutes` table.
+
+    Not a literal dense array — the key space (phases x anchors x routers
+    x ports x VNs) reaches tens of millions of slots on mega-grids while
+    traffic exercises a few thousand, so the view keeps the *compiled*
+    keys as a sorted int64 array with a parallel array of interned
+    decision codes and answers batch queries via ``searchsorted``.
+    Decisions are interned by value (``(out_port, allowed_vns)``), so
+    codes remain valid across table invalidations.
+
+    Sync policy: the view trails the dict and resyncs with geometric
+    backoff (when the dict has grown 25% + 16 entries past the last
+    sync, or the fault state was rebound). Keys compiled since the last
+    sync simply miss — callers route those through
+    :meth:`CompiledRoutes.route`, which is where new entries come from
+    in the first place, so a miss is never wrong, only slower.
+    """
+
+    def __init__(self, routes: CompiledRoutes):
+        import numpy as np
+
+        self._np = np
+        self._routes = routes
+        self._keys = np.empty(0, dtype=np.int64)
+        self._codes = np.empty(0, dtype=np.int32)
+        #: code -> representative RouteDecision (value-interned).
+        self.decisions: list[RouteDecision] = []
+        self._code_of: dict[tuple[int, tuple[int, ...]], int] = {}
+        #: Codes of the dict's entries in insertion order, so a resync
+        #: only interns entries compiled since the previous one.
+        self._insertion_codes: list[int] = []
+        self._synced_invalidations = routes.invalidations
+        self._resync_at = 0
+        #: Introspection counters (tests, benchmarks).
+        self.lookups = 0
+        self.misses = 0
+        self.resyncs = 0
+
+    def code_for(self, decision: RouteDecision) -> int:
+        """Intern a decision, returning its stable integer code."""
+        key = (int(decision.out_port), tuple(int(v) for v in decision.allowed_vns))
+        code = self._code_of.get(key)
+        if code is None:
+            code = len(self.decisions)
+            self._code_of[key] = code
+            self.decisions.append(decision)
+        return code
+
+    def maybe_resync(self) -> None:
+        """Adopt dict growth / invalidation if the backoff threshold passed."""
+        routes = self._routes
+        stale = routes.invalidations != self._synced_invalidations
+        if not stale and len(routes._table) < self._resync_at:
+            return
+        np = self._np
+        table = routes._table
+        n = len(table)
+        keys = np.fromiter(table.keys(), dtype=np.int64, count=n)
+        if stale or n < len(self._insertion_codes):
+            self._insertion_codes.clear()
+        done = len(self._insertion_codes)
+        if n > done:
+            self._insertion_codes.extend(
+                self.code_for(d)
+                for d in itertools.islice(table.values(), done, None)
+            )
+        codes = np.asarray(self._insertion_codes, dtype=np.int32)
+        order = np.argsort(keys)
+        self._keys = keys[order]
+        self._codes = codes[order]
+        self._synced_invalidations = routes.invalidations
+        self._resync_at = n + (n >> 2) + 16
+        self.resyncs += 1
+
+    def lookup(self, keys: "object") -> tuple["object", "object"]:
+        """Batch lookup: (decision codes, found mask) for packed keys.
+
+        ``codes`` is only meaningful where ``found`` is True; unfound
+        keys must be routed through :meth:`CompiledRoutes.route`.
+        """
+        np = self._np
+        self.lookups += len(keys)  # type: ignore[arg-type]
+        if len(self._keys) == 0:  # type: ignore[arg-type]
+            found = np.zeros(len(keys), dtype=bool)  # type: ignore[arg-type]
+            self.misses += len(keys)  # type: ignore[arg-type]
+            return np.zeros(len(keys), dtype=np.int32), found  # type: ignore[arg-type]
+        pos = np.searchsorted(self._keys, keys)
+        pos[pos == len(self._keys)] = 0  # any in-range slot; masked below
+        found = self._keys[pos] == keys
+        self.misses += int(len(found) - int(found.sum()))
+        return self._codes[pos], found
 
 
 def compile_routes(algorithm: RoutingAlgorithm) -> CompiledRoutes | None:

@@ -254,6 +254,19 @@ class DeftRouting(PhasedRoutingMixin, RoutingAlgorithm):
         down_vl = packet.down_vl
         return down_vl is not None and self.system.vls[down_vl].chiplet_router == router_id
 
+    def stateful_boundary_router(self, packet: Packet) -> int:
+        """The single stateful hop is the bound down-VL's boundary router.
+
+        ``down_vl`` is bound once in :meth:`prepare_packet` and never
+        rebound, so the answer is constant for the packet's lifetime —
+        exactly what a batch kernel needs to pre-split table-served hops
+        from live-dispatch hops.
+        """
+        down_vl = packet.down_vl
+        if down_vl is None:
+            return -1
+        return self.system.vls[down_vl].chiplet_router
+
     def _vns_for_hop(
         self, packet: Packet, router, in_port: Port, out_port: Port
     ) -> tuple[int, ...]:

@@ -203,7 +203,9 @@ def execute_job(
             )
         traffic = job.traffic.build(system, seed=job.seed)
         config: SimulationConfig = job.config.replace(seed=job.seed)
-        report = Simulator(system, algorithm, traffic, config, routes=routes).run()
+        report = Simulator(
+            system, algorithm, traffic, config, routes=routes, kernel=job.kernel
+        ).run()
     except Exception:
         end = time.perf_counter()
         # Phase marks up to the failure point still describe where the

@@ -116,7 +116,10 @@ class SessionContext:
 
         One table per algorithm instance: same-fault jobs share its rows,
         fault changes invalidate only the route rows (the per-pattern
-        reachability rows survive by design).
+        reachability rows survive by design). The vector kernel's dense
+        int-indexed view rides along for free: ``CompiledRoutes``
+        memoizes its ``dense_table()`` on the instance, so every job of
+        a warm session reuses one dense table as well.
         """
         key = (self.system_key(ref), name, params)
         if key not in self._routes:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
+from ..network.kernels import KERNEL_NAMES
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..fault.model import FaultState
@@ -211,6 +212,11 @@ class Job:
         kind: ``simulate`` (default) or ``reachability`` — the latter
             skips the simulator and analytically scores the fault
             scenario's reachable core-pair fraction.
+        kernel: cycle-kernel request forwarded to the simulator
+            (``auto``, ``reference`` or ``vector``). Deliberately *not*
+            part of the canonical form: kernels are bit-identical by
+            contract, so the same point computed under either kernel
+            must share one cache entry.
     """
 
     system: SystemRef
@@ -224,6 +230,7 @@ class Job:
     fault_k: int = 0
     fault_sample: int = 0
     kind: str = "simulate"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         for vl_index, direction in self.faults:
@@ -240,6 +247,10 @@ class Job:
         if self.kind not in JOB_KINDS:
             raise ConfigurationError(
                 f"job kind must be one of {JOB_KINDS}, got {self.kind!r}"
+            )
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"job kernel must be one of {KERNEL_NAMES}, got {self.kernel!r}"
             )
         if self.faults_mode == "sample":
             if self.faults:
@@ -280,6 +291,7 @@ class Job:
         fault_k: int = 0,
         fault_sample: int = 0,
         kind: str = "simulate",
+        kernel: str = "auto",
     ) -> "Job":
         return cls(
             system=system,
@@ -293,6 +305,7 @@ class Job:
             fault_k=fault_k,
             fault_sample=fault_sample,
             kind=kind,
+            kernel=kernel,
         )
 
     # -- canonical form & content address -------------------------------
@@ -306,6 +319,13 @@ class Job:
         Sample-mode and non-simulate fields are only present when they
         deviate from the defaults, so every pre-existing explicit
         ``simulate`` job keeps its original key and stays cache-valid.
+
+        :attr:`kernel` is deliberately excluded: kernel selection is an
+        execution detail that never changes results (kernels are
+        bit-identical by contract), so the same point simulated under
+        either kernel shares one cache entry. Transports that need to
+        ship the preference (the spool queue) add a ``kernel`` key to
+        this dict themselves; :meth:`from_canonical` reads it back.
         """
         data: dict[str, Any] = {
             "version": SPEC_VERSION,
@@ -375,6 +395,7 @@ class Job:
             fault_k=int(data.get("fault_k", 0)),
             fault_sample=int(data.get("fault_sample", 0)),
             kind=str(data.get("kind", "simulate")),
+            kernel=str(data.get("kernel", "auto")),
         )
 
 

@@ -401,3 +401,52 @@ class TestCampaignRunner:
         order: list[int] = []
         SerialBackend().run(jobs, on_result=lambda done, total, j, r: order.append(done))
         assert order == [1, 2]
+
+
+class TestKernelCacheIdentity:
+    """The kernel preference must never split the content-addressed cache.
+
+    The cycle kernels are bit-identical by contract (enforced by
+    tests/test_kernel_equivalence.py), so ``Job.kernel`` is deliberately
+    excluded from the canonical form: one scenario simulated under either
+    kernel is ONE cache entry, and entries written by different kernels
+    are byte-identical modulo wall-clock provenance.
+    """
+
+    def test_kernel_excluded_from_key_and_canonical(self, tiny_config):
+        jobs = [
+            tiny_job(tiny_config, kernel=k)
+            for k in ("auto", "reference", "vector")
+        ]
+        assert len({job.key() for job in jobs}) == 1
+        assert all("kernel" not in job.canonical() for job in jobs)
+
+    def test_kernel_survives_make_and_validates(self, tiny_config):
+        assert tiny_job(tiny_config, kernel="vector").kernel == "vector"
+        with pytest.raises(ConfigurationError):
+            tiny_job(tiny_config, kernel="turbo")
+
+    def test_both_kernels_write_one_identical_entry(self, tmp_path, tiny_config):
+        import dataclasses
+
+        entries = {}
+        for kernel in ("reference", "vector"):
+            cache = ResultCache(tmp_path / kernel)
+            job = tiny_job(tiny_config, kernel=kernel)
+            result = execute_job(job).raise_if_failed()
+            # duration_s is wall-clock provenance (excluded from result
+            # equality); pin it so the stored bytes are comparable.
+            cache.put(job, dataclasses.replace(result, duration_s=0.0))
+            path = cache.path_for(job)
+            entries[kernel] = (path.relative_to(tmp_path / kernel), path.read_bytes())
+        ref_rel, ref_bytes = entries["reference"]
+        vec_rel, vec_bytes = entries["vector"]
+        assert ref_rel == vec_rel  # same key, same shard: one entry
+        assert ref_bytes == vec_bytes
+
+    def test_vector_entry_serves_reference_job(self, tmp_path, tiny_config):
+        cache = ResultCache(tmp_path)
+        vec_job = tiny_job(tiny_config, kernel="vector")
+        cache.put(vec_job, execute_job(vec_job))
+        hit = cache.get(tiny_job(tiny_config, kernel="reference"))
+        assert hit is not None and hit.cached
