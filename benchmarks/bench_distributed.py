@@ -1,14 +1,23 @@
 """Distributed-execution benchmarks: spool workers and persistent pools.
 
-Two cases, both recorded in ``benchmarks/BENCH_distributed.json``:
+Three cases, all recorded in ``benchmarks/BENCH_distributed.json``:
 
-* ``test_spool_multiworker_vs_serial`` — the PR's acceptance case: a
+* ``test_spool_multiworker_vs_serial`` — the acceptance case: a
   repeated-topology Monte Carlo campaign through :class:`SpoolBackend`
   with 2 autospawned ``deft worker`` subprocesses versus
-  :class:`SerialBackend`, asserted bit-identical and timed (the
-  multi-worker speedup is only *asserted* where the machine actually
-  has >= 2 cores and jobs run at full scale; the numbers are always
-  recorded).
+  :class:`SerialBackend`, swept across spool batch sizes (1, 4, 16)
+  and asserted bit-identical at each. The multi-worker speedup is only
+  *asserted* where the machine actually gives the workers >= 2 cores
+  and jobs run at full scale — on fewer cores two workers time-slice
+  one CPU and a "slowdown" measures contention, not spool overhead —
+  but the numbers (and the core count they were taken on) are always
+  recorded.
+* ``test_spool_fs_ops_per_job`` — the protocol-v2 overhead case: the
+  same MC campaign shape executed inline (no subprocesses, so the
+  process-global ``deft_spool_fs_ops`` counter sees every operation)
+  at ``--batch 1`` versus ``--batch 8``; batching must cut filesystem
+  round-trips per job by >= 4x. This is the half of the acceptance bar
+  that is measurable on any box, single-core CI included.
 * ``test_persistent_pool_across_adaptive_rounds`` — the
   :class:`ProcessPoolBackend` satellite: adaptive Monte Carlo doubling
   rounds against one persistent pool (workers and their warm sessions
@@ -19,7 +28,7 @@ import os
 import time
 
 from repro.experiments.common import default_config, effective_scale
-from repro.montecarlo import run_montecarlo
+from repro.montecarlo import montecarlo_jobs, run_montecarlo
 from repro.runner import (
     CampaignRunner,
     ProcessPoolBackend,
@@ -27,7 +36,8 @@ from repro.runner import (
     SerialBackend,
     SystemRef,
 )
-from repro.distributed import SpoolBackend
+from repro.distributed import Spool, SpoolBackend, run_worker
+from repro.telemetry.metrics import get_registry, set_enabled
 
 from conftest import _SESSION_REPORTS
 
@@ -35,10 +45,27 @@ from conftest import _SESSION_REPORTS
 #: dominate constant overheads (worker startup, spool polling).
 STRICT_TIMING = effective_scale(None) >= 0.5
 
+#: Spool batch sizes swept by the multiworker case.
+BATCH_SWEEP = (1, 4, 16)
+
+
+def _worker_cores() -> int:
+    """Cores actually available to spawned workers, not the raw count.
+
+    ``sched_getaffinity`` honours cgroup/taskset restrictions (CI
+    runners, containers); ``cpu_count`` is the fallback where it does
+    not exist.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
 
 def test_spool_multiworker_vs_serial(tmp_path_factory, bench_metrics):
-    """Repeated-topology MC latency campaign: serial vs 2 spool workers."""
-    cores = os.cpu_count() or 1
+    """Repeated-topology MC latency campaign: serial vs 2 spool workers,
+    swept across spool batch sizes."""
+    cores = _worker_cores()
     workers = 2
     args = (SystemRef.baseline4(), ("deft",), (2,), 8)
     kwargs = dict(seed=0, metric="latency", config=default_config(None))
@@ -48,30 +75,60 @@ def test_spool_multiworker_vs_serial(tmp_path_factory, bench_metrics):
         *args, runner=CampaignRunner(backend=SerialBackend()), **kwargs
     )
     serial_s = time.perf_counter() - start
-
-    cache_dir = tmp_path_factory.mktemp("spool-cache")
-    spool_dir = tmp_path_factory.mktemp("spool")
-    backend = SpoolBackend(
-        cache=ResultCache(cache_dir), spool_dir=spool_dir, workers=workers
-    )
-    runner = CampaignRunner(backend=backend, cache=ResultCache(cache_dir))
-    start = time.perf_counter()
-    try:
-        spooled = run_montecarlo(*args, runner=runner, **kwargs)
-        spool_s = time.perf_counter() - start
-        worker_stats = backend.spool.worker_stats()
-    finally:
-        runner.close()
-
-    speedup = serial_s / max(spool_s, 1e-9)
     jobs = serial.campaign.total
+
+    sweep: dict[int, float] = {}
+    worker_stats: dict = {}
+    for batch in BATCH_SWEEP:
+        # Fresh spool + cache per point: a shared cache would serve the
+        # later points from disk and time nothing.
+        cache_dir = tmp_path_factory.mktemp(f"spool-cache-b{batch}")
+        spool_dir = tmp_path_factory.mktemp(f"spool-b{batch}")
+        backend = SpoolBackend(
+            cache=ResultCache(cache_dir), spool_dir=spool_dir,
+            workers=workers, batch=batch,
+        )
+        runner = CampaignRunner(backend=backend, cache=ResultCache(cache_dir))
+        start = time.perf_counter()
+        try:
+            spooled = run_montecarlo(*args, runner=runner, **kwargs)
+            sweep[batch] = time.perf_counter() - start
+            worker_stats = backend.spool.worker_stats()
+        finally:
+            runner.close()
+        # Correctness is asserted unconditionally at every batch size:
+        # bit-identical estimates, no errors.
+        assert [p.values for p in spooled.results] == [
+            p.values for p in serial.results
+        ], f"batch={batch} diverged from serial"
+        assert not spooled.campaign.errors
+        assert sum(s["jobs_done"] for s in worker_stats.values()) >= jobs
+
+    best_batch = min(sweep, key=sweep.get)
+    best_s = sweep[best_batch]
+    speedup = serial_s / max(best_s, 1e-9)
+    speedup_asserted = STRICT_TIMING and cores >= workers
+    skip_reason = None
+    if not speedup_asserted:
+        skip_reason = (
+            f"speedup assertion skipped: {cores} core(s) available to "
+            f"{workers} workers"
+            if cores < workers
+            else "speedup assertion skipped: reduced experiment scale"
+        )
+
     lines = [
         f"== bench_distributed: spool backend ({jobs} repeated-topology "
         f"Monte Carlo simulations, {workers} workers, {cores} cores) ==",
         f"  serial backend:        {serial_s:7.2f}s",
-        f"  spool x{workers} workers:      {spool_s:7.2f}s "
-        f"(speedup {speedup:4.2f}x)",
     ]
+    for batch in BATCH_SWEEP:
+        lines.append(
+            f"  spool x{workers}, batch {batch:2d}:   {sweep[batch]:7.2f}s "
+            f"(speedup {serial_s / max(sweep[batch], 1e-9):4.2f}x)"
+        )
+    if skip_reason:
+        lines.append(f"  {skip_reason}")
     for worker_id, stats in sorted(worker_stats.items()):
         session = stats.get("session", {})
         lines.append(
@@ -85,23 +142,82 @@ def test_spool_multiworker_vs_serial(tmp_path_factory, bench_metrics):
     _SESSION_REPORTS.append(report_text)
     bench_metrics(
         jobs=jobs, workers=workers, cores=cores,
-        serial_s=round(serial_s, 3), spool_s=round(spool_s, 3),
+        serial_s=round(serial_s, 3),
+        batch_sweep_s={
+            str(batch): round(elapsed, 3) for batch, elapsed in sweep.items()
+        },
+        best_batch=best_batch,
+        spool_s=round(best_s, 3),
         multiworker_speedup=round(speedup, 2),
+        speedup_asserted=speedup_asserted,
+        skip_reason=skip_reason,
         worker_jobs=[s["jobs_done"] for _, s in sorted(worker_stats.items())],
     )
 
-    # Correctness is asserted unconditionally: bit-identical estimates.
-    assert [p.values for p in spooled.results] == [
-        p.values for p in serial.results
-    ]
-    assert not spooled.campaign.errors
-    # Both autospawned workers took part (the queue actually fanned out).
-    assert sum(s["jobs_done"] for s in worker_stats.values()) >= jobs
-    if STRICT_TIMING and cores >= 2:
-        assert spool_s < serial_s, (
-            f"expected multi-worker speedup on {cores} cores: "
-            f"spool {spool_s:.2f}s vs serial {serial_s:.2f}s"
+    if speedup_asserted:
+        assert speedup >= 1.3, (
+            f"expected multi-worker speedup >= 1.3x with batching on "
+            f"{cores} cores: best {best_s:.2f}s (batch {best_batch}) vs "
+            f"serial {serial_s:.2f}s"
         )
+
+
+def test_spool_fs_ops_per_job(tmp_path_factory, bench_metrics):
+    """Protocol v2 acceptance: >= 4x fewer spool fs ops/job at batch 8.
+
+    Runs the MC campaign case *inline* — enqueue and worker in this
+    process — so the process-global ``deft_spool_fs_ops`` counter
+    observes every protocol operation on both sides of the queue.
+    """
+    set_enabled(True)  # the counter is the measurement
+    counter = get_registry().counter(
+        "deft_spool_fs_ops",
+        "Filesystem operations performed by the spool protocol",
+    )
+    jobs = montecarlo_jobs(
+        SystemRef.baseline4(), "deft", 2, 24, seed=0, metric="reachability"
+    )
+
+    ops_per_job: dict[int, float] = {}
+    for batch in (1, 8):
+        spool = Spool(
+            tmp_path_factory.mktemp(f"fsops-spool-b{batch}")
+        ).ensure()
+        cache = ResultCache(tmp_path_factory.mktemp(f"fsops-cache-b{batch}"))
+        before = counter.value
+        spool.enqueue(jobs, batch_size=batch)
+        stats = run_worker(
+            spool.root, cache, worker_id=f"bench-b{batch}",
+            idle_timeout_s=0.2,
+        )
+        ops_per_job[batch] = (counter.value - before) / len(jobs)
+        assert stats["jobs_done"] == len(jobs)
+        assert spool.pending_count() == 0 and spool.claimed_count() == 0
+
+    reduction = ops_per_job[1] / max(ops_per_job[8], 1e-9)
+    report_text = "\n".join(
+        [
+            f"== bench_distributed: spool fs ops per job "
+            f"({len(jobs)} inline MC jobs) ==",
+            f"  batch 1:  {ops_per_job[1]:6.2f} fs ops/job",
+            f"  batch 8:  {ops_per_job[8]:6.2f} fs ops/job "
+            f"({reduction:4.2f}x reduction)",
+        ]
+    )
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        jobs=len(jobs),
+        fs_ops_per_job_batch1=round(ops_per_job[1], 2),
+        fs_ops_per_job_batch8=round(ops_per_job[8], 2),
+        fs_ops_reduction=round(reduction, 2),
+    )
+    assert reduction >= 4.0, (
+        f"expected >= 4x fs-op reduction at batch 8: "
+        f"{ops_per_job[1]:.2f} -> {ops_per_job[8]:.2f} ops/job "
+        f"({reduction:.2f}x)"
+    )
 
 
 def test_persistent_pool_across_adaptive_rounds(bench_metrics):

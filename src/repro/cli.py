@@ -265,6 +265,7 @@ def _runner_from_args(args: argparse.Namespace) -> CampaignRunner:
             lease_s=getattr(args, "lease", None) or 30.0,
             stall_timeout_s=None if not stall else stall,
             use_session=use_session,
+            batch=getattr(args, "batch", "auto"),
         )
     elif backend_name == "process":
         backend = ProcessPoolBackend(
@@ -486,6 +487,21 @@ def _parse_shard_arg(text: str) -> tuple[int, int]:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _parse_batch_arg(text: str):
+    """Argparse type for ``--batch``: a positive int or 'auto'."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a batch size or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"batch size must be >= 1, got {value}")
+    return value
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     """Run one long-lived spool worker until STOP/idle-timeout/max-jobs."""
     cache = ResultCache(args.cache_dir, compress=args.compress_cache)
@@ -509,6 +525,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             idle_timeout_s=args.idle_timeout,
             max_jobs=args.max_jobs,
             use_session=not args.no_session,
+            heartbeat_s=args.heartbeat,
             kernel=args.kernel,
         )
     finally:
@@ -715,6 +732,13 @@ def _add_distributed_args(p: argparse.ArgumentParser) -> None:
                    help="fail remaining spool jobs after this long with "
                         "no result and nothing in flight; 0 waits forever "
                         "(a held lease never counts as a stall)")
+    p.add_argument("--batch", type=_parse_batch_arg, default="auto",
+                   metavar="N",
+                   help="jobs per spool lease (1-32), or 'auto' to target "
+                        "~2s of work per lease from the spool's job-duration "
+                        "history; batching amortizes per-job claim/lease/"
+                        "heartbeat round-trips, --batch 1 keeps per-job "
+                        "crash-requeue granularity")
     p.add_argument("--compress-cache", action="store_true",
                    help="gzip new cache entries (reads accept both forms)")
     p.set_defaults(_parser=p)
@@ -877,6 +901,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lease/stats identity (default: hostname-pid)")
     p.add_argument("--lease", type=float, default=None, metavar="SECONDS",
                    help="claim lease duration (default 30)")
+    p.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                   help="lease renewal interval; each renewal emits a "
+                        "lease_renewed event (default: lease / 4)")
     p.add_argument("--max-attempts", type=int, default=None,
                    help="executions per job before a terminal failure "
                         "(default 3)")

@@ -15,7 +15,7 @@ The subsystem that takes the campaign runner beyond one machine:
   campaign, autospawns local workers and blocks until results land.
 """
 
-from .backend import SpoolBackend
+from .backend import SpoolBackend, auto_batch_size
 from .shard import (
     coverage_check,
     parse_shard,
@@ -24,13 +24,16 @@ from .shard import (
     shard_jobs,
     shard_of_key,
 )
-from .spool import Claim, Spool
+from .spool import BatchClaim, BatchEntry, Claim, Spool
 from .worker import run_worker
 
 __all__ = [
+    "BatchClaim",
+    "BatchEntry",
     "Claim",
     "Spool",
     "SpoolBackend",
+    "auto_batch_size",
     "coverage_check",
     "parse_shard",
     "run_worker",

@@ -30,11 +30,48 @@ from ..runner.backends import ExecutionBackend, ProgressFn
 from ..runner.cache import ResultCache
 from ..runner.result import JobResult
 from ..runner.spec import Job
-from ..telemetry.manifest import write_campaign_manifest
-from .spool import DEFAULT_LEASE_S, DEFAULT_MAX_ATTEMPTS, Spool
+from ..telemetry.manifest import read_all_events, write_campaign_manifest
+from .spool import DEFAULT_LEASE_S, DEFAULT_MAX_ATTEMPTS, MAX_BATCH, Spool
 
 #: Respawned worker budget, as a multiple of the configured worker count.
 _RESPAWN_FACTOR = 2
+
+#: Auto batch sizing targets about this much work under each lease:
+#: enough to amortize the per-lease filesystem round-trips over short
+#: jobs, short enough that a crashed worker forfeits only ~2s of work.
+TARGET_LEASE_WORK_S = 2.0
+
+#: How many trailing ``job_finished`` durations inform auto sizing.
+_SIZING_WINDOW = 256
+
+
+def auto_batch_size(spool_root: str | Path) -> int:
+    """Job-size-aware batch size from the spool's own execution history.
+
+    Reads the trailing window of non-cached ``job_finished`` durations
+    from the spool's merged event streams (the cross-process record the
+    ``deft_job_phase_*`` histograms are built from) and sizes batches to
+    ~:data:`TARGET_LEASE_WORK_S` of work per lease, clamped to
+    [1, ``MAX_BATCH``]: sub-second MC jobs batch aggressively, long
+    simulate jobs stay at 1 so crash requeue keeps per-job granularity.
+    A spool with no history yet sizes to 1 (exactly protocol-v1
+    behaviour) — pin ``--batch`` explicitly for a cold spool's first
+    campaign if its job sizes are known.
+    """
+    durations: list[float] = []
+    for record in read_all_events(spool_root):
+        if record.get("event") != "job_finished" or record.get("cached"):
+            continue
+        duration = record.get("duration_s")
+        if isinstance(duration, (int, float)) and duration >= 0:
+            durations.append(float(duration))
+    durations = durations[-_SIZING_WINDOW:]
+    if not durations:
+        return 1
+    mean = sum(durations) / len(durations)
+    if mean <= 0:
+        return MAX_BATCH
+    return max(1, min(MAX_BATCH, round(TARGET_LEASE_WORK_S / mean)))
 
 
 def _worker_command(
@@ -82,6 +119,9 @@ class SpoolBackend(ExecutionBackend):
             A held lease always counts as progress: jobs longer than the
             timeout are safe as long as their worker heartbeats.
         use_session: passed through to autospawned workers.
+        batch: jobs per spool lease — an int (clamped to
+            [1, ``MAX_BATCH``]) or ``"auto"`` to size from the spool's
+            job-duration history (:func:`auto_batch_size`).
     """
 
     def __init__(
@@ -94,6 +134,7 @@ class SpoolBackend(ExecutionBackend):
         poll_s: float = 0.05,
         stall_timeout_s: float | None = 300.0,
         use_session: bool = True,
+        batch: int | str = "auto",
     ):
         if cache is None:
             raise ValueError(
@@ -108,6 +149,12 @@ class SpoolBackend(ExecutionBackend):
             self._tmp = tempfile.TemporaryDirectory(prefix="deft-spool-")
             spool_dir = self._tmp.name
         self.spool = Spool(spool_dir, lease_s=lease_s, max_attempts=max_attempts)
+        if batch != "auto":
+            batch = int(batch)
+            if batch < 1:
+                raise ValueError(f"batch must be >= 1 or 'auto', got {batch}")
+            batch = min(batch, MAX_BATCH)
+        self.batch = batch
         self._workers = workers
         self.poll_s = poll_s
         self.stall_timeout_s = stall_timeout_s
@@ -220,7 +267,12 @@ class SpoolBackend(ExecutionBackend):
         unique: dict[str, Job] = {}
         for job in jobs:
             unique.setdefault(job.key(), job)
-        self.spool.enqueue(unique.values())
+        batch_size = (
+            auto_batch_size(self.spool.root)
+            if self.batch == "auto"
+            else self.batch
+        )
+        self.spool.enqueue(unique.values(), batch_size=batch_size)
         if self._workers and not self._procs:
             for _ in range(self._workers):
                 self._spawn_worker()

@@ -1,4 +1,4 @@
-"""Broker-less filesystem job spool.
+"""Broker-less filesystem job spool (protocol v2: batched leases).
 
 A :class:`Spool` is a directory any number of worker processes can pull
 jobs from — local subprocesses today, machines sharing the directory
@@ -9,9 +9,12 @@ need in common is the directory.
 Layout::
 
     <root>/
-      jobs/<key>.json     pending job specs (canonical Job form + attempts)
-      claims/<key>.json   leased jobs: payload + worker id + lease deadline
-      requeue/<key>.json  transient reaper staging (recovered if orphaned)
+      spool.json          protocol version manifest (v2; absent = v1)
+      jobs/<key>.json     pending single-job specs (v1 wire format)
+      jobs/batch-*.json   pending multi-job batches (v2, one file per batch)
+      claims/<name>.json  leased jobs: payload + worker id + lease deadline
+                          (one lease file covers every job in a batch)
+      requeue/<name>.json transient reaper staging (recovered if orphaned)
       failed/<key>.json   terminal failures handed back to the backend
       workers/<id>.json   per-worker observability stats (session hit rates)
       manifest/           campaign descriptors + JSONL event streams
@@ -20,45 +23,72 @@ Layout::
 
 Protocol:
 
-* **enqueue** — write ``jobs/<key>.json`` atomically (tmp + rename). The
-  file name is the job's content address, so re-enqueueing is idempotent
-  and overlapping campaigns merge.
-* **claim** — create ``claims/<key>.json`` with ``O_CREAT | O_EXCL``
-  (atomic, single winner even on NFS v3+), then unlink the pending file.
-  The claim file carries the job payload, the worker id and a lease
-  deadline.
-* **heartbeat** — atomically rewrite the claim file with a fresh
-  deadline while the job executes.
-* **requeue** — any participant may sweep expired claims: the winner
-  atomically renames the claim into ``requeue/`` (single winner again),
-  bumps the attempt count and republishes the job — or, past
-  ``max_attempts``, writes a terminal failure. A reaper that dies
-  mid-requeue leaves an orphan in ``requeue/`` that the next sweep
-  recovers.
+* **enqueue** — write pending files atomically (tmp + rename).
+  ``batch_size=1`` (the default) writes one v1-format file per job,
+  named by the job's content address, so re-enqueueing is idempotent
+  and overlapping campaigns merge. ``batch_size>1`` groups jobs into
+  ``batch-<digest>-n<K>.json`` files — the per-job filesystem round
+  trips of enqueue/claim/lease are amortized over the whole batch.
+* **claim** — :meth:`claim_batch` takes one pending file under one
+  lease. A batch file is claimed by a single atomic rename into
+  ``claims/`` (exactly one winner per batch, even on NFS); a v1
+  single-job file is claimed with the original ``O_CREAT | O_EXCL``
+  claim-file dance and becomes a batch of one. Either way the lease
+  file carries every job payload, the worker id, the lease deadline
+  and the set of jobs already settled.
+* **heartbeat** — atomically rewrite the one lease file with a fresh
+  deadline while the batch executes: one heartbeat stream covers every
+  job in the batch.
+* **settle** — as jobs inside a batch finish, the worker marks them
+  settled in the lease (:meth:`flush_done`), *after* their results are
+  durable in the cache. A crash therefore requeues only jobs that are
+  not yet settled; anything re-executed because its settle flush had
+  not landed yet is served straight from the cache on reclaim.
+* **requeue** — any participant may sweep expired leases: the winner
+  atomically renames the lease into ``requeue/`` (single winner again)
+  and republishes the *unsettled remainder* with carried attempt
+  counts — or, past ``max_attempts``, writes terminal failures. A
+  reaper that dies mid-requeue leaves an orphan in ``requeue/`` that
+  the next sweep recovers.
 * **results** — *successful* results are handed off to the existing
   content-addressed :class:`~repro.runner.cache.ResultCache` (the merge
   point shards and machines already share); the spool itself only
   carries inputs, leases and terminal failures.
 
+Compatibility: a v1 spool directory (no ``spool.json``, per-key pending
+files only) is fully drainable by v2 workers — every v1 file is claimed
+as a batch of one. v2 spools that only ever enqueue with
+``batch_size=1`` are byte-compatible with v1 workers.
+
 A worker that finishes a job after losing its lease simply writes the
 same content-addressed result a second time — execution is a pure
 function of the job, so duplicate execution is benign (wasted cycles,
 never wrong numbers).
+
+Telemetry: the spool counts its own filesystem operations into the
+``deft_spool_fs_ops`` counter (scans, reads, writes, renames, unlinks)
+and observes every claim's job count into the ``deft_spool_batch_size``
+histogram, so the per-job round-trip reduction from batching is
+directly measurable (``benchmarks/bench_distributed.py`` records it).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import re
 import tempfile
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..runner.result import JobResult
 from ..runner.spec import Job
 from ..telemetry.events import NULL_EVENTS
 from ..telemetry.manifest import ensure_manifest, event_writer
+from ..telemetry.metrics import get_registry
 
 #: Shutdown sentinel file name (``Spool.request_stop``).
 STOP_SENTINEL = "STOP"
@@ -71,16 +101,82 @@ DEFAULT_LEASE_S = 30.0
 #: the same job (first attempt included).
 DEFAULT_MAX_ATTEMPTS = 3
 
+#: The spool wire-protocol version this code writes (``spool.json``).
+#: Version 1 (implicit: no ``spool.json``) is still fully readable.
+PROTOCOL_VERSION = 2
+
+#: Hard clamp on jobs per batch file / lease (also the auto-sizing cap).
+MAX_BATCH = 32
+
+#: Batch pending/lease files: ``batch-<digest>-n<jobs>.json``. The job
+#: count lives in the name so queue depths never require file reads.
+_BATCH_NAME_RE = re.compile(r"^batch-[0-9a-f]+-n(\d+)\.json$")
+
+#: ``deft_spool_batch_size`` buckets: powers of two up to the clamp.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, float(MAX_BATCH))
+
+
+def _fs_ops(n: int = 1) -> None:
+    """Count spool filesystem round-trips (no-op when telemetry is off)."""
+    get_registry().counter(
+        "deft_spool_fs_ops",
+        "Filesystem operations performed by the spool protocol",
+    ).inc(n)
+
+
+@dataclass
+class BatchEntry:
+    """One job inside a claimed batch."""
+
+    key: str
+    job: Job
+    attempts: int        #: 1-based: the attempt this claim is executing
+    payload: dict        #: wire-format job dict (carries kernel preference)
+
+
+@dataclass
+class BatchClaim:
+    """One worker's lease over a batch of jobs (possibly just one).
+
+    ``done`` holds the keys already settled — result durable in the
+    cache, or requeued/terminally failed. The lease file mirrors it on
+    every :meth:`Spool.flush_done` / heartbeat rewrite, so a reaper
+    requeues only the unsettled remainder. ``lock`` serialises lease
+    rewrites between the executing thread and the heartbeat thread.
+    """
+
+    batch: str           #: batch id (lease file stem)
+    name: str            #: lease file name inside ``claims/``
+    worker: str
+    deadline: float
+    entries: list[BatchEntry]
+    v1: bool             #: lease file uses the v1 single-job wire format
+    done: set[str] = field(default_factory=set)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def remaining(self) -> list[BatchEntry]:
+        return [e for e in self.entries if e.key not in self.done]
+
 
 @dataclass
 class Claim:
-    """One worker's lease on one job."""
+    """Single-job compatibility view over a :class:`BatchClaim`.
+
+    The v1 API (:meth:`Spool.claim` / ``heartbeat`` / ``complete`` /
+    ``requeue_claim``) hands these out; they delegate to the underlying
+    batch lease, so code written against protocol v1 keeps working.
+    """
 
     key: str
     job: Job
     attempts: int  #: 1-based: the attempt this claim is executing
     worker: str
     deadline: float
+    batch: BatchClaim | None = None
 
 
 def _write_json(path: Path, payload: dict) -> None:
@@ -97,18 +193,45 @@ def _write_json(path: Path, payload: dict) -> None:
         except OSError:
             pass
         raise
+    _fs_ops(2)  # write + publish rename
 
 
 def _read_json(path: Path) -> dict | None:
     """Read a payload, or None if it vanished or is mid-write garbage."""
+    _fs_ops()
     try:
         return json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return None
 
 
+def _job_count_of(name: str) -> int:
+    """Jobs carried by one pending/lease file, from the name alone."""
+    match = _BATCH_NAME_RE.match(name)
+    return int(match.group(1)) if match else 1
+
+
+def _entries_of(payload: dict) -> list[dict]:
+    """Normalize either wire format into a list of per-job dicts.
+
+    v2 batch payloads carry ``jobs: [{key, job, attempts}, ...]``; v1
+    single payloads carry top-level ``job`` + ``attempts`` (the key is
+    the file name, supplied by the caller when needed).
+    """
+    if "jobs" in payload:
+        return [dict(entry) for entry in payload.get("jobs", ())]
+    return [
+        {
+            "key": payload.get("key"),
+            "job": payload["job"],
+            "attempts": int(payload.get("attempts", 0)),
+        }
+    ]
+
+
 class Spool:
-    """A filesystem job queue with leases, crash requeue and failures.
+    """A filesystem job queue with batched leases, crash requeue and
+    terminal failures.
 
     Args:
         root: the spool directory (created on :meth:`ensure`).
@@ -134,9 +257,10 @@ class Spool:
         self.requeue_dir = self.root / "requeue"
         self.failed_dir = self.root / "failed"
         self.workers_dir = self.root / "workers"
+        self._claim_counter = 0
         # Telemetry sink for this spool's own protocol transitions (lease
-        # expiries, requeues). Defaults to the shared no-op; the owning
-        # process (worker, backend) wires a real writer via
+        # expiries, renewals, requeues). Defaults to the shared no-op; the
+        # owning process (worker, backend) wires a real writer via
         # :meth:`attach_events` so the emitting source is identified.
         self.events = NULL_EVENTS
 
@@ -146,8 +270,32 @@ class Spool:
             self.failed_dir, self.workers_dir,
         ):
             directory.mkdir(parents=True, exist_ok=True)
+        version_path = self.root / "spool.json"
+        if not version_path.exists():
+            _write_json(version_path, {"protocol": PROTOCOL_VERSION})
+        else:
+            self._check_protocol()
         ensure_manifest(self.root)
         return self
+
+    def _check_protocol(self) -> None:
+        """Refuse spools written by a *newer* protocol than this code.
+
+        A missing ``spool.json`` means protocol v1 — fully readable, v1
+        pending files are claimed as batches of one.
+        """
+        version = self.protocol_version()
+        if version > PROTOCOL_VERSION:
+            raise ValueError(
+                f"spool {self.root} uses protocol v{version}; this worker "
+                f"speaks up to v{PROTOCOL_VERSION} — upgrade the worker"
+            )
+
+    def protocol_version(self) -> int:
+        payload = _read_json(self.root / "spool.json")
+        if payload is None:
+            return 1
+        return int(payload.get("protocol", 1))
 
     def attach_events(self, source: str):
         """Route this spool's protocol events to ``manifest/events/``.
@@ -161,7 +309,7 @@ class Spool:
 
     # -- enqueue ----------------------------------------------------------
 
-    def enqueue(self, jobs) -> int:
+    def enqueue(self, jobs, batch_size: int = 1) -> int:
         """Publish jobs as pending; returns how many were newly enqueued.
 
         Idempotent by content address: a key already pending or claimed
@@ -169,191 +317,468 @@ class Spool:
         A stale terminal failure for a re-enqueued key is cleared first —
         failures are environment artefacts and must be retried, exactly
         as the result cache never serves them.
+
+        ``batch_size`` groups jobs into multi-job pending files claimed
+        under a single lease: short jobs batch aggressively to amortize
+        the per-job claim/lease/heartbeat round-trips, long jobs stay at
+        1 so crash requeue keeps per-job granularity. Clamped to
+        [1, ``MAX_BATCH``].
         """
         self.ensure()
+        batch_size = max(1, min(int(batch_size), MAX_BATCH))
+        if batch_size == 1:
+            return self._enqueue_singles(jobs)
+        return self._enqueue_batched(jobs, batch_size)
+
+    @staticmethod
+    def _wire_job(job: Job) -> dict:
+        # canonical() excludes the kernel preference (it is not part of
+        # the cache identity); carry it on the wire separately so
+        # workers honour it.
+        payload = job.canonical()
+        if job.kernel != "auto":
+            payload["kernel"] = job.kernel
+        return payload
+
+    def _enqueue_singles(self, jobs) -> int:
+        """v1 wire format: one pending file per job, named by its key.
+
+        Per-key existence probes are the cheap dedup here — but they
+        cannot see keys hidden inside multi-job batch files, so when any
+        batch file is present the batched path (which reads them) takes
+        over with group size 1.
+        """
+        _fs_ops(2)  # batch-file presence probes
+        if any(self.jobs_dir.glob("batch-*.json")) or any(
+            self.claims_dir.glob("batch-*.json")
+        ):
+            return self._enqueue_batched(jobs, 1)
         enqueued = 0
         for job in jobs:
             key = job.key()
+            _fs_ops(2)  # pending + claimed existence probes
             if (self.jobs_dir / f"{key}.json").exists() or (
                 self.claims_dir / f"{key}.json"
             ).exists():
                 continue
-            try:
-                (self.failed_dir / f"{key}.json").unlink()
-            except OSError:
-                pass
-            # canonical() excludes the kernel preference (it is not part
-            # of the cache identity); carry it on the wire separately so
-            # workers honour it.
-            job_payload = job.canonical()
-            if job.kernel != "auto":
-                job_payload["kernel"] = job.kernel
-            _write_json(
-                self.jobs_dir / f"{key}.json",
-                {"job": job_payload, "attempts": 0, "enqueued_at": time.time()},
-            )
+            self._clear_failure(key)
+            self._write_single(job)
             enqueued += 1
         return enqueued
 
-    # -- claim / heartbeat / complete -------------------------------------
+    def _write_single(self, job: Job) -> None:
+        _write_json(
+            self.jobs_dir / f"{job.key()}.json",
+            {
+                "job": self._wire_job(job),
+                "attempts": 0,
+                "enqueued_at": time.time(),
+            },
+        )
 
-    def claim(self, worker: str, now: float | None = None) -> Claim | None:
-        """Atomically claim one pending job, oldest key first.
+    def _in_flight_keys(self) -> set[str]:
+        """Every key currently pending or claimed (both wire formats).
 
-        ``O_CREAT | O_EXCL`` on the claim file is the mutual exclusion:
-        exactly one claimer wins each key, with no locks and no broker.
-        Returns ``None`` when nothing is claimable.
+        One directory scan each plus one read per *file* — amortized
+        over the batch this is far cheaper than the per-job existence
+        probes of the single-file path.
+        """
+        keys: set[str] = set()
+        for directory in (self.jobs_dir, self.claims_dir):
+            _fs_ops()  # directory scan
+            try:
+                names = [p for p in directory.glob("*.json")]
+            except OSError:
+                continue
+            for path in names:
+                if _BATCH_NAME_RE.match(path.name):
+                    payload = _read_json(path)
+                    if payload is None:
+                        continue
+                    for entry in _entries_of(payload):
+                        if entry.get("key"):
+                            keys.add(entry["key"])
+                else:
+                    keys.add(path.name[: -len(".json")])
+        return keys
+
+    def _enqueue_batched(self, jobs, batch_size: int) -> int:
+        """v2 wire format: group fresh jobs into multi-job batch files."""
+        in_flight = self._in_flight_keys()
+        _fs_ops()  # one failed/ scan replaces per-job unlink attempts
+        try:
+            failed_keys = {
+                path.name[: -len(".json")]
+                for path in self.failed_dir.glob("*.json")
+            }
+        except OSError:
+            failed_keys = set()
+        fresh: list[Job] = []
+        seen: set[str] = set(in_flight)
+        for job in jobs:
+            key = job.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in failed_keys:
+                self._clear_failure(key)
+            fresh.append(job)
+        enqueued = 0
+        for start in range(0, len(fresh), batch_size):
+            group = fresh[start:start + batch_size]
+            if len(group) == 1:
+                # A remainder of one keeps the v1 single-file format —
+                # drainable by v1 workers, and no batch machinery for
+                # a lease that covers a single job anyway. (Dedup
+                # already happened against the gathered in-flight keys.)
+                self._write_single(group[0])
+                enqueued += 1
+                continue
+            entries = [
+                {
+                    "key": job.key(),
+                    "job": self._wire_job(job),
+                    "attempts": 0,
+                }
+                for job in group
+            ]
+            self._write_batch(entries)
+            enqueued += len(group)
+        return enqueued
+
+    def _write_batch(self, entries: list[dict]) -> str:
+        """Publish one pending batch file; returns its name."""
+        digest = hashlib.sha256()
+        for entry in entries:
+            digest.update(str(entry["key"]).encode("utf-8"))
+        batch_id = f"batch-{digest.hexdigest()[:12]}-n{len(entries)}"
+        _write_json(
+            self.jobs_dir / f"{batch_id}.json",
+            {
+                "batch": batch_id,
+                "jobs": entries,
+                "enqueued_at": time.time(),
+            },
+        )
+        return batch_id
+
+    def _clear_failure(self, key: str) -> None:
+        _fs_ops()
+        try:
+            (self.failed_dir / f"{key}.json").unlink()
+        except OSError:
+            pass
+
+    # -- claim / heartbeat / settle / complete ----------------------------
+
+    def claim_batch(
+        self, worker: str, now: float | None = None
+    ) -> BatchClaim | None:
+        """Atomically claim one pending file — all its jobs, one lease.
+
+        A batch file is claimed by a single atomic rename into
+        ``claims/`` (exactly one winner); a v1 single-job file keeps the
+        original ``O_CREAT | O_EXCL`` mutual exclusion and comes back as
+        a batch of one. Returns ``None`` when nothing is claimable.
+        Every claimed job's attempt count is bumped in the lease.
         """
         now = now if now is not None else time.time()
+        _fs_ops()  # pending directory scan
         try:
             pending = sorted(path.name for path in self.jobs_dir.glob("*.json"))
         except OSError:
             return None
         for name in pending:
-            payload = _read_json(self.jobs_dir / name)
-            if payload is None:
-                continue
-            key = name[: -len(".json")]
-            deadline = now + self.lease_s
-            claim_payload = dict(
-                payload,
-                attempts=int(payload.get("attempts", 0)) + 1,
-                worker=worker,
-                claimed_at=now,
-                deadline=deadline,
-            )
-            claim_path = self.claims_dir / name
-            try:
-                fd = os.open(
-                    claim_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
-                )
-            except FileExistsError:
-                continue  # lost the race for this key
-            except OSError:
-                continue
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(claim_payload, handle)
-            except BaseException:
-                try:
-                    claim_path.unlink()
-                except OSError:
-                    pass
-                raise
-            try:
-                (self.jobs_dir / name).unlink()
-            except OSError:
-                pass  # already consumed by a racing reaper; claim stands
-            return Claim(
-                key=key,
-                job=Job.from_canonical(claim_payload["job"]),
-                attempts=claim_payload["attempts"],
-                worker=worker,
-                deadline=deadline,
-            )
+            if _BATCH_NAME_RE.match(name):
+                claimed = self._claim_batch_file(worker, name, now)
+            else:
+                claimed = self._claim_single_file(worker, name, now)
+            if claimed is not None:
+                get_registry().histogram(
+                    "deft_spool_batch_size",
+                    "Jobs claimed per spool lease",
+                    buckets=BATCH_SIZE_BUCKETS,
+                ).observe(len(claimed))
+                return claimed
         return None
 
-    def heartbeat(self, claim: Claim, now: float | None = None) -> None:
-        """Extend a claim's lease (atomic rewrite of the claim file)."""
-        now = now if now is not None else time.time()
-        path = self.claims_dir / f"{claim.key}.json"
-        payload = _read_json(path)
-        if payload is None or payload.get("worker") != claim.worker:
-            return  # lease already lost; the reaper owns this key now
-        claim.deadline = now + self.lease_s
-        payload["deadline"] = claim.deadline
-        _write_json(path, payload)
-
-    def complete(self, claim: Claim) -> None:
-        """Release a finished claim (the result already landed elsewhere)."""
+    def _claim_batch_file(
+        self, worker: str, name: str, now: float
+    ) -> BatchClaim | None:
+        """Claim a v2 batch file: one rename is the mutual exclusion."""
+        staged = self.claims_dir / name
+        _fs_ops()
         try:
-            (self.claims_dir / f"{claim.key}.json").unlink()
+            os.rename(self.jobs_dir / name, staged)  # single winner
+        except OSError:
+            return None  # lost the race (or the file vanished)
+        payload = _read_json(staged)
+        if payload is None:
+            # Unreadable mid-claim (torn write at enqueue): drop the
+            # file rather than leaking a dead lease.
+            _fs_ops()
+            try:
+                staged.unlink()
+            except OSError:
+                pass
+            return None
+        deadline = now + self.lease_s
+        entries: list[BatchEntry] = []
+        wire_entries: list[dict] = []
+        for raw in _entries_of(payload):
+            attempts = int(raw.get("attempts", 0)) + 1
+            try:
+                job = Job.from_canonical(raw["job"])
+            except Exception:
+                continue  # skip a single corrupt entry, claim the rest
+            key = raw.get("key") or job.key()
+            entries.append(BatchEntry(key, job, attempts, dict(raw)))
+            wire_entries.append(
+                {"key": key, "job": raw["job"], "attempts": attempts}
+            )
+        if not entries:
+            _fs_ops()
+            try:
+                staged.unlink()
+            except OSError:
+                pass
+            return None
+        claim = BatchClaim(
+            batch=name[: -len(".json")],
+            name=name,
+            worker=worker,
+            deadline=deadline,
+            entries=entries,
+            v1=False,
+        )
+        _write_json(
+            staged,
+            {
+                "batch": claim.batch,
+                "jobs": wire_entries,
+                "worker": worker,
+                "claimed_at": now,
+                "deadline": deadline,
+                "done": [],
+            },
+        )
+        return claim
+
+    def _claim_single_file(
+        self, worker: str, name: str, now: float
+    ) -> BatchClaim | None:
+        """Claim a v1 per-key file with the original O_EXCL dance."""
+        payload = _read_json(self.jobs_dir / name)
+        if payload is None:
+            return None
+        key = name[: -len(".json")]
+        deadline = now + self.lease_s
+        attempts = int(payload.get("attempts", 0)) + 1
+        claim_payload = dict(
+            payload,
+            attempts=attempts,
+            worker=worker,
+            claimed_at=now,
+            deadline=deadline,
+        )
+        claim_path = self.claims_dir / name
+        _fs_ops()
+        try:
+            fd = os.open(claim_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except OSError:
+            return None  # lost the race for this key
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(claim_payload, handle)
+        except BaseException:
+            try:
+                claim_path.unlink()
+            except OSError:
+                pass
+            raise
+        _fs_ops()
+        try:
+            (self.jobs_dir / name).unlink()
+        except OSError:
+            pass  # already consumed by a racing reaper; claim stands
+        try:
+            job = Job.from_canonical(claim_payload["job"])
+        except Exception:
+            _fs_ops()
+            try:
+                claim_path.unlink()
+            except OSError:
+                pass
+            return None
+        entry = BatchEntry(key, job, attempts, dict(payload, key=key))
+        return BatchClaim(
+            batch=key,
+            name=name,
+            worker=worker,
+            deadline=deadline,
+            entries=[entry],
+            v1=True,
+        )
+
+    def claim(self, worker: str, now: float | None = None) -> Claim | None:
+        """v1 compatibility API: claim one job.
+
+        Claims one pending file and returns its first job as a
+        :class:`Claim` bound to the underlying batch lease. On spools
+        enqueued with ``batch_size=1`` (the default) this is exactly the
+        protocol-v1 behaviour.
+        """
+        batch = self.claim_batch(worker, now=now)
+        if batch is None:
+            return None
+        entry = batch.remaining[0]
+        return Claim(
+            key=entry.key,
+            job=entry.job,
+            attempts=entry.attempts,
+            worker=worker,
+            deadline=batch.deadline,
+            batch=batch,
+        )
+
+    def _rewrite_lease(
+        self, claim: BatchClaim, now: float, renew: bool = True
+    ) -> bool:
+        """Atomically republish a batch's lease file (deadline + done).
+
+        Returns False when the lease is already lost (a reaper renamed
+        it away) — the caller no longer owns these jobs. Serialised per
+        batch so the heartbeat thread and the executor never interleave.
+        """
+        with claim.lock:
+            path = self.claims_dir / claim.name
+            payload = _read_json(path)
+            if payload is None or payload.get("worker") != claim.worker:
+                return False  # lease already lost; the reaper owns it now
+            if renew:
+                claim.deadline = now + self.lease_s
+            payload["deadline"] = claim.deadline
+            if not claim.v1:
+                payload["done"] = sorted(claim.done)
+                # Mirror per-job settlement into the wire entries so a
+                # reaper carries exactly the surviving attempt counts.
+                payload["jobs"] = [
+                    {"key": e.key, "job": e.payload["job"], "attempts": e.attempts}
+                    for e in claim.entries
+                ]
+            _write_json(path, payload)
+            return True
+
+    def heartbeat_batch(
+        self, claim: BatchClaim, now: float | None = None
+    ) -> bool:
+        """Extend a batch lease; one rewrite covers every job in it.
+
+        Emits a ``lease_renewed`` event so expired-lease postmortems can
+        see exactly when a worker last proved liveness for which keys.
+        """
+        now = now if now is not None else time.time()
+        if not self._rewrite_lease(claim, now):
+            return False
+        self.events.emit(
+            "lease_renewed",
+            batch=claim.batch,
+            worker=claim.worker,
+            deadline=claim.deadline,
+            jobs=len(claim.entries),
+            done=len(claim.done),
+        )
+        return True
+
+    def flush_done(self, claim: BatchClaim, keys) -> None:
+        """Mark jobs settled in the lease (results already durable).
+
+        Call only *after* the results have landed in the cache: settled
+        jobs are excluded from crash requeue, so settlement must never
+        outrun durability. Settling the final job completes the batch.
+        """
+        with claim.lock:  # the heartbeat thread iterates `done`
+            claim.done.update(keys)
+            settled = len(claim.done) >= len(claim.entries)
+        if settled:
+            self.complete_batch(claim)
+            return
+        self._rewrite_lease(claim, time.time(), renew=True)
+
+    def complete_batch(self, claim: BatchClaim) -> None:
+        """Release a finished batch (results already landed elsewhere)."""
+        _fs_ops()
+        try:
+            (self.claims_dir / claim.name).unlink()
         except OSError:
             pass  # lease expired and was reaped mid-run: benign duplicate
 
-    # -- crash requeue ----------------------------------------------------
+    def release_entries(self, claim: BatchClaim, entries) -> int:
+        """Hand unexecuted jobs back to pending (STOP / max-jobs exit).
 
-    def requeue_expired(self, now: float | None = None) -> int:
-        """Requeue every claim whose lease deadline has passed.
-
-        Any participant (worker between jobs, the backend while polling)
-        may run this; the rename into ``requeue/`` makes each expiry
-        single-winner. Returns the number of claims acted on. Also
-        recovers ``requeue/`` orphans left by a reaper that died between
-        its rename and its republish.
+        The jobs were never run, so their *pre-claim* attempt counts are
+        restored — releasing is not a failed attempt. Returns how many
+        were republished. The caller still holds the lease, so no other
+        worker can double-claim the keys before the republish lands.
         """
-        now = now if now is not None else time.time()
-        acted = 0
-        for path in self.claims_dir.glob("*.json"):
-            payload = _read_json(path)
-            if payload is None:
-                continue
-            deadline = payload.get("deadline")
-            if not isinstance(deadline, (int, float)) or deadline >= now:
-                continue
-            staged = self.requeue_dir / path.name
-            try:
-                os.replace(path, staged)  # single winner per expiry
-            except OSError:
-                continue
-            self.events.emit(
-                "lease_expired",
-                key=path.name[: -len(".json")],
-                worker=payload.get("worker"),
-                attempts=int(payload.get("attempts", 1)),
-                deadline=deadline,
-            )
-            self._republish(staged, payload)
-            acted += 1
-        # Orphan recovery: a reaper died after the rename above. The
-        # staged file is untouched by anyone else, so age (mtime) older
-        # than a lease means its owner is gone.
-        for staged in self.requeue_dir.glob("*.json"):
-            try:
-                if now - staged.stat().st_mtime < self.lease_s:
-                    continue
-            except OSError:
-                continue
-            payload = _read_json(staged)
-            if payload is None:
-                continue
-            self._republish(staged, payload)
-            acted += 1
-        return acted
-
-    def _republish(self, staged: Path, payload: dict) -> None:
-        """Second half of a requeue: back to pending, or terminally failed."""
-        attempts = int(payload.get("attempts", 1))
-        key = staged.name[: -len(".json")]
-        self.events.emit(
-            "requeue",
-            key=key,
-            attempts=attempts,
-            terminal=attempts >= self.max_attempts,
-        )
-        if attempts >= self.max_attempts:
-            result = JobResult(
-                job_key=key,
-                ok=False,
-                error=(
-                    f"gave up after {attempts} attempt(s): lease expired "
-                    f"(last worker {payload.get('worker', '?')!r} died or stalled)"
-                ),
-            )
-            self.record_failure(key, result, attempts)
+        released = [
+            {
+                "key": e.key,
+                "job": e.payload["job"],
+                "attempts": e.attempts - 1,
+            }
+            for e in entries
+            if e.key not in claim.done
+        ]
+        if not released:
+            return 0
+        self._republish_entries(released, bump=False)
+        with claim.lock:
+            claim.done.update(e["key"] for e in released)
+            settled = len(claim.done) >= len(claim.entries)
+        if settled:
+            self.complete_batch(claim)
         else:
-            _write_json(
-                self.jobs_dir / staged.name,
+            self._rewrite_lease(claim, time.time(), renew=True)
+        return len(released)
+
+    def requeue_entry(self, claim: BatchClaim, entry: BatchEntry) -> None:
+        """Republish one failed batch job for a fresh attempt elsewhere.
+
+        The attempt count carries over, so deterministic failures burn
+        through ``max_attempts`` instead of cycling forever. Does *not*
+        settle the entry in the lease — the worker flushes that
+        immediately after, keeping the publish-then-settle ordering in
+        one place.
+        """
+        self.events.emit(
+            "requeue", key=entry.key, attempts=entry.attempts, terminal=False
+        )
+        self._republish_entries(
+            [
                 {
-                    "job": payload["job"],
-                    "attempts": attempts,
-                    "enqueued_at": time.time(),
-                },
-            )
-        try:
-            staged.unlink()
-        except OSError:
-            pass
+                    "key": entry.key,
+                    "job": entry.payload["job"],
+                    "attempts": entry.attempts,
+                }
+            ],
+            bump=False,
+        )
+
+    # v1 single-claim compatibility wrappers ------------------------------
+
+    def heartbeat(self, claim: Claim, now: float | None = None) -> None:
+        """Extend a claim's lease (v1 API; delegates to the batch)."""
+        if claim.batch is None:
+            return
+        if self.heartbeat_batch(claim.batch, now=now):
+            claim.deadline = claim.batch.deadline
+
+    def complete(self, claim: Claim) -> None:
+        """Release a finished claim (v1 API; settles it in the batch)."""
+        if claim.batch is None:
+            return
+        self.flush_done(claim.batch, [claim.key])
 
     def requeue_claim(self, claim: Claim) -> None:
         """Republish a claimed job for a fresh attempt (failed execution).
@@ -366,13 +791,154 @@ class Spool:
         self.events.emit(
             "requeue", key=claim.key, attempts=claim.attempts, terminal=False
         )
-        _write_json(
-            self.jobs_dir / f"{claim.key}.json",
-            {
-                "job": claim.job.canonical(),
-                "attempts": claim.attempts,
-                "enqueued_at": time.time(),
-            },
+        entry = {
+            "key": claim.key,
+            "job": self._wire_job(claim.job),
+            "attempts": claim.attempts,
+        }
+        self._republish_entries([entry], bump=False)
+        if claim.batch is not None:
+            with claim.batch.lock:
+                claim.batch.done.add(claim.key)
+                settled = len(claim.batch.done) >= len(claim.batch.entries)
+            if settled:
+                self.complete_batch(claim.batch)
+
+    # -- crash requeue ----------------------------------------------------
+
+    def requeue_expired(self, now: float | None = None) -> int:
+        """Requeue every lease whose deadline has passed.
+
+        Any participant (worker between batches, the backend while
+        polling) may run this; the rename into ``requeue/`` makes each
+        expiry single-winner. Only the *unsettled remainder* of a batch
+        is republished — settled jobs' results are already durable.
+        Returns the number of leases acted on. Also recovers
+        ``requeue/`` orphans left by a reaper that died between its
+        rename and its republish.
+        """
+        now = now if now is not None else time.time()
+        acted = 0
+        _fs_ops()
+        for path in self.claims_dir.glob("*.json"):
+            payload = _read_json(path)
+            if payload is None:
+                continue
+            deadline = payload.get("deadline")
+            if not isinstance(deadline, (int, float)) or deadline >= now:
+                continue
+            staged = self.requeue_dir / path.name
+            _fs_ops()
+            try:
+                os.replace(path, staged)  # single winner per expiry
+            except OSError:
+                continue
+            remainder = self._remainder_of(path.name, payload)
+            self.events.emit(
+                "lease_expired",
+                key=path.name[: -len(".json")],
+                worker=payload.get("worker"),
+                jobs=[entry["key"] for entry in remainder],
+                attempts=max(
+                    (int(e.get("attempts", 1)) for e in remainder), default=1
+                ),
+                deadline=deadline,
+            )
+            self._republish_staged(staged, remainder)
+            acted += 1
+        # Orphan recovery: a reaper died after the rename above. The
+        # staged file is untouched by anyone else, so age (mtime) older
+        # than a lease means its owner is gone.
+        _fs_ops()
+        for staged in self.requeue_dir.glob("*.json"):
+            try:
+                if now - staged.stat().st_mtime < self.lease_s:
+                    continue
+            except OSError:
+                continue
+            payload = _read_json(staged)
+            if payload is None:
+                continue
+            self._republish_staged(
+                staged, self._remainder_of(staged.name, payload)
+            )
+            acted += 1
+        return acted
+
+    @staticmethod
+    def _remainder_of(name: str, payload: dict) -> list[dict]:
+        """The unsettled wire entries of one expired lease payload."""
+        done = set(payload.get("done", ()))
+        entries = _entries_of(payload)
+        for entry in entries:
+            if not entry.get("key"):
+                entry["key"] = name[: -len(".json")]
+        return [e for e in entries if e["key"] not in done]
+
+    def _republish_staged(self, staged: Path, remainder: list[dict]) -> None:
+        """Second half of a requeue: back to pending, or terminally failed."""
+        survivors: list[dict] = []
+        for entry in remainder:
+            attempts = int(entry.get("attempts", 1))
+            key = entry["key"]
+            self.events.emit(
+                "requeue",
+                key=key,
+                attempts=attempts,
+                terminal=attempts >= self.max_attempts,
+            )
+            if attempts >= self.max_attempts:
+                result = JobResult(
+                    job_key=key,
+                    ok=False,
+                    error=(
+                        f"gave up after {attempts} attempt(s): lease expired "
+                        f"(last worker died or stalled)"
+                    ),
+                )
+                self.record_failure(key, result, attempts)
+            else:
+                survivors.append(entry)
+        if survivors:
+            self._republish_entries(survivors, bump=False)
+        _fs_ops()
+        try:
+            staged.unlink()
+        except OSError:
+            pass
+
+    def _republish_entries(self, entries: list[dict], bump: bool) -> None:
+        """Write wire entries back to pending with carried attempts.
+
+        A single survivor goes back as a v1 per-key file (claimable by
+        anyone); several go back together as one batch file, so a
+        requeued remainder keeps its amortized claim cost.
+        """
+        if bump:
+            entries = [
+                dict(entry, attempts=int(entry.get("attempts", 0)) + 1)
+                for entry in entries
+            ]
+        if len(entries) == 1:
+            entry = entries[0]
+            _write_json(
+                self.jobs_dir / f"{entry['key']}.json",
+                {
+                    "job": entry["job"],
+                    "attempts": int(entry.get("attempts", 0)),
+                    "enqueued_at": time.time(),
+                },
+            )
+            return
+        self._write_batch(
+            [
+                {
+                    "key": e["key"],
+                    "job": e["job"],
+                    "attempts": int(e.get("attempts", 0)),
+                }
+                for e in entries
+            ]
         )
 
     # -- terminal failures ------------------------------------------------
@@ -428,18 +994,32 @@ class Spool:
         return stats
 
     def pending_count(self) -> int:
-        return sum(1 for _ in self.jobs_dir.glob("*.json"))
+        """Pending *jobs* (not files): batch names carry their size."""
+        return sum(
+            _job_count_of(path.name) for path in self.jobs_dir.glob("*.json")
+        )
 
     def claimed_count(self) -> int:
-        return sum(1 for _ in self.claims_dir.glob("*.json"))
+        """Claimed *jobs* (not lease files), from file names alone.
+
+        An upper bound under batching: settled jobs inside a live batch
+        still count until the batch completes. Exact per-job accounting
+        (used by ``deft status``) is :meth:`claim_snapshot`, which reads
+        the lease payloads and excludes settled keys.
+        """
+        return sum(
+            _job_count_of(path.name) for path in self.claims_dir.glob("*.json")
+        )
 
     def claim_snapshot(self, now: float | None = None) -> list[dict]:
-        """Read-only view of every live claim, for ``deft status``.
+        """Read-only per-*job* view of every live lease (``deft status``).
 
-        Each entry carries the key, the claiming worker, the lease
-        deadline and whether the lease is already stale relative to
-        ``now`` (a stale lease means its worker died or stalled and the
-        job awaits the next reaper sweep).
+        Batch leases expand into one entry per unsettled job, so the
+        claimed/running depths always count jobs, never lease files.
+        Each entry carries the key, the batch id, the claiming worker,
+        the lease deadline and whether the lease is already stale
+        relative to ``now`` (a stale lease means its worker died or
+        stalled and the jobs await the next reaper sweep).
         """
         now = now if now is not None else time.time()
         snapshot: list[dict] = []
@@ -451,13 +1031,16 @@ class Spool:
                 continue
             deadline = payload.get("deadline")
             valid = isinstance(deadline, (int, float))
-            snapshot.append(
-                {
-                    "key": path.name[: -len(".json")],
-                    "worker": payload.get("worker"),
-                    "attempts": int(payload.get("attempts", 1)),
-                    "deadline": deadline if valid else None,
-                    "stale": (deadline < now) if valid else True,
-                }
-            )
+            batch = payload.get("batch")
+            for entry in self._remainder_of(path.name, payload):
+                snapshot.append(
+                    {
+                        "key": entry["key"],
+                        "batch": batch,
+                        "worker": payload.get("worker"),
+                        "attempts": int(entry.get("attempts", 1)),
+                        "deadline": deadline if valid else None,
+                        "stale": (deadline < now) if valid else True,
+                    }
+                )
         return snapshot

@@ -2,26 +2,35 @@
 
 A worker is the remote half of the ROADMAP's execution model: its warm
 state is exactly one :class:`~repro.runner.session.SessionContext`. It
-attaches to a spool directory, drains the job stream — claiming, heart-
-beating, executing through the process session so repeated topologies
-amortize their builds — and hands successful results to the shared
-content-addressed :class:`~repro.runner.cache.ResultCache`. Failed
-executions are retried by requeueing up to the spool's ``max_attempts``;
-the final failure lands in the spool's ``failed/`` directory for the
-backend to collect.
+attaches to a spool directory and drains the job stream *batch by
+batch* (spool protocol v2): each :meth:`~repro.distributed.spool.Spool.
+claim_batch` takes every job in one pending file under a single lease,
+one heartbeat thread covers the whole batch, and the jobs run back to
+back through the process session so repeated topologies amortize their
+builds. Successful results are handed to the shared content-addressed
+:class:`~repro.runner.cache.ResultCache` — buffered briefly and landed
+with :meth:`~repro.runner.cache.ResultCache.put_many`, then marked
+settled in the lease, in that order, so a settled job *always* has a
+durable result and a crash requeues only work whose results could still
+be missing. Failed executions are retried by requeueing up to the
+spool's ``max_attempts``; the final failure lands in the spool's
+``failed/`` directory for the backend to collect.
 
 Telemetry: the worker publishes its stats snapshot
 (``<spool>/workers/<id>.json`` — job counts, session hit rates) after
-every job *and on every heartbeat*, so even a SIGKILLed worker leaves a
-near-current record behind; and it appends structured events
-(``job_claimed``, ``job_phase``, ``job_finished``, ``worker_heartbeat``)
-to its stream under the spool's ``manifest/events/`` area, from which
-``deft status`` reconstructs fleet state (see
-:mod:`repro.telemetry.manifest`).
+every batch *and on every heartbeat*, so even a SIGKILLed worker leaves
+a near-current record behind; and it appends structured events
+(``job_claimed``, ``job_phase``, ``job_finished``, ``worker_heartbeat``,
+plus the spool's own ``lease_renewed``) to its stream under the spool's
+``manifest/events/`` area, from which ``deft status`` reconstructs
+fleet state (see :mod:`repro.telemetry.manifest`).
 
 Exit conditions: the spool's ``STOP`` sentinel, ``max_jobs`` executed,
-or ``idle_timeout_s`` with nothing claimable. Between claims an idle
-worker also acts as the reaper for other workers' expired leases.
+or ``idle_timeout_s`` with nothing claimable. Both STOP and ``max_jobs``
+are honoured *between jobs inside a batch*: the unexecuted remainder is
+released back to pending with its pre-claim attempt counts. Between
+claims an idle worker also acts as the reaper for other workers'
+expired leases.
 """
 
 from __future__ import annotations
@@ -37,39 +46,52 @@ from ..runner.cache import ResultCache
 from ..runner.execute import execute_job
 from ..runner.session import SessionContext, get_session
 from ..runner.spec import Job
-from .spool import Claim, Spool
+from .spool import BatchClaim, BatchEntry, Spool
 
 #: How often an idle worker polls the spool for new jobs.
 DEFAULT_POLL_S = 0.1
 
+#: Heartbeat interval as a fraction of the lease, when not overridden.
+HEARTBEAT_FRACTION = 4.0
+
+
+def default_heartbeat_s(lease_s: float) -> float:
+    """Lease-derived renewal interval: a healthy worker can never look
+    dead, even if one renewal is arbitrarily delayed by a slow mount."""
+    return max(0.05, lease_s / HEARTBEAT_FRACTION)
+
 
 class _Heartbeat:
-    """Background thread extending one claim's lease while a job runs.
+    """Background thread extending one batch's lease while jobs run.
 
-    The executor is a single long synchronous call, so the lease must be
-    renewed off-thread; the interval is a fraction of the lease so a
-    healthy worker can never look dead. ``on_beat`` (the worker's stats
-    publisher) runs after each renewal; its failures are swallowed —
-    observability must never kill the lease renewal that keeps the job
-    alive.
+    The executor runs jobs as long synchronous calls, so the lease must
+    be renewed off-thread; one thread covers every job in the batch.
+    ``on_beat`` (the worker's stats publisher) runs after each renewal;
+    its failures are swallowed — observability must never kill the lease
+    renewal that keeps the batch alive.
     """
 
     def __init__(
         self,
         spool: Spool,
-        claim: Claim,
+        claim: BatchClaim,
+        interval_s: float | None = None,
         on_beat: Callable[[], None] | None = None,
     ):
         self._spool = spool
         self._claim = claim
         self._on_beat = on_beat
-        self._interval = max(0.05, spool.lease_s / 4.0)
+        self._interval = (
+            interval_s
+            if interval_s is not None
+            else default_heartbeat_s(spool.lease_s)
+        )
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
-            self._spool.heartbeat(self._claim)
+            self._spool.heartbeat_batch(self._claim)
             if self._on_beat is not None:
                 try:
                     self._on_beat()
@@ -117,6 +139,7 @@ def run_worker(
     max_jobs: int | None = None,
     use_session: bool = True,
     heartbeat: bool = True,
+    heartbeat_s: float | None = None,
     kernel: str | None = None,
 ) -> dict:
     """Drain a spool until stopped; returns the final stats payload.
@@ -130,10 +153,15 @@ def run_worker(
         idle_timeout_s: exit after this long with nothing claimable
             (``None`` = wait for the ``STOP`` sentinel indefinitely).
         max_jobs: exit after executing this many jobs (tests, draining).
+            Honoured mid-batch: the unexecuted remainder is released
+            back to pending.
         use_session: keep this process's warm
             :class:`~repro.runner.session.SessionContext` across jobs.
         heartbeat: renew leases while executing (disabled only by tests
             that simulate a stalled worker).
+        heartbeat_s: lease renewal interval; defaults to a quarter of
+            the lease (:func:`default_heartbeat_s`). Each renewal emits
+            a ``lease_renewed`` event.
         kernel: node-local cycle-kernel preference. Applied only to
             claimed jobs that still say ``auto`` — a job's explicit
             kernel request always wins over the worker's default.
@@ -160,6 +188,8 @@ def run_worker(
         "started_at": time.time(),
         "jobs_done": 0,
         "jobs_failed": 0,
+        "batches_claimed": 0,
+        "jobs_released": 0,
         "requeues_swept": 0,
     }
 
@@ -171,7 +201,7 @@ def run_worker(
     def on_beat() -> None:
         # Every heartbeat refreshes the on-disk snapshot AND leaves an
         # event behind: liveness is observable even for a worker that is
-        # SIGKILLed mid-job and never reaches its per-job publish.
+        # SIGKILLed mid-batch and never reaches its per-batch publish.
         publish()
         events.emit(
             "worker_heartbeat",
@@ -188,8 +218,8 @@ def run_worker(
                 break
             if max_jobs is not None and stats["jobs_done"] >= max_jobs:
                 break
-            claim = spool.claim(worker_id)
-            if claim is None:
+            batch = spool.claim_batch(worker_id)
+            if batch is None:
                 swept = spool.requeue_expired()
                 stats["requeues_swept"] += swept
                 if swept:
@@ -202,21 +232,13 @@ def run_worker(
                 time.sleep(poll_s)
                 continue
             idle_since = time.monotonic()
-            if kernel and kernel != "auto" and claim.job.kernel == "auto":
-                claim.job = dataclasses.replace(claim.job, kernel=kernel)
-            events.emit(
-                "job_claimed",
-                key=claim.key,
-                worker=worker_id,
-                attempts=claim.attempts,
+            stats["batches_claimed"] += 1
+            _drain_batch(
+                spool, cache, batch, session,
+                heartbeat=heartbeat, heartbeat_s=heartbeat_s,
+                events=events, on_beat=on_beat,
+                stats=stats, max_jobs=max_jobs, kernel=kernel,
             )
-            result = _execute_claim(
-                spool, cache, claim, session,
-                heartbeat=heartbeat, events=events, on_beat=on_beat,
-            )
-            stats["jobs_done"] += 1
-            if not result.ok:
-                stats["jobs_failed"] += 1
             publish()
             idle_since = time.monotonic()
         publish()
@@ -225,74 +247,162 @@ def run_worker(
     return stats
 
 
-def _execute_claim(
+def _drain_batch(
     spool: Spool,
     cache: ResultCache,
-    claim: Claim,
+    batch: BatchClaim,
     session: SessionContext | None,
+    *,
     heartbeat: bool = True,
+    heartbeat_s: float | None = None,
     events=None,
     on_beat: Callable[[], None] | None = None,
+    stats: dict | None = None,
+    max_jobs: int | None = None,
+    kernel: str | None = None,
+) -> None:
+    """Execute every job in one claimed batch and land the results.
+
+    Successful results are buffered and flushed with ``cache.put_many``
+    — one temp-dir + rename pass per flush instead of per-job write
+    churn — and only *then* marked settled in the lease, so settlement
+    never outruns durability. Flushes happen when ``_FLUSH_S`` of work
+    has accumulated and at batch end; a crash in between requeues those
+    jobs, whose re-execution short-circuits on the cache.
+
+    STOP and ``max_jobs`` are checked between jobs; the unexecuted
+    remainder is released back to pending with pre-claim attempt counts.
+
+    Emits ``job_claimed``, ``job_phase`` (setup/compile/simulate/cache
+    wall-clock splits) and ``job_finished`` per job when ``events`` is
+    given.
+    """
+    if events is None:
+        events = spool.events
+    if stats is None:
+        stats = {"jobs_done": 0, "jobs_failed": 0, "jobs_released": 0}
+    interval = (
+        heartbeat_s
+        if heartbeat_s is not None
+        else default_heartbeat_s(spool.lease_s)
+    )
+    flush_s = min(1.0, interval)
+    pending_puts: list[tuple[Job, object]] = []
+    pending_done: list[str] = []
+    last_flush = time.perf_counter()
+
+    def flush(force: bool = False) -> None:
+        nonlocal last_flush
+        if not force and time.perf_counter() - last_flush < flush_s:
+            return
+        if pending_puts:
+            cache.put_many(pending_puts)
+            pending_puts.clear()
+        if pending_done:
+            spool.flush_done(batch, pending_done)
+            pending_done.clear()
+        last_flush = time.perf_counter()
+
+    def run_entries() -> None:
+        for index, entry in enumerate(batch.entries):
+            if entry.key in batch.done:
+                continue
+            if spool.stop_requested() or (
+                max_jobs is not None and stats["jobs_done"] >= max_jobs
+            ):
+                flush(force=True)
+                stats["jobs_released"] += spool.release_entries(
+                    batch, batch.entries[index:]
+                )
+                return
+            if kernel and kernel != "auto" and entry.job.kernel == "auto":
+                entry.job = dataclasses.replace(entry.job, kernel=kernel)
+            events.emit(
+                "job_claimed",
+                key=entry.key,
+                worker=batch.worker,
+                batch=batch.batch,
+                attempts=entry.attempts,
+            )
+            result = _execute_entry(
+                spool, cache, batch, entry, session, events, pending_puts
+            )
+            stats["jobs_done"] += 1
+            if not result.ok:
+                stats["jobs_failed"] += 1
+                # Failure settlement (requeue / terminal record) already
+                # landed inside _execute_entry; flush eagerly so the
+                # lease reflects it before anything else can expire it.
+                pending_done.append(entry.key)
+                flush(force=True)
+                continue
+            pending_done.append(entry.key)
+            flush()
+        flush(force=True)
+        spool.complete_batch(batch)
+
+    if heartbeat:
+        with _Heartbeat(spool, batch, interval_s=interval, on_beat=on_beat):
+            run_entries()
+    else:
+        run_entries()
+
+
+def _execute_entry(
+    spool: Spool,
+    cache: ResultCache,
+    batch: BatchClaim,
+    entry: BatchEntry,
+    session: SessionContext | None,
+    events,
+    pending_puts: list,
 ):
-    """Execute one claimed job and land its result.
+    """Execute one job of a claimed batch; stage its result for flushing.
 
     A result another worker already published (duplicate execution after
     a lease expiry, or an overlapping campaign) short-circuits the run —
     the cache is the source of truth either way. Failed executions are
     requeued for a fresh attempt until ``max_attempts``, then recorded
     terminally in the spool.
-
-    Emits ``job_phase`` (setup/compile/simulate/cache wall-clock splits)
-    and ``job_finished`` for every claim when ``events`` is given.
     """
-    if events is None:
-        events = spool.events
-    job: Job = claim.job
+    job: Job = entry.job
     cache_start = time.perf_counter()
     cached = cache.get(job)
     cache_s = time.perf_counter() - cache_start
     if cached is not None:
-        spool.complete(claim)
         events.emit(
             "job_phase",
-            key=claim.key,
-            worker=claim.worker,
+            key=entry.key,
+            worker=batch.worker,
             setup_s=0.0, compile_s=0.0, simulate_s=0.0,
             cache_s=round(cache_s, 6),
         )
         events.emit(
             "job_finished",
-            key=claim.key,
-            worker=claim.worker,
+            key=entry.key,
+            worker=batch.worker,
             ok=cached.ok,
             cached=True,
             duration_s=cache_s,
-            attempts=claim.attempts,
+            attempts=entry.attempts,
         )
         return cached
     phases: dict = {}
-    if heartbeat:
-        with _Heartbeat(spool, claim, on_beat=on_beat):
-            result = execute_job(job, session=session, phases=phases)
-    else:
-        result = execute_job(job, session=session, phases=phases)
+    result = execute_job(job, session=session, phases=phases)
     if result.ok:
-        put_start = time.perf_counter()
-        cache.put(job, result)
-        cache_s += time.perf_counter() - put_start
-    elif claim.attempts >= spool.max_attempts:
-        spool.record_failure(claim.key, result, claim.attempts)
+        pending_puts.append((job, result))
+    elif entry.attempts >= spool.max_attempts:
+        spool.record_failure(entry.key, result, entry.attempts)
     else:
         # A failed execution gets a fresh attempt on any worker: the
         # failure may be environmental (OOM kill of a sibling, a flaky
         # mount). The carried attempt count makes deterministic failures
         # terminal after max_attempts instead of cycling forever.
-        spool.requeue_claim(claim)
-    spool.complete(claim)
+        spool.requeue_entry(batch, entry)
     events.emit(
         "job_phase",
-        key=claim.key,
-        worker=claim.worker,
+        key=entry.key,
+        worker=batch.worker,
         setup_s=round(phases.get("setup_s", 0.0), 6),
         compile_s=round(phases.get("compile_s", 0.0), 6),
         simulate_s=round(phases.get("simulate_s", 0.0), 6),
@@ -300,11 +410,11 @@ def _execute_claim(
     )
     events.emit(
         "job_finished",
-        key=claim.key,
-        worker=claim.worker,
+        key=entry.key,
+        worker=batch.worker,
         ok=result.ok,
         cached=False,
         duration_s=result.duration_s,
-        attempts=claim.attempts,
+        attempts=entry.attempts,
     )
     return result

@@ -160,24 +160,18 @@ class ResultCache:
             shard / f"{key}.json.gz"
         ).exists()
 
-    def put(self, job: Job, result: JobResult) -> None:
-        """Persist a successful result; failed results are never cached."""
-        if not result.ok:
-            return
-        get_registry().counter(
-            "deft_cache_writes_total", "Results persisted into the cache"
-        ).inc()
-        path = self.path_for(job)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "version": SPEC_VERSION,
-            "job": job.canonical(),
-            "result": result.to_dict(),
-        }
-        text = json.dumps(payload)
-        # Atomic publish: concurrent writers of the same key race benignly
-        # (identical content), and readers never observe partial files.
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    def _encode(self, job: Job, result: JobResult) -> str:
+        return json.dumps(
+            {
+                "version": SPEC_VERSION,
+                "job": job.canonical(),
+                "result": result.to_dict(),
+            }
+        )
+
+    def _stage(self, parent: Path, text: str) -> str:
+        """Write one entry to a ``.tmp`` in its shard; returns the name."""
+        fd, tmp_name = tempfile.mkstemp(dir=parent, suffix=".tmp")
         try:
             if self.compress:
                 with os.fdopen(fd, "wb") as handle:
@@ -189,6 +183,27 @@ class ResultCache:
             else:
                 with os.fdopen(fd, "w") as handle:
                     handle.write(text)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return tmp_name
+
+    def put(self, job: Job, result: JobResult) -> None:
+        """Persist a successful result; failed results are never cached."""
+        if not result.ok:
+            return
+        get_registry().counter(
+            "deft_cache_writes_total", "Results persisted into the cache"
+        ).inc()
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent writers of the same key race benignly
+        # (identical content), and readers never observe partial files.
+        tmp_name = self._stage(path.parent, self._encode(job, result))
+        try:
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -196,6 +211,47 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def put_many(self, items) -> int:
+        """Persist a batch of successful results; returns how many landed.
+
+        One staging pass (shard mkdirs deduplicated, every entry written
+        to its ``.tmp``) followed by one rename pass, instead of per-job
+        mkdir/write/rename churn — the write half of the batched spool
+        protocol. Each rename is still individually atomic, so readers
+        observe a prefix of the batch mid-flush, never a partial file.
+        Failed results are skipped exactly as :meth:`put` skips them.
+        """
+        staged: list[tuple[str, Path]] = []
+        made_dirs: set[Path] = set()
+        landed = 0
+        try:
+            for job, result in items:
+                if not result.ok:
+                    continue
+                path = self.path_for(job)
+                if path.parent not in made_dirs:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    made_dirs.add(path.parent)
+                staged.append(
+                    (self._stage(path.parent, self._encode(job, result)), path)
+                )
+            while staged:
+                tmp_name, path = staged.pop()
+                os.replace(tmp_name, path)
+                landed += 1
+        except BaseException:
+            for tmp_name, _ in staged:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            raise
+        if landed:
+            get_registry().counter(
+                "deft_cache_writes_total", "Results persisted into the cache"
+            ).inc(landed)
+        return landed
 
     # -- census & maintenance --------------------------------------------
 

@@ -36,6 +36,7 @@ EVENT_TYPES = frozenset(
         "job_phase",
         "job_finished",
         "worker_heartbeat",
+        "lease_renewed",
         "lease_expired",
         "requeue",
     }
