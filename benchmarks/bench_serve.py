@@ -1,0 +1,251 @@
+"""Campaign-service overhead benchmark: watched vs unwatched drain.
+
+The acceptance bar for ``deft serve`` is that having the service live on
+a spool — janitor thread sweeping leases, an SSE client tailing the
+event stream, a Prometheus scraper polling ``/metrics`` — costs at most
+5% over draining the identical campaign with nothing watching.
+
+``test_serve_overhead`` measures that on a simulate grid drained by a
+real ``run_worker`` each round. The dark runs enqueue straight into a
+fresh spool; the lit runs submit the same jobs over HTTP to a live
+:class:`CampaignServer` with one SSE tail and one metrics scraper
+attached for the whole drain. Only the drain is timed (submission is
+plumbing either way), runs alternate dark/lit three times, and medians
+compare — the same protocol as ``bench_telemetry``. The service only
+ever *reads* the spool while workers write it, so the honest cost is
+shared-filesystem contention plus the event volume the tailer induces;
+this pins it.
+
+``test_trace_reconstruction_cost`` is informational: how long
+``deft trace`` takes to stitch the benchmark campaign's event streams
+into span trees and render Chrome JSON, recorded per finished job so
+the constant is visible across PRs.
+"""
+
+import json
+import statistics
+import threading
+import time
+import urllib.request
+
+from repro.config import SimulationConfig
+from repro.distributed import Spool, run_worker
+from repro.experiments.common import effective_scale
+from repro.runner import Job, ResultCache, SystemRef, TrafficSpec
+from repro.serve import serve_campaigns
+from repro.telemetry.trace import chrome_trace, job_traces
+
+from conftest import _SESSION_REPORTS
+
+STRICT_TIMING = effective_scale(None) >= 0.5
+
+#: Serve overhead budget: a watched drain may cost at most this much
+#: over the identical unwatched drain (median of ROUNDS runs each).
+MAX_OVERHEAD = 0.05
+
+ROUNDS = 3
+BATCH = 4
+
+#: Same per-job weight as bench_telemetry: real cycle-accurate windows,
+#: so the service's cost is measured against realistic job durations,
+#: not amortised away by giant ones.
+_SIM_CONFIG = SimulationConfig(
+    warmup_cycles=100, measure_cycles=600,
+    drain_cycles=3_000, watchdog_cycles=10_000,
+)
+
+
+def _jobs() -> list[Job]:
+    return [
+        Job.make(
+            SystemRef.baseline4(), algorithm,
+            TrafficSpec.make("uniform", rate=rate), _SIM_CONFIG, seed=seed,
+        )
+        for algorithm in ("deft", "rc")
+        for rate in (0.004, 0.008)
+        for seed in (1, 2)
+    ]
+
+
+def _drain(spool_root, cache_dir, worker_id):
+    """Time a full single-worker drain of the spool."""
+    cache = ResultCache(cache_dir)
+    start = time.perf_counter()
+    stats = run_worker(
+        spool_root, cache, worker_id=worker_id,
+        idle_timeout_s=1.0, lease_s=30.0,
+    )
+    return stats, time.perf_counter() - start
+
+
+def _dark_run(root, jobs):
+    """Unwatched baseline: enqueue directly, drain, nobody looking."""
+    spool = Spool(root / "spool", lease_s=30.0).ensure()
+    spool.attach_events("bench-enqueuer")
+    spool.enqueue(jobs, batch_size=BATCH)
+    return _drain(spool.root, root / "cache", "dark-w")
+
+
+def _lit_run(root, jobs):
+    """Watched drain: live server, SSE tail, and /metrics scraper."""
+    server = serve_campaigns(
+        root / "spool", root / "cache", port=0, lease_s=30.0, poll_s=0.05,
+    )
+    stop = threading.Event()
+    sse_frames: list[bytes] = []
+    scrapes: list[int] = []
+
+    def tail():
+        try:
+            response = urllib.request.urlopen(
+                server.url + "/events?campaign=serve-bench", timeout=30
+            )
+            with response:
+                while not stop.is_set():
+                    line = response.readline()
+                    if not line:
+                        return
+                    sse_frames.append(line)
+        except OSError:
+            pass  # server shutdown races the read; frames already counted
+
+    def scrape():
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(
+                    server.url + "/metrics", timeout=10
+                ) as response:
+                    scrapes.append(len(response.read()))
+            except OSError:
+                pass
+            stop.wait(0.1)
+
+    try:
+        request = urllib.request.Request(
+            server.url + "/campaigns",
+            data=json.dumps({
+                "name": "serve-bench",
+                "jobs": [job.canonical() for job in jobs],
+                "batch": BATCH,
+            }).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 201
+        threads = [
+            threading.Thread(target=tail, daemon=True),
+            threading.Thread(target=scrape, daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        stats, elapsed = _drain(server.service.spool.root, root / "cache", "lit-w")
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+    finally:
+        stop.set()
+        server.close()
+    finished = sum(
+        1 for line in sse_frames
+        if line.startswith(b"data: ") and b'"event": "job_finished"' in line
+    )
+    assert finished >= len(jobs), "SSE tail missed terminal events"
+    assert scrapes, "metrics scraper never completed a scrape"
+    return stats, elapsed
+
+
+def test_serve_overhead(tmp_path, bench_metrics):
+    jobs = _jobs()
+
+    # Warm the process session once, untimed (topology/algorithm builds).
+    _dark_run(tmp_path / "warm", jobs)
+
+    dark_times, lit_times = [], []
+    for round_index in range(ROUNDS):
+        _, elapsed = _dark_run(tmp_path / f"dark-{round_index}", jobs)
+        dark_times.append(elapsed)
+        stats, elapsed = _lit_run(tmp_path / f"lit-{round_index}", jobs)
+        assert stats["jobs_done"] == len(jobs)
+        lit_times.append(elapsed)
+
+    dark_s = statistics.median(dark_times)
+    lit_s = statistics.median(lit_times)
+    overhead = lit_s / max(dark_s, 1e-9) - 1.0
+
+    # Correctness always: the watched and unwatched drains computed the
+    # same physics (NaN-safe, duration/cached provenance excluded).
+    dark_cache = ResultCache(tmp_path / "dark-0" / "cache")
+    lit_cache = ResultCache(tmp_path / "lit-0" / "cache")
+
+    def payload(result):
+        data = result._comparable()
+        data.pop("cached", None)
+        return data
+
+    for job in jobs:
+        dark_result, lit_result = dark_cache.get(job), lit_cache.get(job)
+        assert dark_result is not None and lit_result is not None
+        assert payload(dark_result) == payload(lit_result)
+
+    lines = [
+        f"== bench_serve: watched vs unwatched drain ({len(jobs)} simulate "
+        f"jobs, median of {ROUNDS}) ==",
+        f"  unwatched drain:      {dark_s:7.2f}s",
+        f"  serve + SSE + scrape: {lit_s:7.2f}s "
+        f"(overhead {overhead * 100:+.1f}%, budget {MAX_OVERHEAD * 100:.0f}%)",
+    ]
+    report_text = "\n".join(lines)
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        jobs=len(jobs), rounds=ROUNDS,
+        dark_s=round(dark_s, 3), lit_s=round(lit_s, 3),
+        dark_times=[round(t, 3) for t in dark_times],
+        lit_times=[round(t, 3) for t in lit_times],
+        overhead_pct=round(overhead * 100, 2),
+        max_overhead_pct=MAX_OVERHEAD * 100,
+    )
+
+    if STRICT_TIMING:
+        assert overhead <= MAX_OVERHEAD, (
+            f"serve overhead {overhead * 100:.1f}% exceeds "
+            f"{MAX_OVERHEAD * 100:.0f}% budget "
+            f"(unwatched {dark_s:.2f}s vs watched {lit_s:.2f}s)"
+        )
+
+
+def test_trace_reconstruction_cost(tmp_path, bench_metrics):
+    """Per-job cost of stitching event streams into Chrome trace JSON."""
+    jobs = _jobs()
+    _dark_run(tmp_path, jobs)
+
+    start = time.perf_counter()
+    traces = job_traces(tmp_path / "spool")
+    doc = chrome_trace(traces)
+    elapsed = time.perf_counter() - start
+
+    finished = len(traces.finished)
+    assert finished == len(jobs)
+    assert doc["traceEvents"]
+    per_job_us = elapsed / finished * 1e6
+
+    report_text = "\n".join([
+        f"== bench_serve: trace reconstruction ({finished} jobs) ==",
+        f"  stitch + export:      {elapsed * 1000:7.1f}ms "
+        f"({per_job_us:.0f} us/job, informational)",
+    ])
+    print()
+    print(report_text)
+    _SESSION_REPORTS.append(report_text)
+    bench_metrics(
+        jobs=finished,
+        reconstruct_s=round(elapsed, 4),
+        per_job_us=round(per_job_us, 1),
+        trace_events=len(doc["traceEvents"]),
+    )
+
+    if STRICT_TIMING:
+        # Loose sanity bound: reconstruction is file reads + dict walks,
+        # never simulation-shaped work.
+        assert elapsed < 5.0

@@ -546,12 +546,17 @@ def _cmd_status(args: argparse.Namespace) -> int:
     import time as time_module
     from pathlib import Path
 
-    from .telemetry.status import fleet_status, render_prom, render_status
+    from .telemetry.status import (
+        fleet_status,
+        health_problems,
+        render_prom,
+        render_status,
+    )
 
     if not Path(args.spool_dir).is_dir():
         _args_error(args, f"spool directory not found: {args.spool_dir}")
 
-    def emit_once() -> None:
+    def emit_once() -> dict:
         status = fleet_status(
             args.spool_dir,
             cache_dir=args.cache_dir,
@@ -564,9 +569,17 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(render_prom(status), end="")
         else:
             print(render_status(status))
+        return status
 
+    if args.check and args.watch:
+        _args_error(args, "--check is a one-shot probe; drop --watch")
     if not args.watch:
-        emit_once()
+        status = emit_once()
+        if args.check:
+            problems = health_problems(status)
+            for problem in problems:
+                print(f"unhealthy: {problem}", file=sys.stderr)
+            return 1 if problems else 0
         return 0
     try:
         while True:
@@ -576,6 +589,68 @@ def _cmd_status(args: argparse.Namespace) -> int:
             time_module.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived campaign service over a spool directory."""
+    from .serve import serve_campaigns
+
+    server = serve_campaigns(
+        args.spool_dir,
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        background=False,
+        lease_s=args.lease,
+        batch=args.batch,
+        poll_s=args.poll,
+        window_s=args.window,
+        stale_worker_s=args.stale_after,
+        janitor=not args.no_janitor,
+    )
+    print(
+        f"deft serve: {server.url} over spool {args.spool_dir} "
+        f"(POST /campaigns, GET /campaigns, /metrics, /events)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Reconstruct per-job span timelines from a spool's event streams."""
+    from pathlib import Path
+
+    from .telemetry.trace import (
+        chrome_trace,
+        job_traces,
+        render_trace_summary,
+        write_chrome_trace,
+    )
+
+    if not Path(args.spool_dir).is_dir():
+        _args_error(args, f"spool directory not found: {args.spool_dir}")
+    try:
+        traces = job_traces(args.spool_dir, campaign=args.campaign)
+    except ValueError as exc:
+        _args_error(args, str(exc))
+    if args.json:
+        print(json.dumps(chrome_trace(traces), sort_keys=True))
+    else:
+        print(render_trace_summary(traces))
+    if args.output is not None:
+        path = write_chrome_trace(traces, args.output)
+        print(
+            f"wrote Chrome trace JSON to {path} "
+            "(load in chrome://tracing or https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -953,7 +1028,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stale-after", type=float, default=60.0,
                    metavar="SECONDS",
                    help="a worker silent this long counts as dead")
+    p.add_argument("--check", action="store_true",
+                   help="health probe: exit non-zero (with reasons on "
+                        "stderr) on stale leases, terminal failures, or a "
+                        "dead fleet with work outstanding")
     p.set_defaults(func=_cmd_status, _parser=p)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running campaign service over a spool: submit and "
+             "watch campaigns via HTTP+JSON, SSE event streaming, "
+             "Prometheus metrics, Chrome traces",
+    )
+    p.add_argument("spool_dir", metavar="SPOOL_DIR",
+                   help="the spool directory to serve (created if missing)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="the fleet's shared result cache, for completion "
+                        f"accounting (default {DEFAULT_CACHE_DIR})")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback; exposing wider is "
+                        "a deliberate operator decision)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port (default 8321; 0 = ephemeral, printed "
+                        "on stderr)")
+    p.add_argument("--lease", type=float, default=None, metavar="SECONDS",
+                   help="claim lease duration for enqueued jobs (default 30)")
+    p.add_argument("--batch", default="auto", metavar="N|auto",
+                   help="jobs per spool lease for submitted campaigns "
+                        "(default: auto-size from job-duration history)")
+    p.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                   help="SSE tail polling interval")
+    p.add_argument("--window", type=float, default=60.0, metavar="SECONDS",
+                   help="trailing window for the jobs/sec estimate")
+    p.add_argument("--stale-after", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="a worker silent this long counts as dead")
+    p.add_argument("--no-janitor", action="store_true",
+                   help="don't sweep expired leases from the service "
+                        "(rely on idle workers to reap them)")
+    p.set_defaults(func=_cmd_serve, _parser=p)
+
+    p = sub.add_parser(
+        "trace",
+        help="per-job span timelines from a spool's event streams: "
+             "terminal p50/p95 phase summary + critical path, Chrome "
+             "trace_event JSON export",
+    )
+    p.add_argument("spool_dir", metavar="SPOOL_DIR",
+                   help="the spool directory to reconstruct (read-only)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="restrict to one campaign (name, id, or shard "
+                        "base name; default: every job in the spool)")
+    p.add_argument("-o", "--output", default=None, metavar="TRACE.JSON",
+                   help="write Chrome/Catapult trace_event JSON here "
+                        "(chrome://tracing, Perfetto)")
+    p.add_argument("--json", action="store_true",
+                   help="print the trace JSON to stdout instead of the "
+                        "terminal summary")
+    p.set_defaults(func=_cmd_trace, _parser=p)
 
     p = sub.add_parser("cache", help="inspect or clean the result cache")
     p.add_argument("action", choices=["stats", "prune"])

@@ -107,6 +107,27 @@ class _Heartbeat:
         self._thread.join()
 
 
+def _proc_resources() -> dict[str, int]:
+    """Resident-set size and open-fd count of this process via /proc.
+
+    Best-effort: on platforms without a Linux-style procfs (macOS CI,
+    containers with a masked /proc) the keys are simply absent and the
+    dashboards render nothing for them.
+    """
+    out: dict[str, int] = {}
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            resident_pages = int(handle.read().split()[1])
+        out["rss_bytes"] = resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        out["open_fds"] = len(os.listdir("/proc/self/fd"))
+    except OSError:
+        pass
+    return out
+
+
 def _session_stats(session: SessionContext | None) -> dict[str, int]:
     """The session's (category, hit/miss) counters as flat JSON keys.
 
@@ -196,6 +217,7 @@ def run_worker(
     def publish() -> None:
         stats["updated_at"] = time.time()
         stats["session"] = _session_stats(session)
+        stats.update(_proc_resources())
         spool.write_worker_stats(worker_id, stats)
 
     def on_beat() -> None:

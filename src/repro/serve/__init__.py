@@ -1,0 +1,26 @@
+"""``deft serve``: the long-running HTTP+JSON layer over a spool.
+
+Turns a spool directory from something you poll into a service you
+watch: submit campaign specs over HTTP for the external fleet to
+drain, read live :func:`~repro.telemetry.status.fleet_status`
+snapshots per campaign, scrape aggregated Prometheus metrics, tail the
+manifest event streams as Server-Sent Events, and download per-job
+Chrome trace JSON — all stdlib, all reconstructable from the spool
+filesystem, so the service can die and restart without losing a thing.
+"""
+
+from .app import (
+    DEFAULT_PORT,
+    CampaignServer,
+    CampaignService,
+    campaign_from_spec,
+    serve_campaigns,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "CampaignServer",
+    "CampaignService",
+    "campaign_from_spec",
+    "serve_campaigns",
+]

@@ -18,7 +18,15 @@ here would cycle back into ``repro.runner`` — import it explicitly
 (``from repro.telemetry.status import fleet_status``).
 """
 
-from .events import EVENT_TYPES, NULL_EVENTS, EventWriter, NullEventWriter, read_events
+from .events import (
+    EVENT_TYPES,
+    NULL_EVENTS,
+    EventTailer,
+    EventWriter,
+    NullEventWriter,
+    read_events,
+    segment_paths,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -35,9 +43,11 @@ from .metrics import (
 __all__ = [
     "EVENT_TYPES",
     "NULL_EVENTS",
+    "EventTailer",
     "EventWriter",
     "NullEventWriter",
     "read_events",
+    "segment_paths",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",

@@ -17,11 +17,22 @@ object per line::
 
 Readers must tolerate torn tails: :func:`read_events` skips lines that
 don't parse, because a crashed writer may leave a partial final line.
+
+Long-lived fleets would otherwise grow one unbounded file per source,
+so the writer rotates size-capped segments: when ``events.jsonl``
+exceeds the cap it is renamed ``events.1.jsonl`` (then ``.2``, …) and a
+fresh head file starts. Rotation is a single atomic rename that never
+rewrites old bytes, which keeps two properties readers depend on:
+byte offsets into a segment stay valid after it rotates, and a merged
+read across :func:`segment_paths` (rotated segments in index order,
+head last) sees every record exactly once, oldest first.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 import threading
 import time
 from pathlib import Path
@@ -45,6 +56,60 @@ EVENT_TYPES = frozenset(
 #: Record keys the writer owns; payload fields may not collide with them.
 RESERVED_FIELDS = frozenset({"ts", "event", "source"})
 
+#: Default size cap per segment before the head file rotates.
+DEFAULT_SEGMENT_BYTES = 8 * 1024 * 1024
+
+#: Environment override for the segment cap; ``0`` disables rotation.
+SEGMENT_BYTES_ENV = "DEFT_EVENT_SEGMENT_BYTES"
+
+#: Rotated segments are named ``<stem>.<index>.jsonl`` next to the head
+#: file ``<stem>.jsonl``; index 1 is the oldest.
+_SEGMENT_RE = re.compile(r"^(?P<stem>.+)\.(?P<index>\d+)\.jsonl$")
+
+
+def default_segment_bytes() -> int:
+    """The configured rotation cap (``0`` means never rotate)."""
+    raw = os.environ.get(SEGMENT_BYTES_ENV, "")
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_SEGMENT_BYTES
+
+
+def rotated_path(path: str | Path, index: int) -> Path:
+    """The path of rotation segment ``index`` for head file ``path``."""
+    path = Path(path)
+    stem = path.name[: -len(".jsonl")] if path.name.endswith(".jsonl") else path.stem
+    return path.with_name(f"{stem}.{index}.jsonl")
+
+
+def segment_indices(path: str | Path) -> list[int]:
+    """Indices of the rotated segments that exist for ``path``, ascending."""
+    path = Path(path)
+    stem = path.name[: -len(".jsonl")] if path.name.endswith(".jsonl") else path.stem
+    pattern = re.compile(rf"^{re.escape(stem)}\.(\d+)\.jsonl$")
+    indices = []
+    if path.parent.is_dir():
+        for sibling in path.parent.iterdir():
+            match = pattern.match(sibling.name)
+            if match:
+                indices.append(int(match.group(1)))
+    return sorted(indices)
+
+
+def segment_paths(path: str | Path) -> list[Path]:
+    """Every existing file of one source's stream, oldest segment first.
+
+    Rotated segments in index order, then the live head file (which may
+    not exist yet — or not any more, if the writer rotated and went
+    quiet). This is the canonical read order for the whole stream.
+    """
+    path = Path(path)
+    paths = [rotated_path(path, index) for index in segment_indices(path)]
+    if path.is_file():
+        paths.append(path)
+    return paths
+
 
 class EventWriter:
     """Append-only JSONL emitter, one file per source, thread-safe.
@@ -54,11 +119,24 @@ class EventWriter:
     record is flushed so ``deft status`` in another process observes
     events promptly. A lock serialises emits because workers emit from
     both the claim loop and the heartbeat thread.
+
+    When the head file exceeds ``max_segment_bytes`` it rotates: the
+    head is renamed to the next free ``<stem>.<n>.jsonl`` and the next
+    emit starts a fresh head. A record is never split across segments
+    (the size check runs between whole-record writes).
     """
 
-    def __init__(self, path: str | Path, source: str):
+    def __init__(
+        self,
+        path: str | Path,
+        source: str,
+        max_segment_bytes: int | None = None,
+    ):
         self.path = Path(path)
         self.source = source
+        self.max_segment_bytes = (
+            default_segment_bytes() if max_segment_bytes is None else max_segment_bytes
+        )
         self._lock = threading.Lock()
         self._handle = None
         self._closed = False
@@ -83,6 +161,21 @@ class EventWriter:
                 self._handle = open(self.path, "a", encoding="utf-8")
             self._handle.write(line + "\n")
             self._handle.flush()
+            if 0 < self.max_segment_bytes <= self._handle.tell():
+                self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Seal the head file as the next rotation segment (lock held)."""
+        self._handle.close()
+        self._handle = None
+        indices = segment_indices(self.path)
+        target = rotated_path(self.path, (indices[-1] + 1) if indices else 1)
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            # Rotation is an optimisation; appending to an oversized
+            # head beats losing events on a weird filesystem.
+            pass
 
     def close(self) -> None:
         with self._lock:
@@ -121,24 +214,102 @@ class NullEventWriter:
 NULL_EVENTS = NullEventWriter()
 
 
-def read_events(path: str | Path) -> Iterator[dict]:
-    """Yield parsed event records from one JSONL file, oldest first.
+def _parse_line(raw: bytes) -> dict | None:
+    """One JSONL line -> event record, or ``None`` for anything torn."""
+    raw = raw.strip()
+    if not raw:
+        return None
+    try:
+        record = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(record, dict) and "event" in record:
+        return record
+    return None
 
-    Unparseable lines (torn tail of a crashed writer, manual edits) are
-    skipped rather than fatal — observability must not be brittler than
-    the system it observes. A missing file yields nothing.
+
+def read_events(path: str | Path) -> Iterator[dict]:
+    """Yield a source's parsed event records, oldest first.
+
+    Reads across every rotation segment in order (``<stem>.1.jsonl``,
+    …, then the head file). Unparseable lines (torn tail of a crashed
+    writer, manual edits) are skipped rather than fatal — observability
+    must not be brittler than the system it observes. A missing stream
+    yields nothing.
     """
-    path = Path(path)
-    if not path.is_file():
-        return
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
+    for segment in segment_paths(path):
+        try:
+            with open(segment, "rb") as handle:
+                for raw in handle:
+                    record = _parse_line(raw)
+                    if record is not None:
+                        yield record
+        except OSError:
+            continue
+
+
+class EventTailer:
+    """Incremental reader of one source's stream across rotations.
+
+    Each :meth:`poll` returns the records appended since the last call,
+    in order. State is two numbers — the count of rotated segments
+    fully consumed and a byte offset into the segment being read — and
+    both survive rotation because rotation renames without rewriting:
+    an offset taken against the head file is still correct against the
+    rotated segment the head became.
+
+    Only complete lines are consumed from the live head; a torn tail is
+    left for the next poll (the writer flushes whole records, so it
+    will complete). A torn tail in a *sealed* rotated segment can never
+    complete and is skipped.
+    """
+
+    def __init__(self, path: str | Path, replay: bool = True):
+        self.path = Path(path)
+        self._consumed = 0
+        self._offset = 0
+        if not replay:
+            indices = segment_indices(self.path)
+            self._consumed = indices[-1] if indices else 0
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and "event" in record:
-                yield record
+                self._offset = self.path.stat().st_size
+            except OSError:
+                self._offset = 0
+
+    def _read_from(self, path: Path, offset: int, sealed: bool) -> tuple[list[dict], int]:
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+        except OSError:
+            return [], offset
+        if not sealed:
+            cut = data.rfind(b"\n")
+            if cut < 0:
+                return [], offset
+            data = data[: cut + 1]
+        records = [r for r in map(_parse_line, data.splitlines()) if r is not None]
+        return records, offset + len(data)
+
+    def poll(self) -> list[dict]:
+        """Records appended since the previous poll, oldest first."""
+        records: list[dict] = []
+        while True:
+            sealed = rotated_path(self.path, self._consumed + 1)
+            if not sealed.is_file():
+                break
+            chunk, _ = self._read_from(sealed, self._offset, sealed=True)
+            records.extend(chunk)
+            self._consumed += 1
+            self._offset = 0
+        chunk, new_offset = self._read_from(self.path, self._offset, sealed=False)
+        if rotated_path(self.path, self._consumed + 1).is_file():
+            # The head rotated while we were looking at it: the bytes we
+            # just read may belong to the *new* head at a stale offset.
+            # Drop them and keep the saved offset — the next poll reads
+            # the sealed segment from exactly that offset, so nothing is
+            # lost or duplicated either way.
+            return records
+        self._offset = new_offset
+        records.extend(chunk)
+        return records

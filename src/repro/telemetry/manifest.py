@@ -31,7 +31,14 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
-from .events import NULL_EVENTS, EventWriter, NullEventWriter, read_events
+from .events import (
+    NULL_EVENTS,
+    EventTailer,
+    EventWriter,
+    NullEventWriter,
+    _SEGMENT_RE,
+    read_events,
+)
 from .metrics import telemetry_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -144,13 +151,65 @@ def load_campaign_manifests(spool_root: str | Path) -> list[dict]:
     return manifests
 
 
-def read_all_events(spool_root: str | Path) -> Iterator[dict]:
-    """Merge every source's event stream, ordered by timestamp."""
+def event_streams(spool_root: str | Path) -> list[Path]:
+    """Head paths of every source's event stream, one per source.
+
+    Rotated segments (``<stem>.<n>.jsonl``) are folded into their base
+    stream rather than listed as streams of their own, so each returned
+    path covers a whole source when handed to segment-aware readers
+    (:func:`repro.telemetry.events.read_events`, :class:`EventTailer`).
+    The head file itself may not exist (a source that rotated and went
+    quiet) — the readers handle that.
+    """
     directory = events_dir(spool_root)
     if not directory.is_dir():
-        return iter(())
+        return []
+    names = {path.name for path in directory.glob("*.jsonl")}
+    bases = set()
+    for name in names:
+        match = _SEGMENT_RE.match(name)
+        if match and (match.group("stem") + ".jsonl") in names:
+            continue
+        if match:
+            name = match.group("stem") + ".jsonl"
+        bases.add(name)
+    return [directory / name for name in sorted(bases)]
+
+
+def read_all_events(spool_root: str | Path) -> Iterator[dict]:
+    """Merge every source's event stream, ordered by timestamp."""
     records: list[dict] = []
-    for path in sorted(directory.glob("*.jsonl")):
+    for path in event_streams(spool_root):
         records.extend(read_events(path))
     records.sort(key=lambda r: r.get("ts", 0.0))
     return iter(records)
+
+
+class SpoolEventTailer:
+    """Incremental merged tail of every event stream in a spool.
+
+    Wraps one :class:`EventTailer` per source and merges each round of
+    new records by timestamp. New sources appearing after construction
+    (a worker joining the fleet) are picked up on the next poll and
+    replayed from their beginning — they are new, so their history *is*
+    news. With ``replay=False`` the streams that already exist start at
+    their current end: only events emitted after attachment flow.
+    """
+
+    def __init__(self, spool_root: str | Path, replay: bool = True):
+        self.spool_root = Path(spool_root)
+        self._tailers: dict[str, EventTailer] = {}
+        if not replay:
+            for path in event_streams(spool_root):
+                self._tailers[path.name] = EventTailer(path, replay=False)
+
+    def poll(self) -> list[dict]:
+        """Records appended since the previous poll, ordered by ts."""
+        records: list[dict] = []
+        for path in event_streams(self.spool_root):
+            tailer = self._tailers.get(path.name)
+            if tailer is None:
+                tailer = self._tailers[path.name] = EventTailer(path)
+            records.extend(tailer.poll())
+        records.sort(key=lambda r: r.get("ts", 0.0))
+        return records

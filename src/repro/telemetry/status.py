@@ -87,6 +87,8 @@ def fleet_status(
                 "jobs_failed": payload.get("jobs_failed", 0),
                 "requeues_swept": payload.get("requeues_swept", 0),
                 "pid": payload.get("pid"),
+                "rss_bytes": payload.get("rss_bytes"),
+                "open_fds": payload.get("open_fds"),
             }
         )
     session_ratios = {
@@ -254,9 +256,15 @@ def render_status(status: dict) -> str:
             if worker["age_s"] is not None
             else "never"
         )
+        resources = ""
+        if isinstance(worker.get("rss_bytes"), (int, float)):
+            resources = f", rss {worker['rss_bytes'] / (1024 * 1024):.0f} MiB"
+            if isinstance(worker.get("open_fds"), int):
+                resources += f", {worker['open_fds']} fds"
         lines.append(
             f"    {worker['worker']}: {state} (updated {age}), "
             f"{worker['jobs_done']} done, {worker['jobs_failed']} failed"
+            + resources
         )
     if status["session"]:
         ratios = ", ".join(
@@ -339,6 +347,14 @@ def render_prom(status: dict) -> str:
     _prom_line(lines, "deft_leases_stale", "gauge", status["leases"]["stale"])
     _prom_line(lines, "deft_workers_alive", "gauge", status["workers"]["alive"])
     _prom_line(lines, "deft_workers_dead", "gauge", status["workers"]["dead"])
+    for worker in status["workers"]["details"]:
+        labels = f'{{worker="{worker["worker"]}"}}'
+        _prom_line(lines, "deft_worker_jobs_done", "gauge",
+                   worker["jobs_done"], labels)
+        _prom_line(lines, "deft_worker_rss_bytes", "gauge",
+                   worker.get("rss_bytes"), labels)
+        _prom_line(lines, "deft_worker_open_fds", "gauge",
+                   worker.get("open_fds"), labels)
     _prom_line(
         lines, "deft_jobs_per_second", "gauge",
         status["throughput"]["jobs_per_s"],
@@ -366,3 +382,32 @@ def render_prom(status: dict) -> str:
         _prom_line(lines, "deft_cache_entries", "gauge", cache["entries"])
         _prom_line(lines, "deft_cache_bytes", "gauge", cache["total_bytes"])
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def health_problems(status: dict) -> list[str]:
+    """Why this snapshot is unhealthy, as probe-friendly one-liners.
+
+    Empty means healthy. Backs ``deft status --check`` so cron/CI can
+    use the exit code as a fleet probe without parsing JSON. Three
+    conditions count as unhealthy: stale leases (a worker stopped
+    heartbeating mid-batch), terminal job failures, and a dead fleet —
+    workers have been seen but none is alive while work is still
+    outstanding. A spool with no workers *and* no work is just idle,
+    not unhealthy.
+    """
+    problems: list[str] = []
+    stale = status["leases"]["stale"]
+    if stale:
+        keys = ", ".join(key[:12] for key in status["leases"]["stale_keys"][:4])
+        problems.append(f"{stale} stale lease(s): {keys}")
+    failed = status["spool"]["failed"]
+    if failed:
+        problems.append(f"{failed} terminal job failure(s) in failed/")
+    workers = status["workers"]
+    outstanding = status["spool"]["pending"] + status["spool"]["claimed"]
+    if workers["details"] and workers["alive"] == 0 and outstanding:
+        problems.append(
+            f"fleet dead: {workers['dead']} known worker(s), none alive, "
+            f"{outstanding} job(s) outstanding"
+        )
+    return problems

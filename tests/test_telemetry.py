@@ -537,3 +537,217 @@ class TestSatellites:
                 )
         finally:
             server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# segment rotation, incremental tailing, health probe, resource gauges
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentRotation:
+    def _fill(self, path, count, max_segment_bytes=400):
+        with EventWriter(path, "w", max_segment_bytes=max_segment_bytes) as events:
+            for index in range(count):
+                events.emit("requeue", key=f"k{index:04d}", attempts=1,
+                            terminal=False)
+
+    def test_writer_rotates_and_reader_merges(self, tmp_path):
+        from repro.telemetry.events import rotated_path, segment_paths
+
+        path = tmp_path / "w.jsonl"
+        self._fill(path, 40)
+        segments = segment_paths(path)
+        assert len(segments) > 1
+        # rotated segments come oldest-first; the head (if the last emit
+        # didn't itself trigger a rotation) is always last
+        assert segments[0] == rotated_path(path, 1)
+        for sealed in segments:
+            if sealed != path:
+                assert sealed.stat().st_size <= 400 + 200  # one record slack
+        records = list(read_events(path))
+        assert [r["key"] for r in records] == [f"k{i:04d}" for i in range(40)]
+
+    def test_zero_disables_rotation(self, tmp_path):
+        from repro.telemetry.events import segment_paths
+
+        path = tmp_path / "w.jsonl"
+        with EventWriter(path, "w", max_segment_bytes=0) as events:
+            for index in range(50):
+                events.emit("requeue", key=f"k{index}", attempts=1,
+                            terminal=False)
+        assert segment_paths(path) == [path]
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        from repro.telemetry.events import SEGMENT_BYTES_ENV, default_segment_bytes
+
+        monkeypatch.setenv(SEGMENT_BYTES_ENV, "1234")
+        assert default_segment_bytes() == 1234
+        monkeypatch.setenv(SEGMENT_BYTES_ENV, "junk")
+        assert default_segment_bytes() == 8 * 1024 * 1024
+
+    def test_tailer_survives_live_rotation(self, tmp_path):
+        from repro.telemetry.events import EventTailer
+
+        path = tmp_path / "w.jsonl"
+        tailer = EventTailer(path)
+        assert tailer.poll() == []
+        seen = []
+        with EventWriter(path, "w", max_segment_bytes=300) as events:
+            for index in range(30):
+                events.emit("requeue", key=f"k{index:04d}", attempts=1,
+                            terminal=False)
+                if index % 7 == 0:
+                    seen.extend(tailer.poll())
+        seen.extend(tailer.poll())
+        assert [r["key"] for r in seen] == [f"k{i:04d}" for i in range(30)]
+        # no duplicates on a quiet re-poll
+        assert tailer.poll() == []
+
+    def test_tailer_tolerates_torn_tail(self, tmp_path):
+        from repro.telemetry.events import EventTailer
+
+        path = tmp_path / "w.jsonl"
+        with EventWriter(path, "w") as events:
+            events.emit("requeue", key="whole", attempts=1, terminal=False)
+        with open(path, "a") as handle:
+            handle.write('{"event": "requeue", "key": "to')  # torn, no newline
+        tailer = EventTailer(path)
+        assert [r["key"] for r in tailer.poll()] == ["whole"]
+        with open(path, "a") as handle:
+            handle.write('rn"}\n')
+        assert [r["key"] for r in tailer.poll()] == ["torn"]
+
+    def test_tailer_replay_false_skips_history(self, tmp_path):
+        from repro.telemetry.events import EventTailer
+
+        path = tmp_path / "w.jsonl"
+        with EventWriter(path, "w", max_segment_bytes=300) as events:
+            for index in range(10):
+                events.emit("requeue", key=f"old{index}", attempts=1,
+                            terminal=False)
+            tailer = EventTailer(path, replay=False)
+            assert tailer.poll() == []
+            events.emit("requeue", key="new", attempts=1, terminal=False)
+            assert [r["key"] for r in tailer.poll()] == ["new"]
+
+    def test_read_all_events_spans_sources_and_segments(self, tmp_path):
+        from repro.telemetry.manifest import ensure_manifest, event_streams
+
+        ensure_manifest(tmp_path)
+        for source in ("w1", "w2"):
+            with event_writer(tmp_path, source) as events:
+                events.max_segment_bytes = 300
+                for index in range(12):
+                    events.emit("requeue", key=f"{source}-{index:02d}",
+                                attempts=1, terminal=False)
+        streams = event_streams(tmp_path)
+        assert len(streams) == 2  # one logical stream per source
+        records = list(read_all_events(tmp_path))
+        assert len(records) == 24
+        keys = {r["key"] for r in records}
+        assert keys == {f"w{n}-{i:02d}" for n in (1, 2) for i in range(12)}
+
+
+class TestHealthProbe:
+    def _status(self, *, stale=0, stale_keys=(), failed=0, pending=0,
+                claimed=0, details=(), alive=0, dead=0):
+        return {
+            "leases": {"stale": stale, "stale_keys": list(stale_keys)},
+            "spool": {"failed": failed, "pending": pending, "claimed": claimed},
+            "workers": {"details": list(details), "alive": alive, "dead": dead},
+        }
+
+    def test_healthy_and_idle_spools_pass(self):
+        from repro.telemetry.status import health_problems
+
+        assert health_problems(self._status()) == []
+        # workers seen, none alive, but no outstanding work: idle, not dead
+        assert health_problems(
+            self._status(details=[{"worker": "w"}], dead=1)
+        ) == []
+
+    def test_each_condition_reports(self):
+        from repro.telemetry.status import health_problems
+
+        stale = health_problems(
+            self._status(stale=2, stale_keys=["a" * 40, "b" * 40])
+        )
+        assert len(stale) == 1 and "2 stale lease(s)" in stale[0]
+        assert "a" * 12 in stale[0]
+
+        failed = health_problems(self._status(failed=3))
+        assert failed == ["3 terminal job failure(s) in failed/"]
+
+        dead = health_problems(
+            self._status(details=[{"worker": "w"}], dead=1, pending=5)
+        )
+        assert len(dead) == 1 and "fleet dead" in dead[0]
+
+    def test_conditions_stack(self):
+        from repro.telemetry.status import health_problems
+
+        problems = health_problems(
+            self._status(stale=1, stale_keys=["k"], failed=1,
+                         details=[{"worker": "w"}], dead=1, claimed=1)
+        )
+        assert len(problems) == 3
+
+    def test_status_check_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spool_dir = tmp_path / "spool"
+        spool = Spool(spool_dir, lease_s=30.0).ensure()
+        jobs = reachability_jobs(2)
+        spool.enqueue(jobs)
+        assert main(["status", str(spool_dir), "--check"]) == 0
+        capsys.readouterr()
+
+        # expire a lease -> unhealthy exit 1 with a reason on stderr
+        spool.claim("dead-worker", now=time.time() - 100.0)
+        assert main(["status", str(spool_dir), "--check"]) == 1
+        captured = capsys.readouterr()
+        assert "unhealthy: " in captured.err and "stale lease" in captured.err
+
+        with pytest.raises(SystemExit):
+            main(["status", str(spool_dir), "--check", "--watch"])
+
+
+class TestWorkerResourceGauges:
+    def test_proc_resources_on_linux(self):
+        from repro.distributed.worker import _proc_resources
+
+        resources = _proc_resources()
+        assert resources.get("rss_bytes", 0) > 0
+        assert resources.get("open_fds", 0) > 0
+
+    def test_gauges_flow_through_status_and_prom(self, tmp_path):
+        spool = Spool(tmp_path / "spool", lease_s=30.0).ensure()
+        now = time.time()
+        spool.write_worker_stats("w1", {
+            "worker": "w1", "updated_at": now - 1.0,
+            "jobs_done": 4, "jobs_failed": 0, "session": {},
+            "rss_bytes": 48 * 1024 * 1024, "open_fds": 17,
+        })
+        status = fleet_status(tmp_path / "spool", now=now)
+        (detail,) = status["workers"]["details"]
+        assert detail["rss_bytes"] == 48 * 1024 * 1024
+        assert detail["open_fds"] == 17
+        text = render_status(status)
+        assert "rss 48 MiB" in text and "17 fds" in text
+        prom = render_prom(status)
+        assert 'deft_worker_rss_bytes{worker="w1"} 50331648' in prom
+        assert 'deft_worker_open_fds{worker="w1"} 17' in prom
+        assert 'deft_worker_jobs_done{worker="w1"} 4' in prom
+
+    def test_worker_publishes_gauges(self, tmp_path):
+        """End-to-end: a real drain leaves rss/fd gauges in the stats file."""
+        jobs = reachability_jobs(2)
+        spool = Spool(tmp_path / "spool", lease_s=10.0).ensure()
+        spool.enqueue(jobs)
+        run_worker(tmp_path / "spool", ResultCache(tmp_path / "cache"),
+                   worker_id="gauge-w", idle_timeout_s=1.0, lease_s=10.0)
+        stats = json.loads(
+            (tmp_path / "spool" / "workers" / "gauge-w.json").read_text()
+        )
+        assert stats["rss_bytes"] > 0
+        assert stats["open_fds"] > 0
