@@ -1,0 +1,129 @@
+"""Variance-reduction benchmark: samples to reach a target Wilson CI.
+
+The acceptance case for the variance-reduced Monte Carlo engine, on the
+paper's statistical worst-case point — RC at k=8 on the 4-chiplet
+baseline, the Fig. 7 point with the widest spread (DeFT is fully
+reachable there; RC's per-pattern reachability varies the most). Each
+sampler runs the same adaptive ``--target-ci`` driver loop to the same
+stopping width, and we count the simulated jobs it needed:
+
+* ``uniform`` — the legacy estimator, doubling until the pooled Wilson
+  interval is narrow enough;
+* ``stratified`` — per-chiplet per-direction fault-count strata with
+  exact combinatorial weights and Neyman extension rounds. RC's
+  sender/receiver counts depend only on the per-direction fault counts,
+  so the metric is *constant inside every stratum* and the estimate is
+  exact as soon as the strata are covered — the sample cost collapses
+  to the coverage floor (two draws per stratum) no matter how tight the
+  target;
+* ``importance`` — strata drawn from a deviation-tilted defensive
+  proposal with self-normalized likelihood-ratio reweighting; helps in
+  proportion to how much of the variance the score model explains, and
+  is bounded by the defensive mixture.
+
+At full scale (``REPRO_EXPERIMENT_SCALE`` unset or >= 1) the target
+width is tight enough that uniform needs >= 2x the jobs stratified
+needs — that ratio is asserted and recorded, together with an
+exactness cross-check of the stratified mean against the analytic
+reachability decomposition, in ``BENCH_montecarlo.json``.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.reachability import average_reachability
+from repro.experiments.common import effective_scale
+from repro.montecarlo import run_montecarlo
+from repro.routing.registry import make_algorithm
+from repro.runner import CampaignRunner, SystemRef
+from repro.topology.presets import baseline_4_chiplets
+
+ALGORITHM = "rc"
+FAULT_K = 8
+
+
+def drive(sampler, target, max_samples, samples=500):
+    with CampaignRunner() as runner:
+        report = run_montecarlo(
+            SystemRef.baseline4(), (ALGORITHM,), (FAULT_K,), samples,
+            seed=0, runner=runner, sampler=sampler,
+            target_ci_width=target, max_samples=max_samples,
+        )
+    point = report.results[0]
+    assert point.failed == 0
+    return point
+
+
+@pytest.mark.benchmark(group="montecarlo", min_rounds=1, max_time=1.0)
+def test_samples_to_target_ci(bench_metrics):
+    scale = effective_scale(None)
+    full = scale >= 1.0
+    # Stopping targets are FULL interval widths (matching --target-ci).
+    # 2e-4 is tight enough that uniform pays ~4x the stratified coverage
+    # floor while every sampler still genuinely reaches the target (no
+    # sampler is censored by the cap, keeping the ratios honest). The
+    # reduced-scale target only smoke-tests the loop; the >= 2x bar is
+    # asserted at full scale.
+    target = 2e-4 if full else 6e-4
+
+    system = baseline_4_chiplets()
+    exact = average_reachability(system, make_algorithm(ALGORITHM, system), FAULT_K)
+
+    uniform = drive("uniform", target, max_samples=128_000)
+    stratified = drive("stratified", target, max_samples=128_000)
+    importance = drive("importance", target, max_samples=128_000)
+
+    # Correctness before speed: every estimator must have converged onto
+    # the analytic decomposition's exact value at its stopping width.
+    assert stratified.primary.mean == pytest.approx(exact, abs=1e-9)
+    assert abs(uniform.primary.mean - exact) < 5 * target
+    assert abs(importance.primary.mean - exact) < 5 * target
+
+    # None of the runs may be censored by the cap — a capped sampler
+    # never reached the target and would fake the ratio.
+    for point in (uniform, stratified, importance):
+        assert point.completed < 128_000
+
+    reduction_stratified = uniform.completed / stratified.completed
+    reduction_importance = uniform.completed / importance.completed
+    bench_metrics(
+        exact_mean=exact,
+        target_ci_width=target,
+        uniform_jobs=uniform.completed,
+        stratified_jobs=stratified.completed,
+        importance_jobs=importance.completed,
+        stratified_strata=stratified.strata,
+        stratified_mean_error=abs(stratified.primary.mean - exact),
+        importance_ess=round(importance.ess, 1),
+        reduction_stratified=round(reduction_stratified, 2),
+        reduction_importance=round(reduction_importance, 2),
+        experiment_scale=scale,
+    )
+    print(
+        f"\nsamples to CI width {target}: uniform={uniform.completed} "
+        f"stratified={stratified.completed} ({reduction_stratified:.2f}x) "
+        f"importance={importance.completed} ({reduction_importance:.2f}x, "
+        f"ess={importance.ess:.0f})"
+    )
+    if full:
+        assert reduction_stratified >= 2.0, (
+            f"stratified needed {stratified.completed} jobs vs uniform "
+            f"{uniform.completed} — less than the required 2x reduction"
+        )
+
+
+@pytest.mark.benchmark(group="montecarlo", min_rounds=1, max_time=1.0)
+def test_stratified_exact_at_coverage(bench_metrics):
+    """The zero-variance route: one coverage round pins the exact value."""
+    point = drive("stratified", target=0.01, max_samples=128_000)
+    system = baseline_4_chiplets()
+    exact = average_reachability(system, make_algorithm(ALGORITHM, system), FAULT_K)
+    assert point.completed == 2 * point.strata  # stopped right at coverage
+    assert point.primary.mean == pytest.approx(exact, abs=1e-9)
+    assert point.primary.interval.half_width <= 1.1e-9
+    bench_metrics(
+        coverage_jobs=point.completed,
+        strata=point.strata,
+        mean_error=abs(point.primary.mean - exact),
+    )

@@ -37,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from .analysis.reachability import average_reachability, worst_reachability
 from .config import SimulationConfig
@@ -398,6 +399,10 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             return
         print(f"  [{done}/{total}] sampled", file=sys.stderr)
 
+    rendezvous_dir = args.rendezvous_dir
+    if args.shard is not None and rendezvous_dir is None:
+        rendezvous_dir = str(Path(args.cache_dir) / "rendezvous")
+
     runner = _runner_from_args(args)
     try:
         report = run_montecarlo(
@@ -415,6 +420,10 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             target_ci_width=args.target_ci,
             max_samples=args.max_samples,
             kernel=args.kernel,
+            sampler=args.sampler,
+            shard=args.shard,
+            rendezvous_dir=rendezvous_dir,
+            round_timeout=args.round_timeout,
         )
     except ValueError as error:
         # Invalid sampling parameters (--target-ci 0, a cap below
@@ -431,6 +440,10 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         if args.target_ci is None
         else f"adaptive sampling (start {args.samples}, Wilson CI <= {args.target_ci})"
     )
+    if args.sampler != "uniform":
+        sampling = f"{args.sampler} {sampling}"
+    if args.shard is not None:
+        sampling += f", shard {args.shard[0] + 1}/{args.shard[1]}"
     print(
         f"Monte Carlo {args.metric} on {SystemRef.from_cli(args.system).label}: "
         f"{sampling}, seed {args.seed}, "
@@ -452,6 +465,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             "samples": args.samples,
             "seed": args.seed,
             "confidence": args.confidence,
+            "sampler": args.sampler,
             "points": [
                 {
                     "algorithm": p.algorithm,
@@ -465,6 +479,8 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
                     "worst": p.primary.worst if p.primary else None,
                     "ci": [p.primary.interval.low, p.primary.interval.high]
                     if p.primary else None,
+                    "strata": p.strata,
+                    "ess": p.ess,
                 }
                 for p in report.results
             ],
@@ -922,11 +938,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=200,
                    help="random fault scenarios per (algorithm, k) point "
                         "(the initial batch when --target-ci is set)")
+    p.add_argument("--sampler", choices=["uniform", "stratified", "importance"],
+                   default="uniform",
+                   help="variance-reduction strategy (reachability metric): "
+                        "'stratified' partitions patterns by per-chiplet "
+                        "per-direction fault counts with exact combinatorial "
+                        "weights, 'importance' oversamples strata scored as "
+                        "high-deviation pre-simulation and reweights by "
+                        "likelihood ratios; both draw at least two samples "
+                        "per stratum in their first round")
     p.add_argument("--target-ci", type=float, default=None, metavar="WIDTH",
                    help="adaptive stopping: keep doubling each point's samples "
                         "until its Wilson CI is no wider than WIDTH")
     p.add_argument("--max-samples", type=int, default=None,
                    help="adaptive-stopping cap per point (default 16 x --samples)")
+    p.add_argument("--shard", type=_parse_shard_arg, default=None, metavar="I/N",
+                   help="run as the I-th of N cooperating drivers (1-based): "
+                        "each executes its deterministic key-range slice of "
+                        "every sampling round, then pools the round through "
+                        "the shared --cache-dir and a filesystem rendezvous "
+                        "so all drivers take bit-identical stopping "
+                        "decisions; launch all N with identical parameters")
+    p.add_argument("--rendezvous-dir", default=None, metavar="DIR",
+                   help="shared directory for --shard round markers "
+                        "(default: <cache-dir>/rendezvous)")
+    p.add_argument("--round-timeout", type=float, default=600.0,
+                   metavar="SECONDS",
+                   help="how long a sharded driver waits for its peers' "
+                        "round markers before giving up")
     p.add_argument("--seed", type=int, default=0,
                    help="campaign master seed; sample i draws from RNG(seed, k, i)")
     p.add_argument("--metric", choices=["reachability", "latency"],

@@ -12,10 +12,14 @@ The subsystem that takes the campaign runner beyond one machine:
   by job-key range, merged through the content-addressed result cache;
 * :mod:`repro.distributed.backend` — :class:`SpoolBackend`, the
   :class:`~repro.runner.backends.ExecutionBackend` that enqueues a
-  campaign, autospawns local workers and blocks until results land.
+  campaign, autospawns local workers and blocks until results land;
+* :mod:`repro.distributed.rounds` — :class:`RoundRendezvous`, the
+  filesystem barrier that lets N shard drivers pool per-round Monte
+  Carlo tallies and take bit-identical adaptive-stopping decisions.
 """
 
 from .backend import SpoolBackend, auto_batch_size
+from .rounds import RendezvousError, RoundRendezvous
 from .shard import (
     coverage_check,
     parse_shard,
@@ -31,6 +35,8 @@ __all__ = [
     "BatchClaim",
     "BatchEntry",
     "Claim",
+    "RendezvousError",
+    "RoundRendezvous",
     "Spool",
     "SpoolBackend",
     "auto_batch_size",

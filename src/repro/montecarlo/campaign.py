@@ -11,36 +11,90 @@ deterministic per-job seeding and the content-addressed result cache:
 re-running a campaign with the same spec is served from disk, and
 growing ``--samples`` only draws the new indices.
 
-The estimators report sample means, worst observed values and confidence
-intervals (normal for means, Wilson for pooled delivery proportions);
-``fig7mc`` cross-validates them against the exact curves at small k.
+Three samplers share the engine (``sampler=``):
 
-Sampling can also be *adaptive* (``target_ci_width=``): each point keeps
-doubling its sample count until the pooled Wilson interval is no wider
-than the target (or a cap is hit), with monotonically growing sample
-indices so every round stays cache-incremental and deterministic.
+* ``uniform`` — the original estimator: uniform admissible k-fault
+  draws, sample means and pooled Wilson intervals, float-for-float
+  unchanged from before the variance-reduction layer existed.
+* ``stratified`` — partitions the sample space by per-chiplet
+  fault-count composition (:mod:`repro.montecarlo.strata`), weights
+  each stratum by its exact combinatorial mass, allocates samples
+  proportionally first and by Neyman allocation (``n_s ∝ w_s σ_s``)
+  on every adaptive extension. Lopsided compositions — the rare
+  near-disconnecting patterns dominating the worst-case curve — are
+  guaranteed coverage instead of waiting for uniform luck.
+* ``importance`` — additionally *biases* the stratum choice toward
+  low expected reachability, scored before any simulation from the
+  compiled per-(chiplet, pattern) tables, and undoes the bias with
+  unbiased likelihood-ratio reweighting
+  (:func:`~repro.montecarlo.stats.importance_estimate`, with ESS
+  diagnostics). A defensive mixture bounds the ratios so a bad score
+  model can slow convergence but never corrupt it.
+
+Per-(stratum, sample) cache keys are stable: stratified and importance
+campaigns over the same spec share their drawn scenarios with each
+other and with every earlier run, so overlapping campaigns stay
+incremental.
+
+Sampling can be *adaptive* (``target_ci_width=``): each point keeps
+extending its sample count (doubling, capped exactly at
+``max_samples``) until its stopping interval is no wider than the
+target. With ``shard=`` + ``rendezvous_dir=``, N independent drivers
+run adaptive campaigns *cooperatively*: every driver derives the full
+round deterministically, executes only its key-range slice, and pools
+per-round tallies through a :class:`~repro.distributed.rounds.RoundRendezvous`
+plus the shared result cache — merged statistics are bit-identical to
+the unsharded serial driver, regardless of worker count.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 from ..config import SimulationConfig
+from ..errors import ConfigurationError
 from ..runner import Campaign, CampaignReport, CampaignRunner, Job, SystemRef, TrafficSpec
 from ..runner.backends import ProgressFn
-from .stats import ConfidenceInterval, normal_mean_interval, sample_mean_std, wilson_interval
+from ..runner.result import JobResult
+from ..telemetry.metrics import get_registry
+from .stats import (
+    ConfidenceInterval,
+    WeightedEstimate,
+    importance_estimate,
+    normal_mean_interval,
+    sample_mean_std,
+    stratified_estimate,
+    wilson_interval,
+    wilson_intervals,
+)
+from .strata import (
+    Stratum,
+    enumerate_strata,
+    importance_proposal,
+    stratum_scores,
+    stratum_sequence,
+)
 
 #: Metrics a Monte Carlo campaign can estimate: ``reachability`` scores
 #: each sampled pattern analytically (no simulation), ``latency`` runs
 #: the cycle-accurate simulator under each sampled pattern.
 MC_METRICS = ("reachability", "latency")
 
+#: Sampling strategies of :func:`run_montecarlo`.
+MC_SAMPLERS = ("uniform", "stratified", "importance")
+
 #: Traffic/config placeholders pinning the canonical form of analytic
 #: reachability jobs, so their cache keys never depend on simulation
 #: parameters they do not use.
 _REACHABILITY_TRAFFIC = ("uniform", 0.0)
+
+#: Default wait for lagging shard drivers at a round rendezvous.
+DEFAULT_ROUND_TIMEOUT = 600.0
 
 
 @dataclass(frozen=True)
@@ -78,6 +132,14 @@ class MonteCarloResult:
     summarizes per-sample delivered ratios and ``delivered_pool`` is the
     Wilson binomial interval over the pooled delivered/measured packet
     counts of every sample.
+
+    For weighted samplers, ``primary.mean`` and ``primary.interval``
+    are the *weighted* (unbiased) estimates from :attr:`weighted`;
+    ``primary.std`` stays the raw dispersion of the drawn values —
+    descriptive only, since the draw itself is deliberately biased.
+    ``strata`` counts the point's strata and ``ess`` is the effective
+    sample size (equal to n for stratified; the Kish size for
+    importance — distrust estimates whose ESS collapsed).
     """
 
     algorithm: str
@@ -94,6 +156,10 @@ class MonteCarloResult:
     primary: SampleSummary | None = None
     delivery: SampleSummary | None = None
     delivered_pool: ConfidenceInterval | None = None
+    sampler: str = "uniform"
+    strata: int = 0
+    ess: float | None = None
+    weighted: WeightedEstimate | None = None
 
     @property
     def completed(self) -> int:
@@ -116,6 +182,8 @@ class MonteCarloResult:
         )
         if self.delivery is not None:
             line += f" delivered={self.delivery.mean:6.4f}"
+        if self.ess is not None and self.sampler == "importance":
+            line += f" ess={self.ess:8.1f}"
         if self.failed or self.dropped:
             parts = []
             if self.failed:
@@ -141,6 +209,7 @@ class MonteCarloReport:
     confidence: float
     results: list[MonteCarloResult]
     campaign: CampaignReport
+    sampler: str = "uniform"
 
     def result_for(self, algorithm: str, k: int) -> MonteCarloResult:
         for result in self.results:
@@ -161,18 +230,24 @@ def montecarlo_jobs(
     config: SimulationConfig | None = None,
     start: int = 0,
     kernel: str = "auto",
+    stratum: Sequence[int] = (),
 ) -> list[Job]:
     """The job list of one (algorithm, k) Monte Carlo group.
 
     Sample ``i`` is a ``faults_mode="sample"`` job with
     ``fault_sample=i`` and the campaign's master ``seed``; the executor
-    derives the pattern RNG from ``(seed, k, i)``, so the job's canonical
-    form — and cache key — fully determines the drawn scenario.
+    derives the pattern RNG from ``(seed, k, i)`` — or ``(seed, k,
+    stratum, i)`` when ``stratum`` pins a per-chiplet fault-count
+    composition — so the job's canonical form — and cache key — fully
+    determines the drawn scenario.
 
     ``start`` offsets the drawn sample indices (``start .. start +
     samples - 1``): the adaptive-stopping loop uses it to extend a group
     without re-emitting — or re-simulating, thanks to the content
-    addresses — the samples it already holds.
+    addresses — the samples it already holds. For stratified emission
+    the indices are per-stratum ordinals, so every (stratum, ordinal)
+    pair is one immutable scenario shared by every campaign that ever
+    draws it.
     """
     if metric not in MC_METRICS:
         raise ValueError(f"metric must be one of {MC_METRICS}, got {metric!r}")
@@ -202,6 +277,7 @@ def montecarlo_jobs(
             faults_mode="sample",
             fault_k=fault_count,
             fault_sample=index,
+            fault_stratum=tuple(stratum),
             kind=kind,
             kernel=kernel,
         )
@@ -279,6 +355,405 @@ def _stopping_width(
     return interval.high - interval.low
 
 
+# ---------------------------------------------------------------------------
+# deterministic allocation helpers
+# ---------------------------------------------------------------------------
+
+
+def _largest_remainder(quotas: Sequence[float], total: int) -> list[int]:
+    """Round real-valued quotas to integers summing to ``total``.
+
+    Floors first, then hands the leftover units to the largest
+    fractional parts (ties broken by index) — the classic
+    largest-remainder method, fully deterministic so every shard driver
+    computes the identical allocation.
+    """
+    quota_sum = sum(quotas)
+    if quota_sum <= 0:
+        raise ConfigurationError("allocation quotas must sum to > 0")
+    scaled = [q * total / quota_sum for q in quotas]
+    counts = [int(math.floor(s)) for s in scaled]
+    leftover = total - sum(counts)
+    order = sorted(
+        range(len(quotas)), key=lambda i: (-(scaled[i] - counts[i]), i)
+    )
+    for i in order[:leftover]:
+        counts[i] += 1
+    return counts
+
+
+def _allocate_proportional(
+    weights: Sequence[float], total: int, minimum: int
+) -> list[int]:
+    """Proportional allocation with a per-stratum floor.
+
+    Every stratum gets ``minimum`` samples (so a within-stratum variance
+    is estimable from round one); the remainder is split proportionally
+    to the exact stratum weights.
+    """
+    base = minimum * len(weights)
+    if total < base:
+        raise ConfigurationError(
+            f"cannot allocate {total} samples over {len(weights)} strata "
+            f"with a minimum of {minimum} each"
+        )
+    extra = _largest_remainder(weights, total - base)
+    return [minimum + e for e in extra]
+
+
+def _allocate_neyman(
+    weights: Sequence[float],
+    counts: Sequence[int],
+    stds: Sequence[float],
+    extension: int,
+) -> list[int]:
+    """Neyman allocation of an extension round from observed variances.
+
+    The optimal fixed-budget split is ``n_s ∝ w_s σ_s``; we aim the
+    *cumulative* allocation at that target and hand each stratum the
+    positive part of its deficit (never un-drawing existing samples),
+    renormalized to the extension budget. Strata with an unknown σ
+    (fewer than two samples) borrow the pooled σ of the others; if every
+    σ is zero the split degrades to proportional-by-weight.
+    """
+    pooled_num = sum(
+        (n - 1) * s * s for n, s in zip(counts, stds) if n >= 2
+    )
+    pooled_df = sum(n - 1 for n in counts if n >= 2)
+    pooled = math.sqrt(pooled_num / pooled_df) if pooled_df else 0.0
+    sigmas = [
+        s if n >= 2 else pooled for n, s in zip(counts, stds)
+    ]
+    scores = [w * s for w, s in zip(weights, sigmas)]
+    if sum(scores) <= 0:
+        scores = list(weights)
+    target_total = sum(counts) + extension
+    targets = _largest_remainder(scores, target_total)
+    deficits = [max(0, t - n) for t, n in zip(targets, counts)]
+    if sum(deficits) == 0:
+        # Already past every target (tiny extension round): fall back to
+        # splitting the budget directly by score.
+        return _largest_remainder(scores, extension)
+    return _largest_remainder([float(d) for d in deficits], extension)
+
+
+# ---------------------------------------------------------------------------
+# per-point sampler strategies
+# ---------------------------------------------------------------------------
+
+
+class _UniformPoint:
+    """Legacy uniform sampling — float-for-float the original behavior."""
+
+    sampler = "uniform"
+
+    def __init__(self, engine: "_Engine", algorithm: str, k: int):
+        self.engine = engine
+        self.algorithm = algorithm
+        self.k = k
+        self.drawn = 0
+        self.outcomes: list[JobResult] = []
+
+    def first_budget(self, samples: int) -> int:
+        return samples
+
+    def emit(self, budget: int) -> list[Job]:
+        e = self.engine
+        jobs = montecarlo_jobs(
+            e.system, self.algorithm, self.k, budget,
+            seed=e.seed, metric=e.metric, traffic=e.traffic, config=e.config,
+            start=self.drawn, kernel=e.kernel,
+        )
+        self.drawn += len(jobs)
+        return jobs
+
+    def accumulate(self, results: Sequence[JobResult]) -> None:
+        self.outcomes.extend(results)
+
+    def estimate(self, confidence: float) -> MonteCarloResult:
+        return _estimate_point(
+            self.algorithm, self.k, self.engine.metric,
+            self.outcomes, self.drawn, confidence,
+        )
+
+    def stopping_width(
+        self, estimate: MonteCarloResult, confidence: float
+    ) -> float | None:
+        return _stopping_width(
+            estimate, self.engine.metric, self.engine.total_pairs, confidence
+        )
+
+
+class _WeightedPoint:
+    """Shared bookkeeping of the stratified/importance strategies."""
+
+    sampler = "weighted"
+
+    def __init__(
+        self, engine: "_Engine", algorithm: str, k: int, strata: list[Stratum]
+    ):
+        self.engine = engine
+        self.algorithm = algorithm
+        self.k = k
+        self.strata = strata
+        self.counts = [0] * len(strata)
+        self.drawn = 0
+        self.failed = 0
+        self.dropped = 0
+        #: (stratum index, job) of every emitted job, in emission order.
+        self._pending: list[tuple[int, Job]] = []
+
+    def _emit_stratum(self, index: int, count: int) -> list[Job]:
+        e = self.engine
+        jobs = montecarlo_jobs(
+            e.system, self.algorithm, self.k, count,
+            seed=e.seed, metric=e.metric, traffic=e.traffic, config=e.config,
+            start=self.counts[index], kernel=e.kernel,
+            stratum=self.strata[index].composition,
+        )
+        self.counts[index] += count
+        self.drawn += count
+        self._pending.extend((index, job) for job in jobs)
+        return jobs
+
+    def _value_of(self, result: JobResult) -> float | None:
+        """The sample's metric value, or None when failed/undefined."""
+        if not result.ok:
+            self.failed += 1
+            return None
+        value = result.reachability
+        if not math.isfinite(value):
+            self.dropped += 1
+            return None
+        return value
+
+    def _base_result(
+        self, values: list[float], weighted: WeightedEstimate | None
+    ) -> MonteCarloResult:
+        point = MonteCarloResult(
+            algorithm=self.algorithm, k=self.k, metric=self.engine.metric,
+            requested=self.drawn, failed=self.failed, dropped=self.dropped,
+            values=values, sampler=self.sampler, strata=len(self.strata),
+            ess=weighted.ess if weighted else None, weighted=weighted,
+        )
+        if weighted is not None and values:
+            _, raw_std = sample_mean_std(values)
+            point.primary = SampleSummary(
+                n=len(values),
+                mean=weighted.mean,
+                std=raw_std,
+                worst=min(values),
+                interval=weighted.interval,
+            )
+        return point
+
+    def stopping_width(
+        self, estimate: MonteCarloResult, confidence: float
+    ) -> float | None:
+        if estimate.weighted is None:
+            return None
+        interval = estimate.weighted.interval
+        return interval.high - interval.low
+
+
+class _StratifiedPoint(_WeightedPoint):
+    """Exact-weight stratification with proportional → Neyman allocation."""
+
+    sampler = "stratified"
+
+    def __init__(self, engine, algorithm, k, strata):
+        super().__init__(engine, algorithm, k, strata)
+        self.values: list[list[float]] = [[] for _ in strata]
+
+    def first_budget(self, samples: int) -> int:
+        # Two samples per stratum minimum, so round one already yields a
+        # within-stratum variance for the width and for Neyman targeting.
+        return max(samples, 2 * len(self.strata))
+
+    def emit(self, budget: int) -> list[Job]:
+        weights = [s.weight for s in self.strata]
+        if self.drawn == 0:
+            allocation = _allocate_proportional(
+                weights, budget, minimum=min(2, budget // len(weights))
+            )
+        else:
+            stds = [
+                sample_mean_std(v)[1] if len(v) >= 2 else 0.0
+                for v in self.values
+            ]
+            allocation = _allocate_neyman(
+                weights, self.counts, stds, budget
+            )
+        histogram = get_registry().histogram(
+            "deft_mc_stratum_allocation",
+            "Samples allocated to one stratum in one round",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        jobs: list[Job] = []
+        for index, count in enumerate(allocation):
+            if count > 0:
+                histogram.observe(count)
+                jobs.extend(self._emit_stratum(index, count))
+        return jobs
+
+    def accumulate(self, results: Sequence[JobResult]) -> None:
+        for (index, _job), result in zip(self._pending, results):
+            value = self._value_of(result)
+            if value is not None:
+                self.values[index].append(value)
+        self._pending = []
+
+    def estimate(self, confidence: float) -> MonteCarloResult:
+        groups = [
+            (stratum.weight, values)
+            for stratum, values in zip(self.strata, self.values)
+        ]
+        flat = [v for values in self.values for v in values]
+        weighted = None
+        if flat:
+            weighted = stratified_estimate(groups, confidence)
+        return self._base_result(flat, weighted)
+
+
+class _ImportancePoint(_WeightedPoint):
+    """Deficit-tilted stratum choice with likelihood-ratio reweighting."""
+
+    sampler = "importance"
+
+    def __init__(self, engine, algorithm, k, strata, proposal: list[float]):
+        super().__init__(engine, algorithm, k, strata)
+        self.proposal = proposal
+        #: (likelihood ratio, value) pairs in global emission order.
+        self.pairs: list[tuple[float, float]] = []
+        self._ordinal = 0
+
+    def first_budget(self, samples: int) -> int:
+        return samples
+
+    def emit(self, budget: int) -> list[Job]:
+        assignment = stratum_sequence(
+            self.proposal, self.engine.seed, self.k, self._ordinal, budget
+        )
+        self._ordinal += budget
+        jobs: list[Job] = []
+        for stratum_index in assignment:
+            jobs.extend(self._emit_stratum(stratum_index, 1))
+        return jobs
+
+    def accumulate(self, results: Sequence[JobResult]) -> None:
+        for (index, _job), result in zip(self._pending, results):
+            value = self._value_of(result)
+            if value is not None:
+                ratio = self.strata[index].weight / self.proposal[index]
+                self.pairs.append((ratio, value))
+        self._pending = []
+
+    def estimate(self, confidence: float) -> MonteCarloResult:
+        values = [v for _, v in self.pairs]
+        weighted = None
+        if values:
+            weighted = importance_estimate(
+                [r for r, _ in self.pairs], values, confidence
+            )
+        return self._base_result(values, weighted)
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+
+def _stopping_widths(
+    samplers: dict,
+    active: Sequence[tuple[str, int]],
+    estimates: dict,
+    sampler: str,
+    metric: str,
+    total_pairs: int,
+    confidence: float,
+) -> dict[tuple[str, int], float | None]:
+    """Stopping widths of every active point, batched where possible.
+
+    Uniform reachability points pool exact reachable-pair counts, so all
+    active points share one vectorized Wilson sweep
+    (:func:`~repro.montecarlo.stats.wilson_intervals`, bit-identical to
+    the scalar path); everything else falls back to the point's own
+    scalar width.
+    """
+    widths: dict[tuple[str, int], float | None] = {}
+    if sampler == "uniform" and metric == "reachability" and total_pairs > 0:
+        pooled = [
+            point for point in active if estimates[point].values
+        ]
+        successes = [
+            sum(round(value * total_pairs) for value in estimates[point].values)
+            for point in pooled
+        ]
+        trials = [len(estimates[point].values) * total_pairs for point in pooled]
+        intervals = wilson_intervals(successes, trials, confidence)
+        for point, interval in zip(pooled, intervals):
+            widths[point] = interval.high - interval.low
+        for point in active:
+            widths.setdefault(point, None)
+        return widths
+    for point in active:
+        widths[point] = samplers[point].stopping_width(
+            estimates[point], confidence
+        )
+    return widths
+
+
+@dataclass
+class _Engine:
+    """Shared campaign context every point sampler reads from."""
+
+    system: SystemRef
+    seed: int
+    metric: str
+    traffic: TrafficSpec | None
+    config: SimulationConfig | None
+    kernel: str
+    total_pairs: int = 0
+
+
+def _campaign_id(
+    system: SystemRef,
+    algorithms: Sequence[str],
+    fault_counts: Sequence[int],
+    samples: int,
+    seed: int,
+    metric: str,
+    confidence: float,
+    target_ci_width: float | None,
+    max_samples: int | None,
+    sampler: str,
+    probe_canonical: dict,
+) -> str:
+    """Content hash of the sampling spec — the rendezvous namespace.
+
+    A pure function of everything that shapes the round structure, so
+    all drivers of one campaign meet under the same directory while any
+    spec change (even a different target width) gets a fresh one.
+    """
+    payload = {
+        "system": [system.preset, list(system.grid) if system.grid else None],
+        "algorithms": list(algorithms),
+        "fault_counts": [int(k) for k in fault_counts],
+        "samples": samples,
+        "seed": seed,
+        "metric": metric,
+        "confidence": confidence,
+        "target_ci_width": target_ci_width,
+        "max_samples": max_samples,
+        "sampler": sampler,
+        "probe": probe_canonical,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
 def run_montecarlo(
     system: SystemRef,
     algorithms: Sequence[str],
@@ -295,6 +770,11 @@ def run_montecarlo(
     target_ci_width: float | None = None,
     max_samples: int | None = None,
     kernel: str = "auto",
+    sampler: str = "uniform",
+    shard: tuple[int, int] | None = None,
+    rendezvous_dir: str | Path | None = None,
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+    importance_lambda: float = 0.25,
 ) -> MonteCarloReport:
     """Run a full (algorithm x k x sample) Monte Carlo campaign.
 
@@ -305,15 +785,38 @@ def run_montecarlo(
     Failed samples (e.g. no admissible pattern at an extreme k) are
     excluded from the estimates and counted per point.
 
+    ``sampler`` picks the estimator (see the module docstring):
+    ``uniform`` (unchanged legacy behavior), ``stratified`` or
+    ``importance`` — the weighted samplers support the reachability
+    metric, draw at least two samples per stratum in their first round
+    and stop on the variance-based Wilson width of their weighted
+    estimate.
+
     With ``target_ci_width``, sampling is *adaptive*: each (algorithm, k)
     point starts with ``samples`` draws and keeps doubling until its
-    Wilson stopping interval (pooled reachable pairs for the reachability
-    metric, pooled delivered/measured packets for latency) is no wider
-    than the target, or ``max_samples`` (default ``16 * samples``) is
-    reached. Sample indices keep growing monotonically, so adaptive
-    rounds are served incrementally by the content-addressed cache and
-    re-runs are deterministic.
+    stopping interval is no wider than the target, or ``max_samples``
+    (default ``16 * samples``) is reached — the final extension is
+    capped so the total never overshoots the cap. Sample indices keep
+    growing monotonically, so adaptive rounds are served incrementally
+    by the content-addressed cache and re-runs are deterministic.
+
+    ``shard=(index0, count)`` + ``rendezvous_dir`` runs this driver as
+    one of ``count`` cooperating drivers: each executes only its
+    key-range slice of every round, publishes a round marker, waits for
+    its peers, and pools the full round's outcomes (own results plus
+    shared-cache reads for foreign slices) before taking the — then
+    bit-identical — stopping decision. Requires a runner with a shared
+    result cache; all drivers must be launched with identical
+    parameters.
     """
+    if sampler not in MC_SAMPLERS:
+        raise ValueError(f"sampler must be one of {MC_SAMPLERS}, got {sampler!r}")
+    if sampler != "uniform" and metric != "reachability":
+        raise ValueError(
+            f"the {sampler!r} sampler supports the reachability metric only "
+            "(weighted Wilson machinery needs a bounded mean); use "
+            "sampler='uniform' for latency campaigns"
+        )
     points = [(algorithm, k) for algorithm in algorithms for k in fault_counts]
     name = f"montecarlo-{metric}-{system.label}"
     campaign_runner = runner or CampaignRunner()
@@ -324,7 +827,8 @@ def run_montecarlo(
                 "max_samples only applies to adaptive sampling; set "
                 "target_ci_width (or drop max_samples)"
             )
-        rounds = None
+        adaptive = False
+        max_n = 0
     else:
         if target_ci_width <= 0:
             raise ValueError(f"target_ci_width must be > 0, got {target_ci_width}")
@@ -333,69 +837,219 @@ def run_montecarlo(
             raise ValueError(
                 f"max_samples ({max_samples}) must be >= samples ({samples})"
             )
-        # Total ordered core pairs, for pooling reachability fractions
-        # back into exact counts — only that metric needs the built
-        # system (latency pools packet counts instead). Served from this
-        # process's session only when the backend opted into sessions —
-        # a --no-session run must not leave a memoized System in the
-        # process-global context.
-        total_pairs = 0
-        if metric == "reachability":
-            if getattr(campaign_runner.backend, "use_session", False):
-                from ..runner.session import get_session
+        adaptive = True
+        max_n = max_samples
 
-                built = get_session().system(system)
-            else:
-                built = system.build()
-            cores = len(built.cores)
-            total_pairs = cores * (cores - 1)
-        rounds = (max_samples, total_pairs)
+    # Total ordered core pairs, for pooling reachability fractions back
+    # into exact counts — adaptive uniform stopping needs it, and the
+    # weighted samplers need the built system for strata enumeration and
+    # proposal scoring. Served from this process's session only when the
+    # backend opted into sessions — a --no-session run must not leave a
+    # memoized System in the process-global context.
+    built = None
+    if sampler != "uniform" or (adaptive and metric == "reachability"):
+        if getattr(campaign_runner.backend, "use_session", False):
+            from ..runner.session import get_session
 
-    outcomes: dict[tuple[str, int], list] = {point: [] for point in points}
-    drawn: dict[tuple[str, int], int] = {point: 0 for point in points}
+            built = get_session().system(system)
+        else:
+            built = system.build()
+    total_pairs = 0
+    if built is not None and metric == "reachability":
+        cores = len(built.cores)
+        total_pairs = cores * (cores - 1)
+
+    engine = _Engine(
+        system=system, seed=seed, metric=metric, traffic=traffic,
+        config=config, kernel=kernel, total_pairs=total_pairs,
+    )
+
+    # Per-point sampler state. Strata and importance proposals are pure
+    # functions of the (system, algorithm, k) spec — every shard driver
+    # derives identical weights, scores and assignment sequences.
+    strata_of: dict[int, list[Stratum]] = {}
+    samplers: dict[tuple[str, int], object] = {}
+    for algorithm, k in points:
+        if sampler == "uniform":
+            samplers[(algorithm, k)] = _UniformPoint(engine, algorithm, k)
+            continue
+        if k not in strata_of:
+            strata_of[k] = enumerate_strata(built, k)
+        strata = strata_of[k]
+        if sampler == "stratified":
+            samplers[(algorithm, k)] = _StratifiedPoint(
+                engine, algorithm, k, strata
+            )
+        else:
+            from ..routing.compiled import compile_routes
+            from ..routing.registry import make_algorithm
+
+            routes = compile_routes(make_algorithm(algorithm, built))
+            scores = stratum_scores(built, routes, strata)
+            proposal = importance_proposal(
+                [s.weight for s in strata], scores, lam=importance_lambda
+            )
+            samplers[(algorithm, k)] = _ImportancePoint(
+                engine, algorithm, k, strata, proposal
+            )
+
+    if adaptive:
+        for point in points:
+            first = samplers[point].first_budget(samples)
+            if first > max_n:
+                raise ValueError(
+                    f"point {point} needs a first round of {first} samples "
+                    f"({samplers[point].sampler} sampling wants two per "
+                    f"stratum) but max_samples is {max_n}; raise max_samples"
+                )
+
+    rendezvous = None
+    if shard is not None:
+        index0, count = shard
+        if rendezvous_dir is None:
+            raise ValueError(
+                "sharded Monte Carlo needs rendezvous_dir (the spool "
+                "directory shared by all drivers)"
+            )
+        if campaign_runner.cache is None:
+            raise ValueError(
+                "sharded Monte Carlo needs a runner with a shared result "
+                "cache — foreign shards' samples are read through it"
+            )
+        from ..distributed.rounds import RoundRendezvous
+
+        probe = montecarlo_jobs(
+            system, algorithms[0], fault_counts[0], 1,
+            seed=seed, metric=metric, traffic=traffic, config=config,
+            kernel=kernel,
+        )[0].canonical()
+        campaign_id = _campaign_id(
+            system, algorithms, fault_counts, samples, seed, metric,
+            confidence, target_ci_width, max_samples, sampler, probe,
+        )
+        rendezvous = RoundRendezvous(rendezvous_dir, campaign_id, index0, count)
+
+    registry = get_registry()
     active = list(points)
     reports: list[CampaignReport] = []
+    round_index = 0
     while active:
         batches: list[tuple[tuple[str, int], list[Job]]] = []
         for point in active:
-            already = drawn[point]
-            if rounds is None:
-                batch = samples
+            ps = samplers[point]
+            if ps.drawn == 0:
+                budget = ps.first_budget(samples)
             else:
-                batch = min(max(already, samples), rounds[0] - already)
-            batches.append((point, montecarlo_jobs(
-                system, point[0], point[1], batch,
-                seed=seed, metric=metric, traffic=traffic, config=config,
-                start=already, kernel=kernel,
-            )))
-        jobs = [job for _, group in batches for job in group]
-        report = campaign_runner.run(
-            Campaign(name=name, jobs=tuple(jobs)), progress=progress
-        )
-        reports.append(report)
-        still_active: list[tuple[str, int]] = []
-        for point, group in batches:
-            outcomes[point].extend(report.result_for(job) for job in group)
-            drawn[point] += len(group)
-        if rounds is None:
-            break
-        max_n, total_pairs = rounds
-        for point in active:
-            estimate = _estimate_point(
-                point[0], point[1], metric, outcomes[point], drawn[point], confidence
+                budget = min(max(ps.drawn, samples), max_n - ps.drawn)
+            batches.append((point, ps.emit(budget)))
+        all_jobs = [job for _, group in batches for job in group]
+        registry.counter(
+            "deft_mc_rounds_total", "Monte Carlo sampling rounds driven"
+        ).inc()
+        registry.counter(
+            "deft_mc_samples_total", "Monte Carlo sample jobs emitted"
+        ).inc(len(all_jobs))
+        if rendezvous is None:
+            report = campaign_runner.run(
+                Campaign(name=name, jobs=tuple(all_jobs)), progress=progress
             )
-            width = _stopping_width(estimate, metric, total_pairs, confidence)
-            if (width is None or width > target_ci_width) and drawn[point] < max_n:
+            reports.append(report)
+            outcome_of = {job.key(): report.result_for(job) for job in all_jobs}
+        else:
+            outcome_of = _run_sharded_round(
+                campaign_runner, name, all_jobs, shard, rendezvous,
+                round_index, round_timeout, reports, progress,
+            )
+        for point, group in batches:
+            samplers[point].accumulate([outcome_of[job.key()] for job in group])
+        round_index += 1
+        if not adaptive:
+            break
+        estimates = {point: samplers[point].estimate(confidence) for point in active}
+        widths = _stopping_widths(
+            samplers, active, estimates, sampler, metric, total_pairs, confidence
+        )
+        still_active = []
+        for point in active:
+            ps = samplers[point]
+            width = widths[point]
+            if (width is None or width > target_ci_width) and ps.drawn < max_n:
                 still_active.append(point)
+            else:
+                registry.gauge(
+                    "deft_mc_samples_to_target",
+                    "Samples the most recent point needed to stop",
+                ).set(ps.drawn)
         active = still_active
 
-    results = [
-        _estimate_point(
-            point[0], point[1], metric, outcomes[point], drawn[point], confidence
-        )
-        for point in points
-    ]
+    results = [samplers[point].estimate(confidence) for point in points]
     return MonteCarloReport(
         metric=metric, samples=samples, seed=seed, confidence=confidence,
         results=results, campaign=CampaignReport.merge(name, reports),
+        sampler=sampler,
     )
+
+
+def _run_sharded_round(
+    campaign_runner: CampaignRunner,
+    name: str,
+    all_jobs: list[Job],
+    shard: tuple[int, int],
+    rendezvous,
+    round_index: int,
+    round_timeout: float,
+    reports: list[CampaignReport],
+    progress: ProgressFn | None,
+) -> dict[str, JobResult]:
+    """Execute one shard slice of a round and pool the full round.
+
+    Emission order, job lists and pooled outcomes are identical on every
+    driver; only which slice is *executed* differs. Foreign successes
+    are read from the shared cache (their workers published them before
+    the owning driver's marker appeared); foreign failures arrive as key
+    lists in the markers and are materialized as failed placeholders, so
+    the pooled per-point outcome sets — and every downstream float — are
+    bit-identical across drivers.
+    """
+    from ..distributed.rounds import RendezvousError
+    from ..distributed.shard import shard_jobs
+
+    index0, count = shard
+    mine = shard_jobs(all_jobs, count, index0)
+    report = None
+    if mine:
+        report = campaign_runner.run(
+            Campaign(
+                name=f"{name}#shard-{index0 + 1}-of-{count}",
+                jobs=tuple(mine),
+            ),
+            progress=progress,
+        )
+        reports.append(report)
+    failed_keys = [result.job_key for result in report.errors] if report else []
+    rendezvous.publish(round_index, failed_keys)
+    failed_by_shard = rendezvous.gather(round_index, timeout=round_timeout)
+    foreign_failed = {
+        key for keys in failed_by_shard.values() for key in keys
+    }
+    outcome_of: dict[str, JobResult] = {}
+    for job in all_jobs:
+        key = job.key()
+        if key in outcome_of:
+            continue
+        result = report.result_for_key(key) if report else None
+        if result is None and key in foreign_failed:
+            result = JobResult(
+                job_key=key, ok=False,
+                error="failed on a peer shard (see its driver log)",
+            )
+        if result is None:
+            result = campaign_runner.cache.get(job)
+        if result is None:
+            raise RendezvousError(
+                f"round {round_index}: job {key[:12]} finished on a peer "
+                "shard but never appeared in the shared cache — are all "
+                "drivers pointed at the same --cache-dir?"
+            )
+        outcome_of[key] = result
+    return outcome_of

@@ -1,0 +1,310 @@
+"""Strata over per-chiplet directed fault-count compositions.
+
+The stratified and importance samplers partition the k-fault sample
+space by *composition*: how many of the k faulty directed channels land
+on each chiplet's down side and up side. A stratum is the vector
+``(d_0, u_0, d_1, u_1, ...)`` — chiplet 0 loses ``d_0`` down and
+``u_0`` up channels, and so on. The partition is natural for this
+problem because
+
+* the chiplet-disconnection exclusion is exactly "no chiplet with all
+  down or all up channels faulty", i.e. ``d_c < V`` and ``u_c < V`` per
+  chiplet — admissibility is a *property of the composition*, so each
+  stratum's conditional distribution is a product of independent
+  uniform per-direction draws with no rejection at all (see
+  :func:`repro.fault.model.random_stratified_fault_state`);
+* stratum probabilities are *exact* combinatorial ratios
+  (``prod_c C(V, d_c) C(V, u_c)`` over the admissible total) — no
+  estimation error enters the weights;
+* reachability under the send/receive factorization depends on the
+  faults only through per-chiplet local patterns, so the composition
+  pins each chiplet's sender/receiver counts up to pattern choice —
+  for direction-symmetric algorithms (RC is one) the within-stratum
+  variance is exactly zero, and for the rest the strata still separate
+  the near-disconnecting tail from the benign bulk that uniform
+  sampling keeps drawing.
+
+:func:`enumerate_strata` builds the partition with exact weights;
+:func:`stratum_scores` prices each stratum's expected reachability
+deficit from the compiled per-(chiplet, pattern) tables *before any
+simulation runs*; :func:`importance_proposal` turns those scores into a
+defensive-mixture proposal; :func:`stratum_sequence` maps global sample
+ordinals onto strata deterministically (pure function of the seed), so
+every shard driver derives the identical assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ConfigurationError
+from ..topology.builder import System
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..routing.compiled import CompiledRoutes
+
+#: Compositions beyond this count signal a (system, k) too large for
+#: useful stratification — the per-stratum minimum allocation alone
+#: would dwarf any sensible sample budget. The 4-chiplet baseline tops
+#: out at 3823 strata (k=8), inside the cap.
+MAX_STRATA = 4096
+
+
+def admissible_chiplet_patterns(v: int, j: int) -> int:
+    """Admissible ``j``-fault local patterns on a chiplet with ``v`` VLs.
+
+    Counts the ``j``-subsets of the chiplet's ``2v`` directed channels
+    that leave at least one down and one up channel alive, by
+    inclusion-exclusion over the two disconnecting events::
+
+        C(2v, j) - 2 C(v, j - v) + [j == 2v]
+
+    (``C(v, j - v)`` counts patterns containing *all* down channels —
+    the remaining ``j - v`` faults pick among the ``v`` up channels —
+    and symmetrically for up; the all-channels pattern is restored
+    once.) Equals the sum of ``C(v, d) C(v, u)`` over the admissible
+    splits ``d + u = j`` with ``d < v`` and ``u < v`` — the cross-check
+    pinning the stratum weights to an independent formula.
+    """
+    if v < 1:
+        raise ConfigurationError(f"chiplet needs at least one VL, got {v}")
+    if j < 0 or j > 2 * v:
+        return 0
+    total = math.comb(2 * v, j)
+    full = math.comb(v, j - v) if j >= v else 0
+    return total - 2 * full + (1 if j == 2 * v else 0)
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One per-chiplet directed fault-count composition with its mass.
+
+    ``composition`` is ``(d_0, u_0, d_1, u_1, ...)``; ``patterns`` the
+    number of admissible global fault patterns in the stratum (product
+    of per-direction binomials); ``weight`` its probability under
+    uniform admissible sampling — patterns over the total across all
+    strata, an exact combinatorial ratio.
+    """
+
+    composition: tuple[int, ...]
+    patterns: int
+    weight: float
+
+
+def enumerate_strata(
+    system: System, fault_count: int, max_strata: int = MAX_STRATA
+) -> list[Stratum]:
+    """All admissible compositions of ``fault_count`` over directions.
+
+    The weights sum to 1 and each equals the exact probability that a
+    uniform draw over admissible k-fault patterns lands in the stratum —
+    so the stratified estimator needs no weight estimation at all.
+    """
+    if fault_count < 0:
+        raise ConfigurationError(f"fault count must be >= 0, got {fault_count}")
+    vs = [
+        len(system.vls_of_chiplet(c)) for c in range(system.spec.num_chiplets)
+    ]
+    if any(v < 1 for v in vs):
+        raise ConfigurationError("every chiplet needs at least one VL")
+    # Per-direction slot capacities: d_c and u_c each range 0..V_c-1
+    # (V_c would disconnect the chiplet).
+    caps = [v - 1 for v in vs for _ in (0, 1)]
+    counts: list[tuple[tuple[int, ...], int]] = []
+
+    def extend(prefix: tuple[int, ...], remaining: int, product: int) -> None:
+        slot = len(prefix)
+        if slot == len(caps):
+            if remaining == 0:
+                counts.append((prefix, product))
+            return
+        tail_room = sum(caps[slot + 1 :])
+        v = vs[slot // 2]
+        lo = max(0, remaining - tail_room)
+        for j in range(lo, min(remaining, caps[slot]) + 1):
+            extend(prefix + (j,), remaining - j, product * math.comb(v, j))
+            if len(counts) > max_strata:
+                raise ConfigurationError(
+                    f"stratification of k={fault_count} over "
+                    f"{len(vs)} chiplets exceeds {max_strata} strata; "
+                    "use the uniform sampler for this system"
+                )
+
+    extend((), fault_count, 1)
+    if not counts:
+        raise ConfigurationError(
+            f"no admissible {fault_count}-fault pattern exists on this system"
+        )
+    total = sum(patterns for _, patterns in counts)
+    return [
+        Stratum(
+            composition=composition,
+            patterns=patterns,
+            weight=patterns / total,
+        )
+        for composition, patterns in counts
+    ]
+
+
+def stratum_scores(
+    system: System,
+    routes: "CompiledRoutes | None",
+    strata: Sequence[Stratum],
+) -> list[float]:
+    """Expected reachability deficit of each stratum, pre-simulation.
+
+    For every (chiplet, direction, fault count) the expected number of
+    routers that can still send / still receive is computed by averaging
+    the compiled per-(chiplet, pattern) reachability tables over the
+    direction's equal-probability patterns — the same tables PR 3's
+    exact decomposition uses, probed once per local pattern and cached.
+    The per-stratum expected reachable fraction then follows the
+    send x receive factorization with expectations in place of counts.
+    For direction-symmetric algorithms (sender/receiver counts depend
+    only on how *many* channels failed) the score is the stratum's exact
+    conditional mean; elsewhere it is a proxy — but only proposal
+    *efficiency* depends on its accuracy, never correctness: the
+    likelihood-ratio reweighting is unbiased for any positive proposal.
+
+    Without compiled tables (``routes is None``) every stratum scores
+    0.0 — the defensive mixture then degenerates to the exact weights
+    and importance sampling gracefully matches proportional sampling.
+    """
+    if routes is None:
+        return [0.0 for _ in strata]
+    num_chiplets = system.spec.num_chiplets
+    sizes = [len(system.chiplet_routers(c)) for c in range(num_chiplets)]
+    total_cores = sum(sizes)
+    total_pairs = total_cores * (total_cores - 1)
+    intra = sum(n * (n - 1) for n in sizes)
+    if total_pairs == 0 or num_chiplets < 2:
+        return [0.0 for _ in strata]
+
+    send_mean: dict[tuple[int, int], float] = {}
+    recv_mean: dict[tuple[int, int], float] = {}
+
+    def expect_senders(chiplet: int, d: int) -> float:
+        cached = send_mean.get((chiplet, d))
+        if cached is None:
+            v = len(system.vls_of_chiplet(chiplet))
+            patterns = list(itertools.combinations(range(v), d))
+            cached = sum(
+                routes.chiplet_senders(chiplet, frozenset(p)) for p in patterns
+            ) / len(patterns)
+            send_mean[(chiplet, d)] = cached
+        return cached
+
+    def expect_receivers(chiplet: int, u: int) -> float:
+        cached = recv_mean.get((chiplet, u))
+        if cached is None:
+            v = len(system.vls_of_chiplet(chiplet))
+            patterns = list(itertools.combinations(range(v), u))
+            cached = sum(
+                routes.chiplet_receivers(chiplet, frozenset(p)) for p in patterns
+            ) / len(patterns)
+            recv_mean[(chiplet, u)] = cached
+        return cached
+
+    scores: list[float] = []
+    for stratum in strata:
+        senders = [
+            expect_senders(c, stratum.composition[2 * c])
+            for c in range(num_chiplets)
+        ]
+        receivers = [
+            expect_receivers(c, stratum.composition[2 * c + 1])
+            for c in range(num_chiplets)
+        ]
+        cross = sum(senders) * sum(receivers) - sum(
+            s * r for s, r in zip(senders, receivers)
+        )
+        proxy = (intra + cross) / total_pairs
+        scores.append(max(0.0, 1.0 - min(1.0, proxy)))
+    return scores
+
+
+def importance_proposal(
+    weights: Sequence[float],
+    scores: Sequence[float],
+    lam: float = 0.25,
+    floor: float = 1e-3,
+) -> list[float]:
+    """Defensive-mixture proposal over strata from deficit scores.
+
+    The variance-optimal proposal for a self-normalized estimator is
+    ``q* ∝ w |v - mean|`` — oversample strata whose value *deviates*
+    from the mean, on either side, in proportion to how far. With the
+    scores as predicted deficits, the tilted component allocates mass
+    as ``w (|score - score_mean| + floor)`` where ``score_mean`` is the
+    weight-averaged score; in a skewed fault population the big
+    deviations are the rare low-reachability strata, so the proposal is
+    biased exactly toward the tail uniform sampling misses. The
+    ``floor`` keeps every positive-weight stratum reachable even at
+    zero deviation. Mixing a ``lam`` fraction of the exact weights back
+    in bounds every likelihood ratio by ``1 / lam``, which caps the
+    variance an imperfect score model can inflict (defensive importance
+    sampling).
+    """
+    if len(weights) != len(scores):
+        raise ConfigurationError(
+            f"got {len(scores)} scores for {len(weights)} strata"
+        )
+    if not weights:
+        raise ConfigurationError("importance proposal needs at least one stratum")
+    if not 0.0 < lam <= 1.0:
+        raise ConfigurationError(f"mixture weight lam must be in (0, 1], got {lam}")
+    if floor <= 0.0:
+        raise ConfigurationError(f"score floor must be > 0, got {floor}")
+    w_total = sum(weights)
+    if w_total <= 0.0:
+        raise ConfigurationError("stratum weights must sum to > 0")
+    score_mean = sum(w * s for w, s in zip(weights, scores)) / w_total
+    tilt = [
+        w * (abs(s - score_mean) + floor) for w, s in zip(weights, scores)
+    ]
+    tilt_total = sum(tilt)
+    return [
+        (1.0 - lam) * t / tilt_total + lam * w / w_total
+        for t, w in zip(tilt, weights)
+    ]
+
+
+def stratum_sequence(
+    proposal: Sequence[float],
+    seed: int,
+    fault_count: int,
+    start: int,
+    count: int,
+) -> list[int]:
+    """Deterministic stratum index of global ordinals ``start .. start+count-1``.
+
+    Ordinal ``i`` hashes ``(seed, k, i)`` to a uniform in [0, 1) and
+    inverts the proposal CDF — a pure function of the campaign spec, so
+    every shard driver (and every re-run) assigns the identical stratum
+    to the identical ordinal, which is what keeps importance campaigns
+    cache-stable and shard-composable.
+    """
+    cdf: list[float] = []
+    acc = 0.0
+    for q in proposal:
+        acc += q
+        cdf.append(acc)
+    out: list[int] = []
+    for index in range(start, start + count):
+        digest = hashlib.sha256(
+            f"deft-mc-assign:{seed}:{fault_count}:{index}".encode("utf-8")
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64 * acc
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] > u:
+                hi = mid
+            else:
+                lo = mid + 1
+        out.append(lo)
+    return out

@@ -65,6 +65,15 @@ class CampaignReport:
     def result_for(self, job: Job) -> JobResult:
         return self._by_key[job.key()]
 
+    def result_for_key(self, key: str) -> JobResult | None:
+        """The result for a job key, or None if this run never saw it.
+
+        Sharded drivers assemble full-round outcome sets from their own
+        report plus cache reads for foreign shards; this is the "own
+        report" half of that lookup.
+        """
+        return self._by_key.get(key)
+
     @classmethod
     def merge(cls, name: str, reports: Sequence["CampaignReport"]) -> "CampaignReport":
         """Fold several runs into one provenance record (adaptive rounds)."""
